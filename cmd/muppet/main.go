@@ -1,0 +1,175 @@
+// Command muppet runs one of the paper's applications on a simulated
+// Muppet cluster, streams a synthetic workload through it, serves the
+// slate-fetch HTTP API while running, and prints engine statistics on
+// exit.
+//
+// Usage:
+//
+//	muppet -app retailer -events 100000 -machines 4 -engine 2 -http :8080
+//
+// Applications: retailer, hottopics, reputation, topurls, httphits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+)
+
+import (
+	"muppet"
+	"muppet/muppetapps"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "retailer", "application: retailer | hottopics | reputation | topurls | httphits")
+		events   = flag.Int("events", 100_000, "events to stream")
+		machines = flag.Int("machines", 4, "simulated machines")
+		threads  = flag.Int("threads", 4, "worker threads per machine (engine 2)")
+		workers  = flag.Int("workers", 0, "workers per function (engine 1; default = machines)")
+		engineV  = flag.Int("engine", 2, "engine version: 1 (process workers) or 2 (thread pool)")
+		persist  = flag.Bool("persist", true, "persist slates to a replicated key-value store")
+		ssd      = flag.Bool("ssd", true, "simulate SSDs (vs HDDs) for the store")
+		httpAddr = flag.String("http", "", "serve the slate-fetch API on this address while running (e.g. 127.0.0.1:8080)")
+		seed     = flag.Int64("seed", 2012, "workload seed")
+		linger   = flag.Duration("linger", 0, "keep serving HTTP for this long after the stream ends")
+	)
+	flag.Parse()
+
+	app, slateProbe := buildApp(*appName)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	cfg := muppet.Config{
+		Machines:           *machines,
+		ThreadsPerMachine:  *threads,
+		WorkersPerFunction: *workers,
+		QueueCapacity:      1 << 16,
+		FlushPolicy:        muppet.FlushInterval,
+		FlushEvery:         100 * time.Millisecond,
+		StoreLevel:         muppet.Quorum,
+	}
+	if *engineV == 1 {
+		cfg.Engine = muppet.EngineV1
+	}
+	if *persist {
+		cfg.Store = muppet.NewStore(muppet.StoreConfig{Nodes: 3, ReplicationFactor: 3, UseSSD: *ssd})
+	}
+
+	eng, err := muppet.NewEngine(app, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Stop()
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := &http.Server{Handler: muppet.Handler(eng)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("slate API: http://%s/slate/{updater}/{key}  |  http://%s/status\n", ln.Addr(), ln.Addr())
+	}
+
+	gen := muppetapps.NewGenerator(muppetapps.GenConfig{Seed: *seed, URLFraction: 0.3})
+	start := time.Now()
+	for i := 0; i < *events; i++ {
+		switch *appName {
+		case "retailer":
+			eng.Ingest(gen.Checkin("S1"))
+		case "httphits":
+			eng.Ingest(httpHitEvent(gen, i))
+		default:
+			eng.Ingest(gen.Tweet("S1"))
+		}
+	}
+	eng.Drain()
+	elapsed := time.Since(start)
+
+	fmt.Printf("app=%s engine=%d machines=%d: %d events in %v (%.0f events/s, %.1fM/day equivalent)\n",
+		*appName, *engineV, *machines, *events, elapsed.Round(time.Millisecond),
+		float64(*events)/elapsed.Seconds(), float64(*events)/elapsed.Seconds()*86400/1e6)
+	fmt.Printf("latency: %s\n", muppet.LatencySummary(eng))
+	s := eng.Stats()
+	fmt.Printf("stats: processed=%d emitted=%d slateUpdates=%d lostOverflow=%d contention<=%d\n",
+		s.Processed, s.Emitted, s.SlateUpdates, s.LostOverflow, s.MaxSlateContention)
+	slateProbe(eng)
+
+	if *linger > 0 {
+		fmt.Printf("serving HTTP for %v more...\n", *linger)
+		time.Sleep(*linger)
+	}
+}
+
+// buildApp returns the application and a function that prints a small
+// sample of its live slates.
+func buildApp(name string) (*muppet.App, func(muppet.Engine)) {
+	switch name {
+	case "retailer":
+		return muppetapps.RetailerApp(), func(e muppet.Engine) {
+			fmt.Println("checkins per retailer:")
+			for _, r := range muppetapps.RetailerSet() {
+				fmt.Printf("  %-12s %d\n", r, muppetapps.Count(e.Slate("U1", r)))
+			}
+		}
+	case "hottopics":
+		return muppetapps.HotTopicsApp(muppetapps.HotTopicsConfig{Threshold: 3, MinCount: 30}), func(e muppet.Engine) {
+			v := muppetapps.HotVerdicts(e.Output("S4"))
+			fmt.Printf("hot <topic,minute> verdicts: %d\n", len(v))
+		}
+	case "reputation":
+		return muppetapps.ReputationApp(), func(e muppet.Engine) {
+			slates := e.Slates("U_rep")
+			best, bestScore := "", -1.0
+			for u, sl := range slates {
+				if st := muppetapps.ParseRepSlate(sl); st.Score > bestScore {
+					best, bestScore = u, st.Score
+				}
+			}
+			fmt.Printf("users scored: %d; top: %s (%.2f)\n", len(slates), best, bestScore)
+		}
+	case "topurls":
+		return muppetapps.TopURLsApp(10), func(e muppet.Engine) {
+			top := muppetapps.ParseTopSlate(e.Slate("U_top", muppetapps.TopURLsKey))
+			fmt.Println("top URLs:")
+			for i, r := range top.Ranked() {
+				fmt.Printf("  %2d. %s (%d)\n", i+1, r.URL, r.Count)
+			}
+		}
+	case "httphits":
+		return muppetapps.HTTPHitsApp(), func(e muppet.Engine) {
+			slates := e.Slates("U_hits")
+			var sections []string
+			for s := range slates {
+				sections = append(sections, s)
+			}
+			sort.Strings(sections)
+			fmt.Println("hits per section:")
+			for _, s := range sections {
+				fmt.Printf("  %-12s %s\n", s, slates[s])
+			}
+		}
+	}
+	return nil, nil
+}
+
+var httpPaths = []string{"/products/1", "/cart", "/", "/search?q=x", "/products/2", "/account", "/cart/checkout"}
+
+func httpHitEvent(gen *muppetapps.Generator, i int) muppet.Event {
+	return muppet.Event{
+		Stream: "S1",
+		TS:     muppet.Timestamp(i + 1),
+		Key:    fmt.Sprintf("req%d", i),
+		Value:  []byte(httpPaths[i%len(httpPaths)]),
+	}
+}

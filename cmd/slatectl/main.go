@@ -1,0 +1,63 @@
+// Command slatectl fetches live slates and status from a running
+// Muppet engine's HTTP API (Section 4.4 of the paper).
+//
+// Usage:
+//
+//	slatectl -addr 127.0.0.1:8080 status
+//	slatectl -addr 127.0.0.1:8080 slate U1 Walmart
+//	slatectl -addr 127.0.0.1:8080 dump U1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "engine HTTP address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "status":
+		get(fmt.Sprintf("http://%s/status", *addr))
+	case "slate":
+		if len(args) != 3 {
+			usage()
+		}
+		get(fmt.Sprintf("http://%s/slate/%s/%s", *addr, url.PathEscape(args[1]), args[2]))
+	case "dump":
+		if len(args) != 2 {
+			usage()
+		}
+		get(fmt.Sprintf("http://%s/slates/%s", *addr, url.PathEscape(args[1])))
+	default:
+		usage()
+	}
+}
+
+func get(u string) {
+	resp, err := http.Get(u)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "%s: %s", resp.Status, body)
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n", body)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: slatectl [-addr host:port] status | slate <updater> <key> | dump <updater>")
+	os.Exit(2)
+}

@@ -1,0 +1,267 @@
+package muppet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// The paper: "To write a MapUpdate application, a developer writes the
+// necessary map and update functions, then a configuration file that
+// includes the workflow graph." This file implements that
+// configuration file: a JSON document naming the application, its
+// external input and output streams, every map and update function
+// with its subscriptions and declared output streams, the engine
+// settings, and the slate-store settings (the paper's "configuration
+// file identifies a Cassandra cluster ... a key space ... and a column
+// family").
+//
+// Function code is registered under string names in a Registry and
+// referenced from the file, mirroring how Muppet instantiates
+// application-provided classes by name (Appendix A).
+
+// AppConfig is the JSON shape of an application configuration file.
+type AppConfig struct {
+	// Name is the application name.
+	Name string `json:"name"`
+	// Inputs are the external input streams.
+	Inputs []string `json:"inputs"`
+	// Outputs are the declared output streams.
+	Outputs []string `json:"outputs,omitempty"`
+	// Functions are the workflow nodes.
+	Functions []FunctionConfig `json:"functions"`
+	// Engine holds engine settings.
+	Engine EngineConfig `json:"engine"`
+	// Store holds slate-store settings; omit to run without
+	// persistence.
+	Store *StoreFileConfig `json:"store,omitempty"`
+}
+
+// FunctionConfig describes one map or update function in the file.
+type FunctionConfig struct {
+	// Kind is "map" or "update".
+	Kind string `json:"kind"`
+	// Name is the function's unique workflow name.
+	Name string `json:"name"`
+	// Code names the registered implementation; it defaults to Name.
+	// The same code can be reused as different functions, each
+	// identified by its unique name (Appendix A).
+	Code string `json:"code,omitempty"`
+	// Subscribes and Publishes are the workflow edges.
+	Subscribes []string `json:"subscribes"`
+	Publishes  []string `json:"publishes,omitempty"`
+	// TTL is the slate time-to-live for update functions, in Go
+	// duration syntax ("72h"); empty means forever.
+	TTL string `json:"ttl,omitempty"`
+}
+
+// EngineConfig is the engine section of a configuration file.
+type EngineConfig struct {
+	// Version is 1 or 2 (default 2).
+	Version int `json:"version,omitempty"`
+	// Machines, WorkersPerFunction, ThreadsPerMachine, QueueCapacity
+	// and CacheCapacity mirror Config fields.
+	Machines           int `json:"machines,omitempty"`
+	WorkersPerFunction int `json:"workers_per_function,omitempty"`
+	ThreadsPerMachine  int `json:"threads_per_machine,omitempty"`
+	QueueCapacity      int `json:"queue_capacity,omitempty"`
+	CacheCapacity      int `json:"cache_capacity,omitempty"`
+	// QueuePolicy is "drop", "divert" or "block".
+	QueuePolicy    string `json:"queue_policy,omitempty"`
+	OverflowStream string `json:"overflow_stream,omitempty"`
+	// FlushPolicy is "write-through", "interval" or "on-evict";
+	// FlushEvery is a duration for the interval policy.
+	FlushPolicy string `json:"flush_policy,omitempty"`
+	FlushEvery  string `json:"flush_every,omitempty"`
+	// SourceThrottle enables wait-and-retry ingestion.
+	SourceThrottle bool `json:"source_throttle,omitempty"`
+}
+
+// StoreFileConfig is the store section of a configuration file.
+type StoreFileConfig struct {
+	Nodes             int `json:"nodes,omitempty"`
+	ReplicationFactor int `json:"replication_factor,omitempty"`
+	// Consistency is "one", "quorum" or "all".
+	Consistency string `json:"consistency,omitempty"`
+	// Device is "ssd", "hdd" or "none".
+	Device string `json:"device,omitempty"`
+}
+
+// Registry maps code names to function constructors, the equivalent of
+// the class loading in Appendix A. Constructors receive the function's
+// unique workflow name.
+type Registry struct {
+	mappers  map[string]func(name string) Mapper
+	updaters map[string]func(name string) Updater
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		mappers:  make(map[string]func(string) Mapper),
+		updaters: make(map[string]func(string) Updater),
+	}
+}
+
+// RegisterMapper registers map-function code under a name.
+func (r *Registry) RegisterMapper(code string, ctor func(name string) Mapper) {
+	r.mappers[code] = ctor
+}
+
+// RegisterUpdater registers update-function code under a name.
+func (r *Registry) RegisterUpdater(code string, ctor func(name string) Updater) {
+	r.updaters[code] = ctor
+}
+
+// Codes lists the registered code names, mappers then updaters, each
+// sorted.
+func (r *Registry) Codes() (mappers, updaters []string) {
+	for c := range r.mappers {
+		mappers = append(mappers, c)
+	}
+	for c := range r.updaters {
+		updaters = append(updaters, c)
+	}
+	sort.Strings(mappers)
+	sort.Strings(updaters)
+	return mappers, updaters
+}
+
+// ParseAppConfig decodes a configuration file's bytes.
+func ParseAppConfig(data []byte) (*AppConfig, error) {
+	var cfg AppConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("muppet: parse app config: %w", err)
+	}
+	return &cfg, nil
+}
+
+// LoadAppConfig reads and decodes a configuration file.
+func LoadAppConfig(path string) (*AppConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("muppet: read app config: %w", err)
+	}
+	return ParseAppConfig(data)
+}
+
+// Build instantiates the application graph and engine configuration
+// from the file, resolving function code through the registry. The
+// returned App is validated.
+func (c *AppConfig) Build(reg *Registry) (*App, Config, error) {
+	app := NewApp(c.Name)
+	app.Input(c.Inputs...)
+	app.Output(c.Outputs...)
+	for _, f := range c.Functions {
+		code := f.Code
+		if code == "" {
+			code = f.Name
+		}
+		var ttl time.Duration
+		if f.TTL != "" {
+			var err error
+			if ttl, err = time.ParseDuration(f.TTL); err != nil {
+				return nil, Config{}, fmt.Errorf("muppet: function %s: bad ttl %q: %w", f.Name, f.TTL, err)
+			}
+		}
+		switch f.Kind {
+		case "map":
+			ctor := reg.mappers[code]
+			if ctor == nil {
+				return nil, Config{}, fmt.Errorf("muppet: no registered mapper code %q (function %s)", code, f.Name)
+			}
+			app.AddMap(ctor(f.Name), f.Subscribes, f.Publishes)
+		case "update":
+			ctor := reg.updaters[code]
+			if ctor == nil {
+				return nil, Config{}, fmt.Errorf("muppet: no registered updater code %q (function %s)", code, f.Name)
+			}
+			app.AddUpdate(ctor(f.Name), f.Subscribes, f.Publishes, ttl)
+		default:
+			return nil, Config{}, fmt.Errorf("muppet: function %s: kind must be \"map\" or \"update\", got %q", f.Name, f.Kind)
+		}
+	}
+	if err := app.Validate(); err != nil {
+		return nil, Config{}, err
+	}
+	ecfg, err := c.engineConfig()
+	if err != nil {
+		return nil, Config{}, err
+	}
+	return app, ecfg, nil
+}
+
+func (c *AppConfig) engineConfig() (Config, error) {
+	e := c.Engine
+	cfg := Config{
+		Machines:           e.Machines,
+		WorkersPerFunction: e.WorkersPerFunction,
+		ThreadsPerMachine:  e.ThreadsPerMachine,
+		QueueCapacity:      e.QueueCapacity,
+		CacheCapacity:      e.CacheCapacity,
+		OverflowStream:     e.OverflowStream,
+		SourceThrottle:     e.SourceThrottle,
+	}
+	switch e.Version {
+	case 0, 2:
+		cfg.Engine = EngineV2
+	case 1:
+		cfg.Engine = EngineV1
+	default:
+		return Config{}, fmt.Errorf("muppet: engine version must be 1 or 2, got %d", e.Version)
+	}
+	switch e.QueuePolicy {
+	case "", "drop":
+		cfg.QueuePolicy = DropOverflow
+	case "divert":
+		cfg.QueuePolicy = DivertOverflow
+	case "block":
+		cfg.QueuePolicy = BlockOverflow
+	default:
+		return Config{}, fmt.Errorf("muppet: unknown queue policy %q", e.QueuePolicy)
+	}
+	switch e.FlushPolicy {
+	case "", "write-through":
+		cfg.FlushPolicy = WriteThrough
+	case "interval":
+		cfg.FlushPolicy = FlushInterval
+	case "on-evict":
+		cfg.FlushPolicy = FlushOnEvict
+	default:
+		return Config{}, fmt.Errorf("muppet: unknown flush policy %q", e.FlushPolicy)
+	}
+	if e.FlushEvery != "" {
+		d, err := time.ParseDuration(e.FlushEvery)
+		if err != nil {
+			return Config{}, fmt.Errorf("muppet: bad flush_every %q: %w", e.FlushEvery, err)
+		}
+		cfg.FlushEvery = d
+	}
+	if c.Store != nil {
+		s := *c.Store
+		scfg := StoreConfig{Nodes: s.Nodes, ReplicationFactor: s.ReplicationFactor}
+		switch s.Device {
+		case "", "ssd":
+			scfg.UseSSD = true
+		case "hdd":
+		case "none":
+			scfg.NoDevice = true
+		default:
+			return Config{}, fmt.Errorf("muppet: unknown store device %q", s.Device)
+		}
+		cfg.Store = NewStore(scfg)
+		switch s.Consistency {
+		case "one":
+			cfg.StoreLevel = One
+		case "", "quorum":
+			cfg.StoreLevel = Quorum
+		case "all":
+			cfg.StoreLevel = All
+		default:
+			return Config{}, fmt.Errorf("muppet: unknown consistency %q", s.Consistency)
+		}
+	}
+	return cfg, nil
+}

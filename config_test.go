@@ -1,0 +1,181 @@
+package muppet_test
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"muppet"
+)
+
+// testRegistry registers a splitter mapper and a counter updater, the
+// way a Muppet deployment registers application classes.
+func testRegistry() *muppet.Registry {
+	reg := muppet.NewRegistry()
+	reg.RegisterMapper("splitter", func(name string) muppet.Mapper {
+		return muppet.MapFunc{FName: name, Fn: func(emit muppet.Emitter, in muppet.Event) {
+			for _, w := range strings.Fields(string(in.Value)) {
+				emit.Publish("words", w, nil)
+			}
+		}}
+	})
+	reg.RegisterUpdater("counter", func(name string) muppet.Updater {
+		return muppet.UpdateFunc{FName: name, Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
+			n := 0
+			if sl != nil {
+				n, _ = strconv.Atoi(string(sl))
+			}
+			emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
+		}}
+	})
+	return reg
+}
+
+const wordCountConfig = `{
+  "name": "wordcount",
+  "inputs": ["lines"],
+  "functions": [
+    {"kind": "map", "name": "M_split", "code": "splitter", "subscribes": ["lines"], "publishes": ["words"]},
+    {"kind": "update", "name": "U_count", "code": "counter", "subscribes": ["words"], "ttl": "72h"}
+  ],
+  "engine": {"version": 2, "machines": 2, "queue_policy": "drop", "flush_policy": "interval", "flush_every": "50ms"},
+  "store": {"nodes": 3, "replication_factor": 3, "consistency": "quorum", "device": "none"}
+}`
+
+func TestConfigBuildAndRun(t *testing.T) {
+	cfg, err := muppet.ParseAppConfig([]byte(wordCountConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, ecfg, err := cfg.Build(testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name() != "wordcount" {
+		t.Fatalf("name = %q", app.Name())
+	}
+	if ecfg.Store == nil || ecfg.StoreLevel != muppet.Quorum {
+		t.Fatal("store config not applied")
+	}
+	if app.TTLFor("U_count").Hours() != 72 {
+		t.Fatalf("ttl = %v", app.TTLFor("U_count"))
+	}
+	eng, err := muppet.NewEngine(app, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	eng.Ingest(muppet.Event{Stream: "lines", TS: 1, Key: "l1", Value: []byte("to be or not to be")})
+	eng.Drain()
+	if got := string(eng.Slate("U_count", "to")); got != "2" {
+		t.Fatalf("count(to) = %q, want 2", got)
+	}
+	if got := string(eng.Slate("U_count", "or")); got != "1" {
+		t.Fatalf("count(or) = %q, want 1", got)
+	}
+}
+
+func TestConfigLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "app.json")
+	if err := os.WriteFile(path, []byte(wordCountConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := muppet.LoadAppConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "wordcount" {
+		t.Fatalf("name = %q", cfg.Name)
+	}
+	if _, err := muppet.LoadAppConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestConfigCodeDefaultsToName(t *testing.T) {
+	reg := muppet.NewRegistry()
+	reg.RegisterUpdater("U1", func(name string) muppet.Updater {
+		return muppet.UpdateFunc{FName: name, Fn: func(muppet.Emitter, muppet.Event, []byte) {}}
+	})
+	cfg, _ := muppet.ParseAppConfig([]byte(`{
+	  "name": "x", "inputs": ["S1"],
+	  "functions": [{"kind": "update", "name": "U1", "subscribes": ["S1"]}],
+	  "engine": {}
+	}`))
+	if _, _, err := cfg.Build(reg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	reg := testRegistry()
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"bad json", `{`, "parse"},
+		{"unknown code", `{"name":"x","inputs":["S1"],"functions":[{"kind":"map","name":"M","code":"nope","subscribes":["S1"]}],"engine":{}}`, "no registered mapper"},
+		{"unknown updater code", `{"name":"x","inputs":["S1"],"functions":[{"kind":"update","name":"U","code":"nope","subscribes":["S1"]}],"engine":{}}`, "no registered updater"},
+		{"bad kind", `{"name":"x","inputs":["S1"],"functions":[{"kind":"reduce","name":"R","subscribes":["S1"]}],"engine":{}}`, "kind"},
+		{"bad ttl", `{"name":"x","inputs":["S1"],"functions":[{"kind":"update","name":"U","code":"counter","subscribes":["S1"],"ttl":"tomorrow"}],"engine":{}}`, "ttl"},
+		{"bad version", `{"name":"x","inputs":["S1"],"functions":[{"kind":"update","name":"U","code":"counter","subscribes":["S1"]}],"engine":{"version":3}}`, "version"},
+		{"bad policy", `{"name":"x","inputs":["S1"],"functions":[{"kind":"update","name":"U","code":"counter","subscribes":["S1"]}],"engine":{"queue_policy":"explode"}}`, "queue policy"},
+		{"bad flush", `{"name":"x","inputs":["S1"],"functions":[{"kind":"update","name":"U","code":"counter","subscribes":["S1"]}],"engine":{"flush_policy":"sometimes"}}`, "flush policy"},
+		{"bad flush_every", `{"name":"x","inputs":["S1"],"functions":[{"kind":"update","name":"U","code":"counter","subscribes":["S1"]}],"engine":{"flush_every":"often"}}`, "flush_every"},
+		{"bad device", `{"name":"x","inputs":["S1"],"functions":[{"kind":"update","name":"U","code":"counter","subscribes":["S1"]}],"engine":{},"store":{"device":"tape"}}`, "device"},
+		{"bad consistency", `{"name":"x","inputs":["S1"],"functions":[{"kind":"update","name":"U","code":"counter","subscribes":["S1"]}],"engine":{},"store":{"consistency":"hopeful"}}`, "consistency"},
+		{"invalid graph", `{"name":"x","inputs":["S1"],"functions":[{"kind":"update","name":"U","code":"counter","subscribes":["ghost"]}],"engine":{}}`, "ghost"},
+	}
+	for _, c := range cases {
+		cfg, err := muppet.ParseAppConfig([]byte(c.json))
+		if err == nil {
+			_, _, err = cfg.Build(reg)
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRegistryCodes(t *testing.T) {
+	reg := testRegistry()
+	mappers, updaters := reg.Codes()
+	if len(mappers) != 1 || mappers[0] != "splitter" {
+		t.Fatalf("mappers = %v", mappers)
+	}
+	if len(updaters) != 1 || updaters[0] != "counter" {
+		t.Fatalf("updaters = %v", updaters)
+	}
+}
+
+func TestConfigEngineV1(t *testing.T) {
+	cfg, _ := muppet.ParseAppConfig([]byte(`{
+	  "name": "x", "inputs": ["lines"],
+	  "functions": [
+	    {"kind": "map", "name": "M_split", "code": "splitter", "subscribes": ["lines"], "publishes": ["words"]},
+	    {"kind": "update", "name": "U_count", "code": "counter", "subscribes": ["words"]}
+	  ],
+	  "engine": {"version": 1, "machines": 2, "workers_per_function": 3, "queue_policy": "block", "flush_policy": "on-evict"}
+	}`))
+	app, ecfg, err := cfg.Build(testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecfg.Engine != muppet.EngineV1 || ecfg.WorkersPerFunction != 3 {
+		t.Fatalf("engine cfg = %+v", ecfg)
+	}
+	eng, err := muppet.NewEngine(app, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Ingest(muppet.Event{Stream: "lines", TS: 1, Key: "l", Value: []byte("a b a")})
+	eng.Drain()
+	if got := string(eng.Slate("U_count", "a")); got != "2" {
+		t.Fatalf("count(a) = %q", got)
+	}
+	eng.Stop()
+}

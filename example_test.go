@@ -1,0 +1,102 @@
+package muppet_test
+
+import (
+	"fmt"
+	"strconv"
+
+	"muppet"
+)
+
+// Example demonstrates the smallest complete MapUpdate application: a
+// per-key counter whose slates are queryable while the stream flows.
+func Example() {
+	count := muppet.UpdateFunc{FName: "U_count", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
+		n := 0
+		if sl != nil {
+			n, _ = strconv.Atoi(string(sl))
+		}
+		emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
+	}}
+	app := muppet.NewApp("counts").Input("S1")
+	app.AddUpdate(count, []string{"S1"}, nil, 0)
+
+	eng, err := muppet.NewEngine(app, muppet.Config{Machines: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Stop()
+
+	for i := 0; i < 3; i++ {
+		eng.Ingest(muppet.Event{Stream: "S1", TS: muppet.Timestamp(i + 1), Key: "walmart"})
+	}
+	eng.Drain()
+	fmt.Println(string(eng.Slate("U_count", "walmart")))
+	// Output: 3
+}
+
+// ExampleNewApp shows a two-stage workflow: a map function fanning a
+// line out into words, and an update function counting them — the
+// MapReduce feel the paper preserves for streams.
+func ExampleNewApp() {
+	split := muppet.MapFunc{FName: "M_split", Fn: func(emit muppet.Emitter, in muppet.Event) {
+		for _, w := range []string{"to", "be", "or", "not", "to", "be"} {
+			emit.Publish("words", w, nil)
+		}
+	}}
+	count := muppet.UpdateFunc{FName: "U_count", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
+		n := 0
+		if sl != nil {
+			n, _ = strconv.Atoi(string(sl))
+		}
+		emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
+	}}
+	app := muppet.NewApp("wordcount").
+		Input("lines").
+		AddMap(split, []string{"lines"}, []string{"words"}).
+		AddUpdate(count, []string{"words"}, nil, 0)
+
+	eng, err := muppet.NewEngine(app, muppet.Config{Machines: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Stop()
+	eng.Ingest(muppet.Event{Stream: "lines", TS: 1, Key: "line1"})
+	eng.Drain()
+	fmt.Println(string(eng.Slate("U_count", "to")), string(eng.Slate("U_count", "be")), string(eng.Slate("U_count", "or")))
+	// Output: 2 2 1
+}
+
+// ExampleNewStore shows slates persisting to the replicated key-value
+// store and surviving an engine restart — the Section 4.2 durability
+// story.
+func ExampleNewStore() {
+	store := muppet.NewStore(muppet.StoreConfig{Nodes: 3, ReplicationFactor: 3, NoDevice: true})
+	count := muppet.UpdateFunc{FName: "U", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
+		n := 0
+		if sl != nil {
+			n, _ = strconv.Atoi(string(sl))
+		}
+		emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
+	}}
+	mkApp := func() *muppet.App {
+		app := muppet.NewApp("durable").Input("S1")
+		app.AddUpdate(count, []string{"S1"}, nil, 0)
+		return app
+	}
+	cfg := muppet.Config{Machines: 2, Store: store, StoreLevel: muppet.Quorum, FlushPolicy: muppet.WriteThrough}
+
+	eng1, _ := muppet.NewEngine(mkApp(), cfg)
+	eng1.Ingest(muppet.Event{Stream: "S1", TS: 1, Key: "k"})
+	eng1.Ingest(muppet.Event{Stream: "S1", TS: 2, Key: "k"})
+	eng1.Drain()
+	eng1.Stop()
+
+	// A fresh engine on the same store resumes where the first left
+	// off.
+	eng2, _ := muppet.NewEngine(mkApp(), cfg)
+	defer eng2.Stop()
+	eng2.Ingest(muppet.Event{Stream: "S1", TS: 3, Key: "k"})
+	eng2.Drain()
+	fmt.Println(string(eng2.Slate("U", "k")))
+	// Output: 3
+}

@@ -1,0 +1,84 @@
+// Package bloom implements a standard Bloom filter. The key-value
+// store attaches one to each sorted run so that slate reads skip runs
+// that cannot contain the requested row, mirroring Cassandra's use of
+// per-SSTable bloom filters (the store the paper persists slates in,
+// Section 4.2).
+package bloom
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a fixed-size Bloom filter. It is not safe for concurrent
+// mutation; the kvstore builds a filter once per immutable run.
+type Filter struct {
+	bits   []uint64
+	nbits  uint64
+	hashes int
+}
+
+// New returns a filter sized for n expected items at the given false
+// positive rate (e.g. 0.01).
+func New(n int, fpRate float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fpRate) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{
+		bits:   make([]uint64, (m+63)/64),
+		nbits:  m,
+		hashes: k,
+	}
+}
+
+// base hashes yield k derived positions via double hashing
+// (Kirsch-Mitzenmacher).
+func (f *Filter) positions(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31
+	if h2 == 0 {
+		h2 = 0x9E3779B97F4A7C15
+	}
+	return h1, h2
+}
+
+// Add inserts a key.
+func (f *Filter) Add(key string) {
+	h1, h2 := f.positions(key)
+	for i := 0; i < f.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// MayContain reports whether the key may have been added. False means
+// definitely absent.
+func (f *Filter) MayContain(key string) bool {
+	h1, h2 := f.positions(key)
+	for i := 0; i < f.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes reports the filter's bit-array footprint.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }

@@ -1,0 +1,69 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	f := New(10_000, 0.01)
+	for i := 0; i < 10_000; i++ {
+		f.Add(fmt.Sprintf("present-%d", i))
+	}
+	fp := 0
+	const probes = 10_000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Fatalf("false positive rate %.4f way above target 0.01", rate)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(100, 0.01)
+	if f.MayContain("anything") {
+		t.Fatal("empty filter claimed membership")
+	}
+}
+
+func TestDegenerateParameters(t *testing.T) {
+	f := New(0, -1)
+	f.Add("k")
+	if !f.MayContain("k") {
+		t.Fatal("filter with clamped params lost a key")
+	}
+}
+
+func TestPropertyAddedAlwaysFound(t *testing.T) {
+	f := New(500, 0.01)
+	err := quick.Check(func(key string) bool {
+		f.Add(key)
+		return f.MayContain(key)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	if New(1000, 0.01).SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must be positive")
+	}
+}

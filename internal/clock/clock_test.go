@@ -1,0 +1,100 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNowIsMonotonicEnough(t *testing.T) {
+	var c Real
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatal("real clock went backwards")
+	}
+}
+
+func TestFakeNowStartsAtGivenTime(t *testing.T) {
+	start := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+}
+
+func TestFakeAdvanceMovesNow(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	f.Advance(3 * time.Second)
+	if got := f.Now(); !got.Equal(time.Unix(3, 0)) {
+		t.Fatalf("Now = %v, want 3s", got)
+	}
+}
+
+func TestFakeAfterFiresOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch := f.After(2 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	f.Advance(1 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired too early")
+	default:
+	}
+	f.Advance(1 * time.Second)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("After did not fire after deadline")
+	}
+}
+
+func TestFakeAfterZeroFiresImmediately(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	select {
+	case <-f.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestFakeSleepUnblocksConcurrently(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(5 * time.Second)
+		close(done)
+	}()
+	for f.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	f.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not unblock")
+	}
+}
+
+func TestFakeAdvanceReleasesOnlyDueWaiters(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	early := f.After(1 * time.Second)
+	late := f.After(10 * time.Second)
+	f.Advance(2 * time.Second)
+	select {
+	case <-early:
+	case <-time.After(time.Second):
+		t.Fatal("early waiter not released")
+	}
+	select {
+	case <-late:
+		t.Fatal("late waiter released too soon")
+	default:
+	}
+	if f.PendingWaiters() != 1 {
+		t.Fatalf("PendingWaiters = %d, want 1", f.PendingWaiters())
+	}
+}

@@ -1,0 +1,247 @@
+// Package cluster simulates the "cluster of commodity machines"
+// Muppet runs on (Section 4.1 of the paper): named machines joined by
+// an in-process network, plus the master whose only data-path role is
+// failure handling (Section 4.3). Machines can be crashed and revived
+// to reproduce the failure experiments.
+//
+// Substitution note: real machines and gigabit Ethernet are replaced by
+// goroutines and function calls. The behavioral properties the paper's
+// arguments need are preserved: sends to a dead machine fail
+// immediately at the sender (which is how Muppet detects failures),
+// in-flight queue contents die with the machine, and per-hop latency
+// can be charged to an accounting meter.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muppet/internal/event"
+)
+
+// ErrMachineDown is returned by Send when the destination machine is
+// crashed.
+var ErrMachineDown = errors.New("cluster: machine down")
+
+// ErrNoHandler is returned by Send when the destination machine has no
+// registered delivery handler.
+var ErrNoHandler = errors.New("cluster: no delivery handler registered")
+
+// Handler delivers an event addressed to a named worker (or queue) on
+// a machine. It returns an error if the local queue rejects the event.
+type Handler func(worker string, e event.Event) error
+
+// Machine is one simulated host.
+type Machine struct {
+	name    string
+	alive   atomic.Bool
+	handler atomic.Value // Handler
+}
+
+// Name returns the machine name.
+func (m *Machine) Name() string { return m.name }
+
+// Alive reports whether the machine is up.
+func (m *Machine) Alive() bool { return m.alive.Load() }
+
+// Config tunes the simulated cluster.
+type Config struct {
+	// Machines is the number of hosts, named machine-00, machine-01, ...
+	Machines int
+	// SendLatency is the simulated per-hop network latency, accumulated
+	// in the cluster's accounting meter (not slept).
+	SendLatency time.Duration
+}
+
+// Cluster is the set of simulated machines plus the master.
+type Cluster struct {
+	cfg      Config
+	machines map[string]*Machine
+	master   *Master
+
+	netTime atomic.Int64 // accumulated simulated network nanoseconds
+	sends   atomic.Uint64
+}
+
+// New builds a cluster with cfg.Machines live machines.
+func New(cfg Config) *Cluster {
+	if cfg.Machines <= 0 {
+		cfg.Machines = 1
+	}
+	c := &Cluster{cfg: cfg, machines: make(map[string]*Machine)}
+	for i := 0; i < cfg.Machines; i++ {
+		m := &Machine{name: fmt.Sprintf("machine-%02d", i)}
+		m.alive.Store(true)
+		c.machines[m.name] = m
+	}
+	c.master = newMaster(c)
+	return c
+}
+
+// Master returns the cluster's master.
+func (c *Cluster) Master() *Master { return c.master }
+
+// Machine returns the named machine, or nil.
+func (c *Cluster) Machine(name string) *Machine { return c.machines[name] }
+
+// MachineNames returns all machine names in order, including crashed
+// ones.
+func (c *Cluster) MachineNames() []string {
+	var names []string
+	for n := range c.machines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetHandler registers the delivery handler for a machine; the engines
+// install one that places events on local worker queues.
+func (c *Cluster) SetHandler(machine string, h Handler) {
+	if m := c.machines[machine]; m != nil {
+		m.handler.Store(h)
+	}
+}
+
+// Send delivers an event to the named worker on the destination
+// machine, charging one network hop. It fails immediately with
+// ErrMachineDown if the destination is crashed — the failure-detection
+// signal of Section 4.3.
+func (c *Cluster) Send(machine, worker string, e event.Event) error {
+	m := c.machines[machine]
+	if m == nil {
+		return fmt.Errorf("cluster: unknown machine %s", machine)
+	}
+	c.sends.Add(1)
+	c.netTime.Add(int64(c.cfg.SendLatency))
+	if !m.alive.Load() {
+		return ErrMachineDown
+	}
+	h, _ := m.handler.Load().(Handler)
+	if h == nil {
+		return ErrNoHandler
+	}
+	return h(worker, e)
+}
+
+// Crash takes a machine down. Its queues' contents are the engine's
+// problem — exactly as in the paper, they are lost.
+func (c *Cluster) Crash(machine string) {
+	if m := c.machines[machine]; m != nil {
+		m.alive.Store(false)
+	}
+}
+
+// Revive brings a crashed machine back up.
+func (c *Cluster) Revive(machine string) {
+	if m := c.machines[machine]; m != nil {
+		m.alive.Store(true)
+	}
+}
+
+// NetworkStats reports the number of sends and the total simulated
+// network time charged.
+func (c *Cluster) NetworkStats() (sends uint64, simTime time.Duration) {
+	return c.sends.Load(), time.Duration(c.netTime.Load())
+}
+
+// Master implements the paper's failure protocol: workers that fail to
+// contact a machine report it; the master broadcasts the failure to
+// all workers, which update their lists of failed machines. The master
+// never sits on the event data path.
+type Master struct {
+	c *Cluster
+
+	mu        sync.Mutex
+	failed    map[string]time.Time // machine -> detection time
+	listeners []func(machine string)
+	reports   uint64
+}
+
+func newMaster(c *Cluster) *Master {
+	return &Master{c: c, failed: make(map[string]time.Time)}
+}
+
+// Subscribe registers a callback invoked (synchronously) whenever a
+// machine failure is broadcast. Engines subscribe their hash rings.
+func (m *Master) Subscribe(fn func(machine string)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.listeners = append(m.listeners, fn)
+}
+
+// ReportFailure is called by a worker that could not contact the given
+// machine. The first report triggers the broadcast; duplicates are
+// absorbed. It returns true if this report was the first.
+func (m *Master) ReportFailure(machine string) bool {
+	m.mu.Lock()
+	m.reports++
+	if _, known := m.failed[machine]; known {
+		m.mu.Unlock()
+		return false
+	}
+	m.failed[machine] = time.Now()
+	listeners := make([]func(string), len(m.listeners))
+	copy(listeners, m.listeners)
+	m.mu.Unlock()
+	for _, fn := range listeners {
+		fn(machine)
+	}
+	return true
+}
+
+// FailedMachines returns the machines known failed, sorted.
+func (m *Master) FailedMachines() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for n := range m.failed {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DetectionTime returns when the machine's failure was first reported;
+// ok is false if it never was.
+func (m *Master) DetectionTime(machine string) (time.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.failed[machine]
+	return t, ok
+}
+
+// Reports returns the total failure reports received, including
+// duplicates.
+func (m *Master) Reports() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reports
+}
+
+// Forget clears a machine's failed state (used after revival).
+func (m *Master) Forget(machine string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.failed, machine)
+}
+
+// PingAll is the MapReduce-style alternative the paper argues against:
+// the master probes every machine and reports the dead ones. It
+// returns the newly detected failures. Experiment E12 compares the
+// latency of this periodic detection against Muppet's detect-on-send.
+func (m *Master) PingAll() []string {
+	var newly []string
+	for _, name := range m.c.MachineNames() {
+		if !m.c.Machine(name).Alive() {
+			if m.ReportFailure(name) {
+				newly = append(newly, name)
+			}
+		}
+	}
+	return newly
+}

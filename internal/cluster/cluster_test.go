@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"muppet/internal/event"
+)
+
+func TestSendDeliversToHandler(t *testing.T) {
+	c := New(Config{Machines: 2})
+	var got event.Event
+	var worker string
+	c.SetHandler("machine-01", func(w string, e event.Event) error {
+		worker, got = w, e
+		return nil
+	})
+	err := c.Send("machine-01", "U1#0", event.Event{Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worker != "U1#0" || got.Key != "k" {
+		t.Fatalf("delivered %q %v", worker, got)
+	}
+}
+
+func TestSendToCrashedMachineFails(t *testing.T) {
+	c := New(Config{Machines: 2})
+	c.SetHandler("machine-00", func(string, event.Event) error { return nil })
+	c.Crash("machine-00")
+	if err := c.Send("machine-00", "w", event.Event{}); !errors.Is(err, ErrMachineDown) {
+		t.Fatalf("err = %v, want ErrMachineDown", err)
+	}
+	c.Revive("machine-00")
+	if err := c.Send("machine-00", "w", event.Event{}); err != nil {
+		t.Fatalf("send after revive: %v", err)
+	}
+}
+
+func TestSendUnknownMachine(t *testing.T) {
+	c := New(Config{Machines: 1})
+	if err := c.Send("machine-99", "w", event.Event{}); err == nil {
+		t.Fatal("send to unknown machine succeeded")
+	}
+}
+
+func TestSendWithoutHandler(t *testing.T) {
+	c := New(Config{Machines: 1})
+	if err := c.Send("machine-00", "w", event.Event{}); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestNetworkAccounting(t *testing.T) {
+	c := New(Config{Machines: 1, SendLatency: time.Millisecond})
+	c.SetHandler("machine-00", func(string, event.Event) error { return nil })
+	for i := 0; i < 10; i++ {
+		c.Send("machine-00", "w", event.Event{})
+	}
+	sends, simTime := c.NetworkStats()
+	if sends != 10 {
+		t.Fatalf("sends = %d", sends)
+	}
+	if simTime != 10*time.Millisecond {
+		t.Fatalf("simTime = %v", simTime)
+	}
+}
+
+func TestMachineNamesSorted(t *testing.T) {
+	c := New(Config{Machines: 3})
+	names := c.MachineNames()
+	want := []string{"machine-00", "machine-01", "machine-02"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v", names)
+		}
+	}
+}
+
+func TestMasterBroadcastsFirstReportOnly(t *testing.T) {
+	c := New(Config{Machines: 3})
+	var mu sync.Mutex
+	var broadcasts []string
+	c.Master().Subscribe(func(m string) {
+		mu.Lock()
+		broadcasts = append(broadcasts, m)
+		mu.Unlock()
+	})
+	if !c.Master().ReportFailure("machine-01") {
+		t.Fatal("first report should return true")
+	}
+	if c.Master().ReportFailure("machine-01") {
+		t.Fatal("duplicate report should return false")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(broadcasts) != 1 || broadcasts[0] != "machine-01" {
+		t.Fatalf("broadcasts = %v", broadcasts)
+	}
+	if c.Master().Reports() != 2 {
+		t.Fatalf("Reports = %d, want 2", c.Master().Reports())
+	}
+}
+
+func TestMasterDetectionTime(t *testing.T) {
+	c := New(Config{Machines: 2})
+	before := time.Now()
+	c.Master().ReportFailure("machine-00")
+	dt, ok := c.Master().DetectionTime("machine-00")
+	if !ok || dt.Before(before) {
+		t.Fatalf("detection time = %v ok=%v", dt, ok)
+	}
+	if _, ok := c.Master().DetectionTime("machine-01"); ok {
+		t.Fatal("undetected machine has detection time")
+	}
+}
+
+func TestMasterFailedMachinesAndForget(t *testing.T) {
+	c := New(Config{Machines: 3})
+	c.Master().ReportFailure("machine-02")
+	c.Master().ReportFailure("machine-00")
+	got := c.Master().FailedMachines()
+	if len(got) != 2 || got[0] != "machine-00" || got[1] != "machine-02" {
+		t.Fatalf("failed = %v", got)
+	}
+	c.Master().Forget("machine-00")
+	if got := c.Master().FailedMachines(); len(got) != 1 {
+		t.Fatalf("failed after forget = %v", got)
+	}
+}
+
+func TestPingAllDetectsCrashed(t *testing.T) {
+	c := New(Config{Machines: 4})
+	c.Crash("machine-01")
+	c.Crash("machine-03")
+	newly := c.Master().PingAll()
+	if len(newly) != 2 {
+		t.Fatalf("newly detected = %v", newly)
+	}
+	if again := c.Master().PingAll(); len(again) != 0 {
+		t.Fatalf("second ping re-detected: %v", again)
+	}
+}
+
+func TestConcurrentSendsAndCrash(t *testing.T) {
+	c := New(Config{Machines: 2})
+	var delivered sync.Map
+	c.SetHandler("machine-01", func(w string, e event.Event) error {
+		delivered.Store(e.Seq, true)
+		return nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Send("machine-01", "w", event.Event{Seq: uint64(g*100 + i)})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Crash("machine-01")
+		c.Revive("machine-01")
+	}()
+	wg.Wait()
+}

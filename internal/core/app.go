@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// FunctionKind distinguishes map from update nodes in the workflow.
+type FunctionKind int
+
+const (
+	// KindMap marks a map function node.
+	KindMap FunctionKind = iota
+	// KindUpdate marks an update function node.
+	KindUpdate
+)
+
+// FunctionSpec describes one node of the workflow graph: a map or
+// update function, the streams it subscribes to, and the streams it
+// declares it may publish to (the edges of the paper's configuration-
+// file graph).
+type FunctionSpec struct {
+	Kind FunctionKind
+	// Mapper is set when Kind == KindMap.
+	Mapper Mapper
+	// Updater is set when Kind == KindUpdate.
+	Updater Updater
+	// Subscribes lists the input streams. All events from these streams
+	// are fed to the function in increasing timestamp order.
+	Subscribes []string
+	// Publishes lists the streams the function may emit to. Publishing
+	// to an undeclared stream is a runtime error: the workflow graph
+	// comes from the application's configuration file and the engines
+	// rely on it for routing.
+	Publishes []string
+	// TTL is the slate time-to-live for update functions; zero means
+	// forever (the paper's default). Configurable per update function
+	// because different updaters track data with different shelf lives
+	// (Section 4.2).
+	TTL time.Duration
+}
+
+// Name returns the function's workflow name.
+func (f *FunctionSpec) Name() string {
+	if f.Kind == KindMap {
+		return f.Mapper.Name()
+	}
+	return f.Updater.Name()
+}
+
+// App is a MapUpdate application: a directed workflow graph (cycles
+// allowed) whose nodes are map and update functions and whose edges
+// are streams (Section 3).
+type App struct {
+	name      string
+	functions map[string]*FunctionSpec
+	inputs    map[string]bool
+	outputs   map[string]bool
+}
+
+// NewApp returns an empty application with the given name.
+func NewApp(name string) *App {
+	return &App{
+		name:      name,
+		functions: make(map[string]*FunctionSpec),
+		inputs:    make(map[string]bool),
+		outputs:   make(map[string]bool),
+	}
+}
+
+// Name returns the application name.
+func (a *App) Name() string { return a.name }
+
+// Input declares an external input stream (e.g. the Twitter Firehose).
+// Engines assume no function publishes into an external input, which
+// is what makes source throttling deadlock-free (Section 5).
+func (a *App) Input(streams ...string) *App {
+	for _, s := range streams {
+		a.inputs[s] = true
+	}
+	return a
+}
+
+// Output declares a stream whose events form part of the application's
+// result (alongside slates).
+func (a *App) Output(streams ...string) *App {
+	for _, s := range streams {
+		a.outputs[s] = true
+	}
+	return a
+}
+
+// AddMap adds a map function subscribing to subs and publishing to
+// pubs.
+func (a *App) AddMap(m Mapper, subs, pubs []string) *App {
+	a.functions[m.Name()] = &FunctionSpec{
+		Kind:       KindMap,
+		Mapper:     m,
+		Subscribes: append([]string(nil), subs...),
+		Publishes:  append([]string(nil), pubs...),
+	}
+	return a
+}
+
+// AddUpdate adds an update function subscribing to subs and publishing
+// to pubs with the given slate TTL (0 = forever).
+func (a *App) AddUpdate(u Updater, subs, pubs []string, ttl time.Duration) *App {
+	a.functions[u.Name()] = &FunctionSpec{
+		Kind:       KindUpdate,
+		Updater:    u,
+		Subscribes: append([]string(nil), subs...),
+		Publishes:  append([]string(nil), pubs...),
+		TTL:        ttl,
+	}
+	return a
+}
+
+// Function returns the named function spec, or nil.
+func (a *App) Function(name string) *FunctionSpec { return a.functions[name] }
+
+// Functions returns all function specs sorted by name; the
+// deterministic order matters when one event fans out to several
+// subscribers.
+func (a *App) Functions() []*FunctionSpec {
+	names := make([]string, 0, len(a.functions))
+	for n := range a.functions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*FunctionSpec, len(names))
+	for i, n := range names {
+		out[i] = a.functions[n]
+	}
+	return out
+}
+
+// Updaters returns the names of all update functions, sorted.
+func (a *App) Updaters() []string {
+	var out []string
+	for n, f := range a.functions {
+		if f.Kind == KindUpdate {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Inputs returns the declared external input streams, sorted.
+func (a *App) Inputs() []string { return sortedKeys(a.inputs) }
+
+// Outputs returns the declared output streams, sorted.
+func (a *App) Outputs() []string { return sortedKeys(a.outputs) }
+
+// IsInput reports whether the stream is a declared external input.
+func (a *App) IsInput(stream string) bool { return a.inputs[stream] }
+
+// IsOutput reports whether the stream is a declared output.
+func (a *App) IsOutput(stream string) bool { return a.outputs[stream] }
+
+// Subscribers returns the names of functions subscribed to the stream,
+// sorted for deterministic fan-out order.
+func (a *App) Subscribers(stream string) []string {
+	var out []string
+	for n, f := range a.functions {
+		for _, s := range f.Subscribes {
+			if s == stream {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TTLFor returns the slate TTL configured for the named updater, used
+// by slate caches as their per-updater TTL source.
+func (a *App) TTLFor(updater string) time.Duration {
+	if f := a.functions[updater]; f != nil {
+		return f.TTL
+	}
+	return 0
+}
+
+// MayPublish reports whether the named function declared the stream as
+// one of its outputs.
+func (a *App) MayPublish(function, stream string) bool {
+	f := a.functions[function]
+	if f == nil {
+		return false
+	}
+	for _, s := range f.Publishes {
+		if s == stream {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the workflow graph:
+//
+//   - at least one function and one external input;
+//   - every subscribed stream is an external input or is published by
+//     some function (no dangling edges);
+//   - no function publishes into an external input stream (the
+//     assumption that makes source throttling safe, Section 5);
+//   - every declared output stream is published by some function;
+//   - function names are non-empty.
+func (a *App) Validate() error {
+	if len(a.functions) == 0 {
+		return fmt.Errorf("app %s: no map or update functions", a.name)
+	}
+	if len(a.inputs) == 0 {
+		return fmt.Errorf("app %s: no external input streams declared", a.name)
+	}
+	published := make(map[string]bool)
+	for name, f := range a.functions {
+		if name == "" {
+			return fmt.Errorf("app %s: function with empty name", a.name)
+		}
+		for _, s := range f.Publishes {
+			if a.inputs[s] {
+				return fmt.Errorf("app %s: function %s publishes into external input stream %s", a.name, name, s)
+			}
+			published[s] = true
+		}
+	}
+	for name, f := range a.functions {
+		if len(f.Subscribes) == 0 {
+			return fmt.Errorf("app %s: function %s subscribes to no streams", a.name, name)
+		}
+		for _, s := range f.Subscribes {
+			if !a.inputs[s] && !published[s] {
+				return fmt.Errorf("app %s: function %s subscribes to stream %s that nothing produces", a.name, name, s)
+			}
+		}
+	}
+	for s := range a.outputs {
+		if !published[s] && !a.inputs[s] {
+			return fmt.Errorf("app %s: declared output stream %s is never published", a.name, s)
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

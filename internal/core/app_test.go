@@ -1,0 +1,159 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"muppet/internal/event"
+)
+
+func noopMap(name string) Mapper {
+	return MapFunc{FName: name, Fn: func(Emitter, event.Event) {}}
+}
+
+func noopUpdate(name string) Updater {
+	return UpdateFunc{FName: name, Fn: func(Emitter, event.Event, []byte) {}}
+}
+
+func validApp() *App {
+	return NewApp("test").
+		Input("S1").
+		AddMap(noopMap("M1"), []string{"S1"}, []string{"S2"}).
+		AddUpdate(noopUpdate("U1"), []string{"S2"}, nil, 0)
+}
+
+func TestValidateAcceptsWellFormedApp(t *testing.T) {
+	if err := validApp().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsEmptyApp(t *testing.T) {
+	if err := NewApp("empty").Validate(); err == nil {
+		t.Fatal("empty app validated")
+	}
+}
+
+func TestValidateRejectsNoInputs(t *testing.T) {
+	app := NewApp("x").AddMap(noopMap("M"), []string{"S"}, nil)
+	if err := app.Validate(); err == nil || !strings.Contains(err.Error(), "input") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsDanglingSubscription(t *testing.T) {
+	app := NewApp("x").
+		Input("S1").
+		AddMap(noopMap("M1"), []string{"S1", "ghost"}, nil)
+	if err := app.Validate(); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsPublishIntoInput(t *testing.T) {
+	// No function may emit into an external input stream; this
+	// assumption makes source throttling deadlock-free (Section 5).
+	app := NewApp("x").
+		Input("S1").
+		AddMap(noopMap("M1"), []string{"S1"}, []string{"S1"})
+	if err := app.Validate(); err == nil || !strings.Contains(err.Error(), "external input") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsUnpublishedOutput(t *testing.T) {
+	app := validApp().Output("S99")
+	if err := app.Validate(); err == nil || !strings.Contains(err.Error(), "S99") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsFunctionWithNoSubscription(t *testing.T) {
+	app := NewApp("x").
+		Input("S1").
+		AddMap(noopMap("M1"), nil, nil)
+	if err := app.Validate(); err == nil || !strings.Contains(err.Error(), "subscribes to no streams") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateAllowsCycles(t *testing.T) {
+	// The workflow graph explicitly allows cycles (Section 3).
+	app := NewApp("cyclic").
+		Input("S1").
+		AddUpdate(noopUpdate("U1"), []string{"S1", "S2"}, []string{"S2"}, 0)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubscribersSortedAndComplete(t *testing.T) {
+	app := NewApp("x").
+		Input("S1").
+		AddMap(noopMap("M2"), []string{"S1"}, nil).
+		AddMap(noopMap("M1"), []string{"S1"}, nil).
+		AddUpdate(noopUpdate("U1"), []string{"S1"}, nil, 0)
+	got := app.Subscribers("S1")
+	want := []string{"M1", "M2", "U1"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Subscribers = %v, want %v", got, want)
+	}
+	if subs := app.Subscribers("nope"); len(subs) != 0 {
+		t.Fatalf("Subscribers of unknown stream = %v", subs)
+	}
+}
+
+func TestTTLFor(t *testing.T) {
+	app := NewApp("x").
+		Input("S1").
+		AddUpdate(noopUpdate("U1"), []string{"S1"}, nil, time.Hour)
+	if app.TTLFor("U1") != time.Hour {
+		t.Fatalf("TTLFor(U1) = %v", app.TTLFor("U1"))
+	}
+	if app.TTLFor("unknown") != 0 {
+		t.Fatal("unknown updater should default to 0")
+	}
+}
+
+func TestMayPublish(t *testing.T) {
+	app := validApp()
+	if !app.MayPublish("M1", "S2") {
+		t.Fatal("M1 should be allowed to publish S2")
+	}
+	if app.MayPublish("M1", "S3") || app.MayPublish("nope", "S2") {
+		t.Fatal("undeclared publish allowed")
+	}
+}
+
+func TestUpdatersLists(t *testing.T) {
+	app := validApp()
+	ups := app.Updaters()
+	if len(ups) != 1 || ups[0] != "U1" {
+		t.Fatalf("Updaters = %v", ups)
+	}
+}
+
+func TestFunctionsSortedByName(t *testing.T) {
+	app := validApp()
+	fns := app.Functions()
+	if len(fns) != 2 || fns[0].Name() != "M1" || fns[1].Name() != "U1" {
+		t.Fatalf("Functions order wrong: %v, %v", fns[0].Name(), fns[1].Name())
+	}
+}
+
+func TestInputsOutputsAccessors(t *testing.T) {
+	app := validApp().Output("S2")
+	if !app.IsInput("S1") || app.IsInput("S2") {
+		t.Fatal("IsInput wrong")
+	}
+	if !app.IsOutput("S2") || app.IsOutput("S1") {
+		t.Fatal("IsOutput wrong")
+	}
+	if ins := app.Inputs(); len(ins) != 1 || ins[0] != "S1" {
+		t.Fatalf("Inputs = %v", ins)
+	}
+	if outs := app.Outputs(); len(outs) != 1 || outs[0] != "S2" {
+		t.Fatalf("Outputs = %v", outs)
+	}
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"muppet/internal/event"
+)
+
+// counterApp reproduces Example 4 of the paper in miniature: M1 maps
+// raw events to retailer keys on S2; U1 counts per key.
+func counterApp() *App {
+	m1 := MapFunc{FName: "M1", Fn: func(emit Emitter, in event.Event) {
+		if strings.HasPrefix(string(in.Value), "checkin:") {
+			retailer := strings.TrimPrefix(string(in.Value), "checkin:")
+			emit.Publish("S2", retailer, in.Value)
+		}
+	}}
+	u1 := UpdateFunc{FName: "U1", Fn: func(emit Emitter, in event.Event, sl []byte) {
+		count := 0
+		if sl != nil {
+			count, _ = strconv.Atoi(string(sl))
+		}
+		count++
+		emit.ReplaceSlate([]byte(strconv.Itoa(count)))
+	}}
+	return NewApp("counter").
+		Input("S1").
+		AddMap(m1, []string{"S1"}, []string{"S2"}).
+		AddUpdate(u1, []string{"S2"}, nil, 0)
+}
+
+func checkin(ts int64, retailer string) event.Event {
+	return event.Event{Stream: "S1", TS: event.Timestamp(ts), Key: "k", Value: []byte("checkin:" + retailer)}
+}
+
+func TestCounterCountsPerKey(t *testing.T) {
+	r := NewReference(counterApp())
+	events := []event.Event{
+		checkin(1, "walmart"),
+		checkin(2, "bestbuy"),
+		checkin(3, "walmart"),
+		checkin(4, "walmart"),
+		{Stream: "S1", TS: 5, Key: "k", Value: []byte("noise")},
+	}
+	if err := r.Process(events); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(r.Slate("U1", "walmart")); got != "3" {
+		t.Fatalf("walmart count = %s, want 3", got)
+	}
+	if got := string(r.Slate("U1", "bestbuy")); got != "1" {
+		t.Fatalf("bestbuy count = %s, want 1", got)
+	}
+	if r.Slate("U1", "noise") != nil {
+		t.Fatal("noise event produced a slate")
+	}
+}
+
+func TestSlatesPerUpdaterKeyPair(t *testing.T) {
+	// The pair <update U, key k> determines a slate, not the key alone
+	// (Section 3): two updaters on the same stream keep separate slates.
+	mk := func(name, tag string) Updater {
+		return UpdateFunc{FName: name, Fn: func(emit Emitter, in event.Event, sl []byte) {
+			emit.ReplaceSlate([]byte(tag))
+		}}
+	}
+	app := NewApp("x").
+		Input("S1").
+		AddUpdate(mk("U1", "from-u1"), []string{"S1"}, nil, 0).
+		AddUpdate(mk("U2", "from-u2"), []string{"S1"}, nil, 0)
+	r := NewReference(app)
+	r.Process([]event.Event{{Stream: "S1", TS: 1, Key: "k"}})
+	if string(r.Slate("U1", "k")) != "from-u1" || string(r.Slate("U2", "k")) != "from-u2" {
+		t.Fatalf("slates = %q, %q", r.Slate("U1", "k"), r.Slate("U2", "k"))
+	}
+}
+
+func TestEventsFedInTimestampOrderAcrossStreams(t *testing.T) {
+	// The paper's example: M subscribes to S1 and S2; S1 has an event at
+	// 21:23, S2 at 21:25 — the S1 event is fed first, then the S2 one,
+	// then whichever has the next lowest timestamp.
+	var order []string
+	m := MapFunc{FName: "M", Fn: func(emit Emitter, in event.Event) {
+		order = append(order, fmt.Sprintf("%s@%d", in.Stream, in.TS))
+	}}
+	app := NewApp("merge").Input("S1", "S2").AddMap(m, []string{"S1", "S2"}, nil)
+	r := NewReference(app)
+	r.Push(event.Event{Stream: "S2", TS: 2125, Key: "f"})
+	r.Push(event.Event{Stream: "S1", TS: 2123, Key: "e"})
+	r.Push(event.Event{Stream: "S1", TS: 2130, Key: "g"})
+	r.Push(event.Event{Stream: "S2", TS: 2127, Key: "h"})
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"S1@2123", "S2@2125", "S2@2127", "S1@2130"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestEmittedTimestampStrictlyGreater(t *testing.T) {
+	var outTS []event.Timestamp
+	m := MapFunc{FName: "M", Fn: func(emit Emitter, in event.Event) {
+		emit.Publish("S2", in.Key, nil)
+	}}
+	u := UpdateFunc{FName: "U", Fn: func(emit Emitter, in event.Event, sl []byte) {
+		outTS = append(outTS, in.TS)
+	}}
+	app := NewApp("ts").
+		Input("S1").
+		AddMap(m, []string{"S1"}, []string{"S2"}).
+		AddUpdate(u, []string{"S2"}, nil, 0)
+	r := NewReference(app)
+	r.Process([]event.Event{{Stream: "S1", TS: 100, Key: "k"}})
+	if len(outTS) != 1 || outTS[0] <= 100 {
+		t.Fatalf("derived event ts = %v, want > 100", outTS)
+	}
+}
+
+func TestCyclicWorkflowTerminatesWhenEmissionStops(t *testing.T) {
+	// U consumes S1 and its own output S2, emitting a decrementing
+	// counter until it reaches zero — a well-defined loop because each
+	// emitted event has a strictly larger timestamp.
+	u := UpdateFunc{FName: "U", Fn: func(emit Emitter, in event.Event, sl []byte) {
+		n, _ := strconv.Atoi(string(in.Value))
+		total := 0
+		if sl != nil {
+			total, _ = strconv.Atoi(string(sl))
+		}
+		total++
+		emit.ReplaceSlate([]byte(strconv.Itoa(total)))
+		if n > 0 {
+			emit.Publish("S2", in.Key, []byte(strconv.Itoa(n-1)))
+		}
+	}}
+	app := NewApp("loop").
+		Input("S1").
+		AddUpdate(u, []string{"S1", "S2"}, []string{"S2"}, 0)
+	r := NewReference(app)
+	if err := r.Process([]event.Event{{Stream: "S1", TS: 1, Key: "k", Value: []byte("5")}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(r.Slate("U", "k")); got != "6" {
+		t.Fatalf("loop iterations = %s, want 6 (1 seed + 5 cycles)", got)
+	}
+}
+
+func TestMaxStepsStopsRunawayLoop(t *testing.T) {
+	u := UpdateFunc{FName: "U", Fn: func(emit Emitter, in event.Event, sl []byte) {
+		emit.Publish("S2", in.Key, nil) // emits forever
+	}}
+	app := NewApp("runaway").
+		Input("S1").
+		AddUpdate(u, []string{"S1", "S2"}, []string{"S2"}, 0)
+	r := NewReference(app)
+	r.MaxSteps = 100
+	err := r.Process([]event.Event{{Stream: "S1", TS: 1, Key: "k"}})
+	if err == nil || !strings.Contains(err.Error(), "MaxSteps") {
+		t.Fatalf("err = %v, want MaxSteps error", err)
+	}
+}
+
+func TestPublishToUndeclaredStreamFails(t *testing.T) {
+	m := MapFunc{FName: "M", Fn: func(emit Emitter, in event.Event) {
+		emit.Publish("S_rogue", in.Key, nil)
+	}}
+	app := NewApp("x").Input("S1").AddMap(m, []string{"S1"}, nil)
+	r := NewReference(app)
+	err := r.Process([]event.Event{{Stream: "S1", TS: 1, Key: "k"}})
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("err = %v, want undeclared stream error", err)
+	}
+}
+
+func TestMapCallingReplaceSlatePanics(t *testing.T) {
+	m := MapFunc{FName: "M", Fn: func(emit Emitter, in event.Event) {
+		emit.ReplaceSlate([]byte("maps have no memory"))
+	}}
+	app := NewApp("x").Input("S1").AddMap(m, []string{"S1"}, nil)
+	r := NewReference(app)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Process([]event.Event{{Stream: "S1", TS: 1, Key: "k"}})
+}
+
+func TestOutputStreamRecorded(t *testing.T) {
+	m := MapFunc{FName: "M", Fn: func(emit Emitter, in event.Event) {
+		emit.Publish("S2", in.Key, []byte("out"))
+	}}
+	app := NewApp("x").Input("S1").Output("S2").AddMap(m, []string{"S1"}, []string{"S2"})
+	r := NewReference(app)
+	r.Process([]event.Event{
+		{Stream: "S1", TS: 1, Key: "a"},
+		{Stream: "S1", TS: 2, Key: "b"},
+	})
+	out := r.Output("S2")
+	if len(out) != 2 || out[0].Key != "a" || out[1].Key != "b" {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestFanOutDeliversToAllSubscribersDeterministically(t *testing.T) {
+	var calls []string
+	mk := func(name string) Mapper {
+		return MapFunc{FName: name, Fn: func(emit Emitter, in event.Event) {
+			calls = append(calls, name)
+		}}
+	}
+	app := NewApp("fan").
+		Input("S1").
+		AddMap(mk("M_b"), []string{"S1"}, nil).
+		AddMap(mk("M_a"), []string{"S1"}, nil)
+	r := NewReference(app)
+	r.Process([]event.Event{{Stream: "S1", TS: 1, Key: "k"}})
+	if strings.Join(calls, ",") != "M_a,M_b" {
+		t.Fatalf("fan-out order = %v, want sorted by name", calls)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	// Same input, two fresh executors: identical slates and outputs —
+	// the well-definedness property of Section 3.
+	rng := rand.New(rand.NewSource(99))
+	var events []event.Event
+	retailers := []string{"walmart", "bestbuy", "jcpenney", "samsclub"}
+	for i := 0; i < 300; i++ {
+		events = append(events, checkin(int64(rng.Intn(50)+1), retailers[rng.Intn(4)]))
+	}
+	run := func() map[string][]byte {
+		r := NewReference(counterApp())
+		if err := r.Process(events); err != nil {
+			t.Fatal(err)
+		}
+		return r.Slates("U1")
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("slate counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if string(b[k]) != string(v) {
+			t.Fatalf("slate %s differs: %q vs %q", k, v, b[k])
+		}
+	}
+}
+
+func TestTotalCountConservation(t *testing.T) {
+	// Sum of all per-retailer counts equals the number of recognized
+	// checkins, whatever the interleaving.
+	rng := rand.New(rand.NewSource(7))
+	var events []event.Event
+	n := 0
+	for i := 0; i < 500; i++ {
+		if rng.Intn(3) == 0 {
+			events = append(events, event.Event{Stream: "S1", TS: event.Timestamp(i + 1), Value: []byte("noise")})
+		} else {
+			events = append(events, checkin(int64(i+1), fmt.Sprintf("r%d", rng.Intn(10))))
+			n++
+		}
+	}
+	r := NewReference(counterApp())
+	if err := r.Process(events); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range r.Slates("U1") {
+		c, _ := strconv.Atoi(string(v))
+		total += c
+	}
+	if total != n {
+		t.Fatalf("sum of counts = %d, want %d", total, n)
+	}
+}
+
+func TestSlateKeysSorted(t *testing.T) {
+	r := NewReference(counterApp())
+	r.Process([]event.Event{checkin(1, "zeta"), checkin(2, "alpha")})
+	keys := r.SlateKeys("U1")
+	if len(keys) != 2 || keys[0] != "alpha" || keys[1] != "zeta" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestJSONSlates(t *testing.T) {
+	// Applications often encode slates as JSON (Section 4.2); verify a
+	// JSON slate round-trips through the update cycle.
+	type profile struct {
+		Count int      `json:"count"`
+		Tags  []string `json:"tags"`
+	}
+	u := UpdateFunc{FName: "U", Fn: func(emit Emitter, in event.Event, sl []byte) {
+		var p profile
+		if sl != nil {
+			json.Unmarshal(sl, &p)
+		}
+		p.Count++
+		p.Tags = append(p.Tags, string(in.Value))
+		b, _ := json.Marshal(p)
+		emit.ReplaceSlate(b)
+	}}
+	app := NewApp("json").Input("S1").AddUpdate(u, []string{"S1"}, nil, 0)
+	r := NewReference(app)
+	r.Process([]event.Event{
+		{Stream: "S1", TS: 1, Key: "u1", Value: []byte("a")},
+		{Stream: "S1", TS: 2, Key: "u1", Value: []byte("b")},
+	})
+	var p profile
+	if err := json.Unmarshal(r.Slate("U", "u1"), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Count != 2 || len(p.Tags) != 2 {
+		t.Fatalf("profile = %+v", p)
+	}
+}
+
+func TestStepsCountsInvocations(t *testing.T) {
+	r := NewReference(counterApp())
+	r.Process([]event.Event{checkin(1, "walmart")})
+	// 1 map call + 1 update call.
+	if r.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2", r.Steps())
+	}
+}
+
+func TestSlateWritesCounted(t *testing.T) {
+	r := NewReference(counterApp())
+	r.Process([]event.Event{checkin(1, "a"), checkin(2, "a"), checkin(3, "b")})
+	if r.SlateWrites != 3 {
+		t.Fatalf("SlateWrites = %d, want 3", r.SlateWrites)
+	}
+}

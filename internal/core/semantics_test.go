@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"muppet/internal/event"
+)
+
+// Additional semantics tests for the fine print of Section 3.
+
+func TestMultiSubscriberEventDeliveredToEach(t *testing.T) {
+	var m1Calls, u1Calls int
+	m := MapFunc{FName: "M1", Fn: func(emit Emitter, in event.Event) { m1Calls++ }}
+	u := UpdateFunc{FName: "U1", Fn: func(emit Emitter, in event.Event, sl []byte) { u1Calls++ }}
+	app := NewApp("multi").
+		Input("S1").
+		AddMap(m, []string{"S1"}, nil).
+		AddUpdate(u, []string{"S1"}, nil, 0)
+	r := NewReference(app)
+	r.Process([]event.Event{{Stream: "S1", TS: 1, Key: "k"}})
+	if m1Calls != 1 || u1Calls != 1 {
+		t.Fatalf("calls = %d/%d, want 1/1", m1Calls, u1Calls)
+	}
+}
+
+func TestDerivedEventsInterleaveWithPendingInputs(t *testing.T) {
+	// A mapper's output at ts+1 must be processed before a pending
+	// input at ts+5: the heap orders by global timestamp across
+	// generations, not by arrival.
+	var order []string
+	m := MapFunc{FName: "M", Fn: func(emit Emitter, in event.Event) {
+		order = append(order, fmt.Sprintf("M@%d", in.TS))
+		if in.TS == 1 {
+			emit.Publish("S2", in.Key, nil)
+		}
+	}}
+	u := UpdateFunc{FName: "U", Fn: func(emit Emitter, in event.Event, sl []byte) {
+		order = append(order, fmt.Sprintf("U@%d", in.TS))
+	}}
+	app := NewApp("interleave").
+		Input("S1").
+		AddMap(m, []string{"S1"}, []string{"S2"}).
+		AddUpdate(u, []string{"S2"}, nil, 0)
+	r := NewReference(app)
+	r.Push(event.Event{Stream: "S1", TS: 1, Key: "a"})
+	r.Push(event.Event{Stream: "S1", TS: 5, Key: "b"})
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "M@1,U@2,M@5"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("order = %s, want %s", got, want)
+	}
+}
+
+func TestTwoUpdatersOnOneStreamSameKeyCycle(t *testing.T) {
+	// Two updaters subscribe to a shared stream inside a cycle; each
+	// keeps its own slate for the same key, and the loop terminates.
+	mk := func(name string) Updater {
+		return UpdateFunc{FName: name, Fn: func(emit Emitter, in event.Event, sl []byte) {
+			n := 0
+			if sl != nil {
+				n, _ = strconv.Atoi(string(sl))
+			}
+			n++
+			emit.ReplaceSlate([]byte(strconv.Itoa(n)))
+			if name == "U_a" && n < 3 {
+				emit.Publish("S2", in.Key, nil)
+			}
+		}}
+	}
+	app := NewApp("pair").
+		Input("S1").
+		AddUpdate(mk("U_a"), []string{"S1", "S2"}, []string{"S2"}, 0).
+		AddUpdate(mk("U_b"), []string{"S2"}, nil, 0)
+	r := NewReference(app)
+	if err := r.Process([]event.Event{{Stream: "S1", TS: 1, Key: "k"}}); err != nil {
+		t.Fatal(err)
+	}
+	// U_a sees the seed + its own 2 re-emissions = 3; U_b sees the 2
+	// emissions onto S2.
+	if got := string(r.Slate("U_a", "k")); got != "3" {
+		t.Fatalf("U_a slate = %s, want 3", got)
+	}
+	if got := string(r.Slate("U_b", "k")); got != "2" {
+		t.Fatalf("U_b slate = %s, want 2", got)
+	}
+}
+
+func TestEmptySlateValueIsStillASlate(t *testing.T) {
+	// ReplaceSlate(nil)/empty must count as an existing (empty) slate,
+	// distinct from "no slate".
+	var sawNil, sawEmpty bool
+	u := UpdateFunc{FName: "U", Fn: func(emit Emitter, in event.Event, sl []byte) {
+		if sl == nil {
+			sawNil = true
+		} else if len(sl) == 0 {
+			sawEmpty = true
+		}
+		emit.ReplaceSlate([]byte{})
+	}}
+	app := NewApp("empty").Input("S1").AddUpdate(u, []string{"S1"}, nil, 0)
+	r := NewReference(app)
+	r.Process([]event.Event{
+		{Stream: "S1", TS: 1, Key: "k"},
+		{Stream: "S1", TS: 2, Key: "k"},
+	})
+	if !sawNil {
+		t.Fatal("first event should see nil slate")
+	}
+	if !sawEmpty {
+		t.Fatal("second event should see the empty-but-present slate")
+	}
+}
+
+func TestPublishReturnsErrorToCaller(t *testing.T) {
+	var got error
+	m := MapFunc{FName: "M", Fn: func(emit Emitter, in event.Event) {
+		got = emit.Publish("rogue", in.Key, nil)
+	}}
+	app := NewApp("err").Input("S1").AddMap(m, []string{"S1"}, nil)
+	r := NewReference(app)
+	r.Process([]event.Event{{Stream: "S1", TS: 1, Key: "k"}})
+	if got == nil {
+		t.Fatal("Publish to undeclared stream returned nil error to the function")
+	}
+}
+
+func TestPropertyReferenceIsOrderInsensitiveForCommutativeApps(t *testing.T) {
+	// Feeding the same multiset of events in any order yields the same
+	// counts (the counting update is commutative). This distinguishes
+	// input-order determinism from multiset determinism.
+	f := func(keys []uint8, shuffleSeed int64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		mkEvents := func(reverse bool) []event.Event {
+			evs := make([]event.Event, len(keys))
+			for i, k := range keys {
+				pos := i
+				if reverse {
+					pos = len(keys) - 1 - i
+				}
+				evs[i] = event.Event{Stream: "S1", TS: event.Timestamp(pos + 1), Key: fmt.Sprintf("k%d", k%8)}
+			}
+			return evs
+		}
+		run := func(evs []event.Event) map[string][]byte {
+			u := UpdateFunc{FName: "U", Fn: func(emit Emitter, in event.Event, sl []byte) {
+				n := 0
+				if sl != nil {
+					n, _ = strconv.Atoi(string(sl))
+				}
+				emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
+			}}
+			app := NewApp("comm").Input("S1").AddUpdate(u, []string{"S1"}, nil, 0)
+			r := NewReference(app)
+			r.Process(evs)
+			return r.Slates("U")
+		}
+		a := run(mkEvents(false))
+		b := run(mkEvents(true))
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if string(b[k]) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqAssignedOnPushWhenZero(t *testing.T) {
+	r := NewReference(NewApp("x").Input("S1").AddMap(noopMap("M"), []string{"S1"}, nil))
+	r.Push(event.Event{Stream: "S1", TS: 1})
+	r.Push(event.Event{Stream: "S1", TS: 1})
+	// Both events share TS and stream; without distinct seqs the heap
+	// order would be ill-defined. Run must not panic and must process
+	// both.
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2", r.Steps())
+	}
+}

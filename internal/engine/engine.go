@@ -1,0 +1,219 @@
+// Package engine holds infrastructure shared by the Muppet 1.0 and 2.0
+// execution engines: the envelope type carried on worker queues, the
+// quiescence tracker used to drain an application, lifetime statistics,
+// and the thread-safe sink that records events on declared output
+// streams.
+package engine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muppet/internal/event"
+	"muppet/internal/metrics"
+)
+
+// Envelope is an event addressed to a destination function. Muppet 2.0
+// threads can run any function, so their queues carry the destination
+// explicitly; Muppet 1.0 workers are bound to one function and use the
+// event alone.
+type Envelope struct {
+	// Func is the destination map or update function.
+	Func string
+	// Ev is the event to process.
+	Ev event.Event
+	// WalSeq is the envelope's sequence number in the machine's replay
+	// log; zero when replay logging is disabled.
+	WalSeq uint64
+}
+
+// Tracker counts in-flight events for quiescence detection: an event is
+// in flight from the moment it is accepted for delivery until its
+// processing — including the enqueueing of every event it emitted — is
+// complete. Drain blocks until the count reaches zero.
+type Tracker struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	t := &Tracker{}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// Inc registers one in-flight event.
+func (t *Tracker) Inc() {
+	t.mu.Lock()
+	t.count++
+	t.mu.Unlock()
+}
+
+// Dec retires one in-flight event.
+func (t *Tracker) Dec() {
+	t.mu.Lock()
+	t.count--
+	if t.count <= 0 {
+		t.cond.Broadcast()
+	}
+	t.mu.Unlock()
+}
+
+// InFlight reports the current in-flight count.
+func (t *Tracker) InFlight() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Wait blocks until no events are in flight.
+func (t *Tracker) Wait() {
+	t.mu.Lock()
+	for t.count > 0 {
+		t.cond.Wait()
+	}
+	t.mu.Unlock()
+}
+
+// Stats aggregates an engine's lifetime counters. The conservation
+// invariant is:
+//
+//	Ingested + Emitted == Processed·(fan-in adjusted) + LostOverflow +
+//	LostMachineDown + Diverted + DroppedNoRoute
+//
+// Each counter counts deliveries (event × destination function), not
+// raw events.
+type Stats struct {
+	// Ingested counts external input deliveries accepted.
+	Ingested uint64
+	// Processed counts function invocations completed.
+	Processed uint64
+	// Emitted counts events published by functions and accepted for
+	// delivery.
+	Emitted uint64
+	// SlateUpdates counts ReplaceSlate applications.
+	SlateUpdates uint64
+	// LostOverflow counts deliveries dropped because a queue was full
+	// (Drop policy).
+	LostOverflow uint64
+	// Diverted counts deliveries redirected to the overflow stream
+	// (Divert policy).
+	Diverted uint64
+	// LostMachineDown counts deliveries lost because the destination
+	// machine was down; per Section 4.3 these are logged as lost, not
+	// retried.
+	LostMachineDown uint64
+	// FailureReports counts machine-failure reports made to the master.
+	FailureReports uint64
+	// MaxSlateContention is the largest number of workers observed
+	// updating the same slate concurrently. Muppet 1.0 guarantees 1;
+	// Muppet 2.0 allows at most 2 (Section 4.5).
+	MaxSlateContention int32
+}
+
+// Counters is the live, atomic version of Stats that engines mutate.
+type Counters struct {
+	Ingested        atomic.Uint64
+	Processed       atomic.Uint64
+	Emitted         atomic.Uint64
+	SlateUpdates    atomic.Uint64
+	LostOverflow    atomic.Uint64
+	Diverted        atomic.Uint64
+	LostMachineDown atomic.Uint64
+	FailureReports  atomic.Uint64
+	MaxContention   atomic.Int32
+
+	// Latency observes end-to-end event→slate-update latencies using
+	// the events' Ingress stamps.
+	Latency *metrics.Histogram
+}
+
+// NewCounters returns zeroed counters with a latency histogram.
+func NewCounters() *Counters {
+	return &Counters{Latency: metrics.NewHistogram(0)}
+}
+
+// ObserveContention records that n workers held the same slate at
+// once, keeping the maximum.
+func (c *Counters) ObserveContention(n int32) {
+	for {
+		cur := c.MaxContention.Load()
+		if n <= cur || c.MaxContention.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// ObserveLatency records the end-to-end latency for an event carrying
+// an Ingress stamp.
+func (c *Counters) ObserveLatency(e event.Event) {
+	if e.Ingress > 0 {
+		c.Latency.Observe(time.Duration(time.Now().UnixNano() - e.Ingress))
+	}
+}
+
+// Snapshot freezes the counters into a Stats value.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		Ingested:           c.Ingested.Load(),
+		Processed:          c.Processed.Load(),
+		Emitted:            c.Emitted.Load(),
+		SlateUpdates:       c.SlateUpdates.Load(),
+		LostOverflow:       c.LostOverflow.Load(),
+		Diverted:           c.Diverted.Load(),
+		LostMachineDown:    c.LostMachineDown.Load(),
+		FailureReports:     c.FailureReports.Load(),
+		MaxSlateContention: c.MaxContention.Load(),
+	}
+}
+
+// Sink records events published on declared output streams.
+type Sink struct {
+	mu     sync.Mutex
+	events map[string][]event.Event
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink {
+	return &Sink{events: make(map[string][]event.Event)}
+}
+
+// Record appends an event to its stream's output log.
+func (s *Sink) Record(e event.Event) {
+	s.mu.Lock()
+	s.events[e.Stream] = append(s.events[e.Stream], e)
+	s.mu.Unlock()
+}
+
+// Events returns the recorded events for a stream in arrival order.
+func (s *Sink) Events(stream string) []event.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]event.Event, len(s.events[stream]))
+	copy(out, s.events[stream])
+	return out
+}
+
+// Count returns the number of recorded events for a stream.
+func (s *Sink) Count(stream string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events[stream])
+}
+
+// Streams returns the streams with at least one recorded event,
+// sorted.
+func (s *Sink) Streams() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.events {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

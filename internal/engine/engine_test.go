@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"muppet/internal/event"
+)
+
+func TestTrackerWaitReturnsAtZero(t *testing.T) {
+	tr := NewTracker()
+	tr.Inc()
+	tr.Inc()
+	done := make(chan struct{})
+	go func() {
+		tr.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Wait returned with 2 in flight")
+	case <-time.After(10 * time.Millisecond):
+	}
+	tr.Dec()
+	tr.Dec()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait never returned")
+	}
+	if tr.InFlight() != 0 {
+		t.Fatalf("InFlight = %d", tr.InFlight())
+	}
+}
+
+func TestTrackerWaitImmediateWhenIdle(t *testing.T) {
+	tr := NewTracker()
+	done := make(chan struct{})
+	go func() {
+		tr.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait blocked on idle tracker")
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tr.Inc()
+				tr.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Wait()
+	if tr.InFlight() != 0 {
+		t.Fatalf("InFlight = %d", tr.InFlight())
+	}
+}
+
+func TestCountersSnapshot(t *testing.T) {
+	c := NewCounters()
+	c.Ingested.Add(3)
+	c.Processed.Add(2)
+	c.LostOverflow.Add(1)
+	s := c.Snapshot()
+	if s.Ingested != 3 || s.Processed != 2 || s.LostOverflow != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestObserveContentionKeepsMax(t *testing.T) {
+	c := NewCounters()
+	c.ObserveContention(1)
+	c.ObserveContention(2)
+	c.ObserveContention(1)
+	if got := c.MaxContention.Load(); got != 2 {
+		t.Fatalf("MaxContention = %d, want 2", got)
+	}
+}
+
+func TestObserveLatency(t *testing.T) {
+	c := NewCounters()
+	c.ObserveLatency(event.Event{Ingress: time.Now().Add(-time.Millisecond).UnixNano()})
+	c.ObserveLatency(event.Event{}) // Ingress zero: ignored
+	if c.Latency.Count() != 1 {
+		t.Fatalf("latency samples = %d, want 1", c.Latency.Count())
+	}
+	if c.Latency.Max() < time.Millisecond {
+		t.Fatalf("latency %v implausibly small", c.Latency.Max())
+	}
+}
+
+func TestSinkRecordsPerStream(t *testing.T) {
+	s := NewSink()
+	s.Record(event.Event{Stream: "S4", Key: "a"})
+	s.Record(event.Event{Stream: "S4", Key: "b"})
+	s.Record(event.Event{Stream: "S5", Key: "c"})
+	if s.Count("S4") != 2 || s.Count("S5") != 1 || s.Count("S6") != 0 {
+		t.Fatal("counts wrong")
+	}
+	evs := s.Events("S4")
+	if len(evs) != 2 || evs[0].Key != "a" || evs[1].Key != "b" {
+		t.Fatalf("events = %v", evs)
+	}
+	streams := s.Streams()
+	if len(streams) != 2 || streams[0] != "S4" || streams[1] != "S5" {
+		t.Fatalf("streams = %v", streams)
+	}
+}
+
+func TestSinkEventsReturnsCopy(t *testing.T) {
+	s := NewSink()
+	s.Record(event.Event{Stream: "S", Key: "a"})
+	evs := s.Events("S")
+	evs[0].Key = "mutated"
+	if s.Events("S")[0].Key != "a" {
+		t.Fatal("Events exposes internal storage")
+	}
+}

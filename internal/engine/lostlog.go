@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"sync"
+
+	"muppet/internal/event"
+)
+
+// LossReason classifies why a delivery was abandoned.
+type LossReason int
+
+const (
+	// LossOverflow: the destination queue was full under the Drop
+	// policy.
+	LossOverflow LossReason = iota
+	// LossMachineDown: the destination machine was dead; per §4.3 the
+	// event is "lost (and logged as lost) rather than sent through the
+	// event-dispatch process again".
+	LossMachineDown
+	// LossCrashedQueue: the event was sitting in a queue on a machine
+	// that crashed.
+	LossCrashedQueue
+	// LossNoRoute: no live worker owned the key (every candidate
+	// machine down).
+	LossNoRoute
+)
+
+// String names the reason.
+func (r LossReason) String() string {
+	switch r {
+	case LossOverflow:
+		return "overflow"
+	case LossMachineDown:
+		return "machine-down"
+	case LossCrashedQueue:
+		return "crashed-queue"
+	case LossNoRoute:
+		return "no-route"
+	default:
+		return "unknown"
+	}
+}
+
+// LostEvent is one abandoned delivery with its context.
+type LostEvent struct {
+	// Func is the destination function that never saw the event.
+	Func string
+	// Ev is the abandoned event.
+	Ev event.Event
+	// Reason classifies the loss.
+	Reason LossReason
+}
+
+// LostLog is the bounded log of abandoned deliveries the paper
+// prescribes ("The dropped events can be logged for later processing
+// and debugging", §4.3). It keeps the most recent entries up to its
+// capacity and counts everything.
+type LostLog struct {
+	mu    sync.Mutex
+	buf   []LostEvent
+	head  int
+	count uint64
+	cap   int
+}
+
+// NewLostLog returns a log retaining at most capacity entries
+// (default 10,000 if capacity <= 0).
+func NewLostLog(capacity int) *LostLog {
+	if capacity <= 0 {
+		capacity = 10_000
+	}
+	return &LostLog{buf: make([]LostEvent, 0, capacity), cap: capacity}
+}
+
+// Record logs one abandoned delivery.
+func (l *LostLog) Record(fn string, ev event.Event, reason LossReason) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count++
+	e := LostEvent{Func: fn, Ev: ev, Reason: reason}
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, e)
+		return
+	}
+	l.buf[l.head] = e
+	l.head = (l.head + 1) % l.cap
+}
+
+// Total reports every loss ever recorded, including entries that have
+// rotated out of the buffer.
+func (l *LostLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Recent returns the retained entries, oldest first.
+func (l *LostLog) Recent() []LostEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LostEvent, 0, len(l.buf))
+	out = append(out, l.buf[l.head:]...)
+	out = append(out, l.buf[:l.head]...)
+	return out
+}
+
+// ByReason tallies retained entries per loss reason.
+func (l *LostLog) ByReason() map[string]int {
+	out := make(map[string]int)
+	for _, e := range l.Recent() {
+		out[e.Reason.String()]++
+	}
+	return out
+}

@@ -1,0 +1,673 @@
+// Package engine1 implements Muppet 1.0 (Sections 4.1–4.4 of the
+// paper): the process-per-worker execution engine developed at Kosmix.
+//
+// Each worker is a pair of coupled processes — a "conductor" in charge
+// of Muppet logistics (queueing, slate fetch, hashing output events to
+// destinations) and a "task processor" that only runs the map or
+// update code. Here the pair is a pair of goroutines exchanging
+// messages over channels, which reproduces the 1.0 design's extra
+// intra-worker hop and its per-worker (disparate) slate caches — the
+// limitations that motivated Muppet 2.0 and that experiments E4 and E5
+// measure.
+//
+// Event routing follows Section 4.1: every worker holds the same hash
+// ring mapping <event key, destination function> to a worker, so
+// events pass directly from worker to worker without a master on the
+// data path. Failure handling follows Section 4.3: a failed send marks
+// the machine dead at the master, which broadcasts it to every worker;
+// the event that failed to reach the dead worker is lost and logged,
+// not resent.
+package engine1
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muppet/internal/cluster"
+	"muppet/internal/core"
+	"muppet/internal/engine"
+	"muppet/internal/event"
+	"muppet/internal/hashring"
+	"muppet/internal/kvstore"
+	"muppet/internal/queue"
+	"muppet/internal/slate"
+)
+
+// Config tunes the Muppet 1.0 engine.
+type Config struct {
+	// Machines is the number of simulated machines.
+	Machines int
+	// WorkersPerFunction is the number of workers started for each map
+	// and update function, spread across machines. In 1.0 the worker
+	// count is "set based on the nature of the application, not based
+	// on the number of cores" (Section 4.5).
+	WorkersPerFunction int
+	// QueueCapacity bounds each worker's incoming-event queue.
+	QueueCapacity int
+	// QueuePolicy is the overflow behavior for internal event passing.
+	QueuePolicy queue.OverflowPolicy
+	// OverflowStream receives diverted events under the Divert policy.
+	OverflowStream string
+	// SlateCachePerWorker is each worker's private slate-cache capacity
+	// (slates). 1.0 keeps disparate caches, one per worker.
+	SlateCachePerWorker int
+	// FlushPolicy controls when dirty slates reach the key-value store.
+	FlushPolicy slate.FlushPolicy
+	// FlushInterval drives the periodic flush under slate.Interval.
+	FlushInterval time.Duration
+	// Store is the durable key-value cluster; nil disables persistence.
+	Store *kvstore.Cluster
+	// StoreLevel is the consistency level for slate I/O.
+	StoreLevel kvstore.Consistency
+	// SourceThrottle makes Ingest wait-and-retry when the destination
+	// queue is full instead of applying the overflow policy — the
+	// paper's source throttling, safe only at external inputs.
+	SourceThrottle bool
+	// SendLatency is the simulated per-hop network latency.
+	SendLatency time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Machines <= 0 {
+		c.Machines = 1
+	}
+	if c.WorkersPerFunction <= 0 {
+		c.WorkersPerFunction = c.Machines
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 1024
+	}
+	if c.SlateCachePerWorker <= 0 {
+		c.SlateCachePerWorker = 10_000
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 100 * time.Millisecond
+	}
+}
+
+type taskRequest struct {
+	ev       event.Event
+	slateIn  []byte
+	isUpdate bool
+}
+
+type taskResponse struct {
+	outputs  []emitted
+	newSlate []byte
+	replaced bool
+	err      error
+}
+
+type emitted struct {
+	stream, key string
+	value       []byte
+}
+
+// worker is one conductor/task-processor pair bound to a single
+// function.
+type worker struct {
+	id      string
+	machine string
+	fn      *core.FunctionSpec
+	q       *queue.Queue[event.Event]
+	cache   *slate.Cache
+	req     chan taskRequest
+	resp    chan taskResponse
+}
+
+// Engine is the Muppet 1.0 runtime for one application.
+type Engine struct {
+	app *core.App
+	cfg Config
+	clu *cluster.Cluster
+
+	rings         map[string]*hashring.Ring // function -> ring over its worker IDs
+	workers       map[string]*worker
+	workerMachine map[string]string
+
+	counters *engine.Counters
+	tracker  *engine.Tracker
+	sink     *engine.Sink
+	lost     *engine.LostLog
+	seq      atomic.Uint64
+	stopped  atomic.Bool
+	flushers chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds and starts a Muppet 1.0 engine for a validated app.
+func New(app *core.App, cfg Config) (*Engine, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fill()
+	e := &Engine{
+		app:           app,
+		cfg:           cfg,
+		clu:           cluster.New(cluster.Config{Machines: cfg.Machines, SendLatency: cfg.SendLatency}),
+		rings:         make(map[string]*hashring.Ring),
+		workers:       make(map[string]*worker),
+		workerMachine: make(map[string]string),
+		counters:      engine.NewCounters(),
+		tracker:       engine.NewTracker(),
+		sink:          engine.NewSink(),
+		lost:          engine.NewLostLog(0),
+		flushers:      make(chan struct{}),
+	}
+	machines := e.clu.MachineNames()
+	for _, f := range app.Functions() {
+		var ids []string
+		for i := 0; i < cfg.WorkersPerFunction; i++ {
+			id := fmt.Sprintf("%s#%d", f.Name(), i)
+			machine := machines[i%len(machines)]
+			w := &worker{
+				id:      id,
+				machine: machine,
+				fn:      f,
+				q:       queue.New[event.Event](cfg.QueueCapacity, cfg.QueuePolicy),
+				req:     make(chan taskRequest),
+				resp:    make(chan taskResponse),
+			}
+			w.cache = slate.NewCache(slate.CacheConfig{
+				Capacity: cfg.SlateCachePerWorker,
+				Policy:   cfg.FlushPolicy,
+				Store:    e.storeFor(),
+				TTLFor:   app.TTLFor,
+			})
+			e.workers[id] = w
+			e.workerMachine[id] = machine
+			ids = append(ids, id)
+		}
+		e.rings[f.Name()] = hashring.New(ids, 0)
+	}
+	for _, m := range machines {
+		e.clu.SetHandler(m, e.deliverLocal)
+	}
+	// The master broadcasts machine failures; every worker (here: the
+	// engine's shared rings) removes the machine's workers from its
+	// rings.
+	e.clu.Master().Subscribe(func(machine string) {
+		for wid, wm := range e.workerMachine {
+			if wm != machine {
+				continue
+			}
+			fn := e.workers[wid].fn.Name()
+			e.rings[fn].Disable(wid)
+		}
+	})
+	e.start()
+	return e, nil
+}
+
+func (e *Engine) storeFor() slate.Store {
+	if e.cfg.Store == nil {
+		return nil
+	}
+	return &slate.KVStore{Cluster: e.cfg.Store, Level: e.cfg.StoreLevel}
+}
+
+func (e *Engine) start() {
+	for _, w := range e.workers {
+		e.wg.Add(2)
+		go e.conductorLoop(w)
+		go e.taskProcessorLoop(w)
+		if e.cfg.FlushPolicy == slate.Interval {
+			e.wg.Add(1)
+			go e.flusherLoop(w)
+		}
+	}
+}
+
+// conductorLoop is the Perl-conductor half of a 1.0 worker: it owns
+// the queue, the slate cache, and all event logistics.
+func (e *Engine) conductorLoop(w *worker) {
+	defer e.wg.Done()
+	for {
+		ev, err := w.q.Get()
+		if err != nil {
+			close(w.req)
+			return
+		}
+		req := taskRequest{ev: ev, isUpdate: w.fn.Kind == core.KindUpdate}
+		if req.isUpdate {
+			req.slateIn, _ = w.cache.Get(slate.Key{Updater: w.fn.Name(), Key: ev.Key})
+		}
+		// The 1.0 design pays an IPC hop here: event (and slate) cross
+		// to the task-processor process and back.
+		w.req <- req
+		resp := <-w.resp
+		if resp.replaced {
+			w.cache.Put(slate.Key{Updater: w.fn.Name(), Key: ev.Key}, resp.newSlate)
+			e.counters.SlateUpdates.Add(1)
+			e.counters.ObserveLatency(ev)
+		}
+		for _, out := range resp.outputs {
+			e.route(e.derive(out, ev))
+		}
+		e.counters.Processed.Add(1)
+		e.tracker.Dec()
+	}
+}
+
+// taskProcessorLoop is the JVM half: it only runs the map or update
+// code.
+func (e *Engine) taskProcessorLoop(w *worker) {
+	defer e.wg.Done()
+	for req := range w.req {
+		em := &collectEmitter{app: e.app, function: w.fn.Name(), isUpdate: req.isUpdate}
+		switch w.fn.Kind {
+		case core.KindMap:
+			w.fn.Mapper.Map(em, req.ev)
+		case core.KindUpdate:
+			w.fn.Updater.Update(em, req.ev, req.slateIn)
+		}
+		w.resp <- taskResponse{outputs: em.outputs, newSlate: em.newSlate, replaced: em.replaced, err: em.err}
+	}
+}
+
+func (e *Engine) flusherLoop(w *worker) {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.flushers:
+			return
+		case <-ticker.C:
+			w.cache.FlushDirty()
+		}
+	}
+}
+
+// collectEmitter gathers a function invocation's outputs inside the
+// task processor; the conductor routes them afterwards.
+type collectEmitter struct {
+	app      *core.App
+	function string
+	isUpdate bool
+	outputs  []emitted
+	newSlate []byte
+	replaced bool
+	err      error
+}
+
+// Publish implements core.Emitter.
+func (c *collectEmitter) Publish(stream, key string, value []byte) error {
+	if !c.app.MayPublish(c.function, stream) {
+		err := core.ErrUndeclaredStream{Function: c.function, Stream: stream}
+		if c.err == nil {
+			c.err = err
+		}
+		return err
+	}
+	c.outputs = append(c.outputs, emitted{stream: stream, key: key, value: append([]byte(nil), value...)})
+	return nil
+}
+
+// ReplaceSlate implements core.Emitter.
+func (c *collectEmitter) ReplaceSlate(value []byte) {
+	if !c.isUpdate {
+		panic(fmt.Sprintf("engine1: map function %s called ReplaceSlate", c.function))
+	}
+	// append to a non-nil empty slice so that an empty slate stays
+	// distinct from "no slate" (nil) on the next update call.
+	c.newSlate = append([]byte{}, value...)
+	c.replaced = true
+}
+
+// derive stamps an emitted record into a routable event: timestamp
+// strictly greater than the input's, fresh sequence number, inherited
+// ingress stamp.
+func (e *Engine) derive(out emitted, in event.Event) event.Event {
+	return event.Event{
+		Stream:  out.stream,
+		TS:      in.TS + 1,
+		Seq:     e.seq.Add(1),
+		Key:     out.key,
+		Value:   out.value,
+		Ingress: in.Ingress,
+	}
+}
+
+// deliverLocal is the per-machine delivery handler: place the event on
+// the addressed worker's queue.
+func (e *Engine) deliverLocal(workerID string, ev event.Event) error {
+	w := e.workers[workerID]
+	if w == nil {
+		return fmt.Errorf("engine1: unknown worker %s", workerID)
+	}
+	return w.q.Put(ev)
+}
+
+// route fans an event out to every subscriber of its stream, recording
+// it first if the stream is a declared output.
+func (e *Engine) route(ev event.Event) {
+	if e.app.IsOutput(ev.Stream) {
+		e.sink.Record(ev)
+	}
+	for _, fn := range e.app.Subscribers(ev.Stream) {
+		e.deliver(fn, ev, false)
+	}
+}
+
+// deliver sends an event to the worker owning <key, fn>, applying the
+// failure and overflow semantics of Section 4.3.
+func (e *Engine) deliver(fn string, ev event.Event, throttle bool) {
+	if e.stopped.Load() {
+		return
+	}
+	for {
+		wid := e.rings[fn].Lookup(ev.Key)
+		if wid == "" {
+			e.counters.LostMachineDown.Add(1)
+			e.lost.Record(fn, ev, engine.LossNoRoute)
+			return
+		}
+		machine := e.workerMachine[wid]
+		e.tracker.Inc()
+		err := e.clu.Send(machine, wid, ev)
+		switch {
+		case err == nil:
+			e.counters.Emitted.Add(1)
+			return
+		case err == cluster.ErrMachineDown:
+			e.tracker.Dec()
+			// Detect-on-send: report to the master, which broadcasts;
+			// the event itself is lost and logged, not resent
+			// (Section 4.3).
+			e.counters.FailureReports.Add(1)
+			e.clu.Master().ReportFailure(machine)
+			e.counters.LostMachineDown.Add(1)
+			e.lost.Record(fn, ev, engine.LossMachineDown)
+			return
+		case err == queue.ErrOverflow:
+			e.tracker.Dec()
+			if throttle {
+				// Source throttling: slow the input stream down until
+				// the queue accepts (Section 5).
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+			switch e.cfg.QueuePolicy {
+			case queue.Divert:
+				if e.cfg.OverflowStream != "" && ev.Stream != e.cfg.OverflowStream {
+					div := ev
+					div.Stream = e.cfg.OverflowStream
+					e.counters.Diverted.Add(1)
+					e.route(div)
+				} else {
+					e.counters.LostOverflow.Add(1)
+					e.lost.Record(fn, ev, engine.LossOverflow)
+				}
+			default:
+				e.counters.LostOverflow.Add(1)
+				e.lost.Record(fn, ev, engine.LossOverflow)
+			}
+			return
+		default:
+			e.tracker.Dec()
+			e.counters.LostOverflow.Add(1)
+			e.lost.Record(fn, ev, engine.LossOverflow)
+			return
+		}
+	}
+}
+
+// Ingest feeds one external input event into the application (the
+// paper's special mapper M0 reading from the input stream). It stamps
+// the event's ingress time for latency measurement.
+func (e *Engine) Ingest(ev event.Event) {
+	if !e.app.IsInput(ev.Stream) {
+		panic(fmt.Sprintf("engine1: Ingest on non-input stream %s", ev.Stream))
+	}
+	if ev.Seq == 0 {
+		ev.Seq = e.seq.Add(1)
+	}
+	if ev.Ingress == 0 {
+		ev.Ingress = time.Now().UnixNano()
+	}
+	e.counters.Ingested.Add(1)
+	if e.app.IsOutput(ev.Stream) {
+		e.sink.Record(ev)
+	}
+	for _, fn := range e.app.Subscribers(ev.Stream) {
+		e.deliver(fn, ev, e.cfg.SourceThrottle)
+	}
+}
+
+// Drain blocks until every accepted event has been fully processed.
+func (e *Engine) Drain() { e.tracker.Wait() }
+
+// Stop drains, halts all workers, and flushes dirty slates to the
+// store. It is idempotent.
+func (e *Engine) Stop() {
+	if e.stopped.Swap(true) {
+		return
+	}
+	e.tracker.Wait()
+	close(e.flushers)
+	for _, w := range e.workers {
+		w.q.Close()
+	}
+	e.wg.Wait()
+	for _, w := range e.workers {
+		w.cache.FlushDirty()
+	}
+}
+
+// CrashMachine simulates a machine failure: the machine stops
+// accepting events and every unflushed slate and queued event on it is
+// lost (Section 4.3). Queued events are counted as lost.
+func (e *Engine) CrashMachine(machine string) (lostQueued int, lostDirtySlates int) {
+	e.clu.Crash(machine)
+	for wid, wm := range e.workerMachine {
+		if wm != machine {
+			continue
+		}
+		w := e.workers[wid]
+		// The worker's queued events die with the machine; the worker
+		// itself stops.
+		for {
+			ev, ok := w.q.TryGet()
+			if !ok {
+				break
+			}
+			lostQueued++
+			e.lost.Record(w.fn.Name(), ev, engine.LossCrashedQueue)
+			e.tracker.Dec()
+		}
+		w.q.Close()
+		lostDirtySlates += w.cache.Crash()
+	}
+	return lostQueued, lostDirtySlates
+}
+
+// Slate returns the current slate for <updater, key>, reading the
+// owning worker's cache (and falling through to the durable store on a
+// cache miss). It returns nil if no slate exists.
+func (e *Engine) Slate(updater, key string) []byte {
+	ring := e.rings[updater]
+	if ring == nil {
+		return nil
+	}
+	wid := ring.Lookup(key)
+	if wid == "" {
+		return nil
+	}
+	v, _ := e.workers[wid].cache.Get(slate.Key{Updater: updater, Key: key})
+	return v
+}
+
+// Slates returns all cached slates of an updater merged across its
+// workers (cache contents only; evicted slates must be read through
+// Slate).
+func (e *Engine) Slates(updater string) map[string][]byte {
+	out := make(map[string][]byte)
+	for wid, w := range e.workers {
+		if e.workers[wid].fn.Name() != updater {
+			continue
+		}
+		for _, k := range w.cache.Keys() {
+			if v, ok := w.cache.Peek(k); ok {
+				out[k.Key] = v
+			}
+		}
+	}
+	return out
+}
+
+// StoredSlates bulk-reads all of an updater's slates from the durable
+// key-value store (the "large-volume row reads" path of Section 5).
+// It returns nil when the engine runs without persistence. Callers
+// should flush first if they need the newest state; the cache, not the
+// store, is the up-to-date view (Section 4.4).
+func (e *Engine) StoredSlates(updater string) map[string][]byte {
+	if e.cfg.Store == nil {
+		return nil
+	}
+	out := make(map[string][]byte)
+	e.cfg.Store.Scan(updater, func(key string, stored []byte) {
+		raw, err := slate.Decompress(stored)
+		if err != nil {
+			return
+		}
+		out[key] = raw
+	})
+	return out
+}
+
+// FlushSlates forces every dirty cached slate to the durable store.
+func (e *Engine) FlushSlates() {
+	for _, w := range e.workers {
+		w.cache.FlushDirty()
+	}
+}
+
+// Output returns the recorded events of a declared output stream.
+func (e *Engine) Output(stream string) []event.Event { return e.sink.Events(stream) }
+
+// LostEvents exposes the log of abandoned deliveries ("logged as
+// lost", §4.3) for later processing and debugging.
+func (e *Engine) LostEvents() *engine.LostLog { return e.lost }
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() engine.Stats { return e.counters.Snapshot() }
+
+// Counters exposes the live counters (for latency percentiles).
+func (e *Engine) Counters() *engine.Counters { return e.counters }
+
+// Cluster exposes the simulated machine cluster (for failure
+// injection in tests and benches).
+func (e *Engine) Cluster() *cluster.Cluster { return e.clu }
+
+// WorkerFor reports which worker owns <key, fn> right now; tests use
+// it to assert the single-writer property.
+func (e *Engine) WorkerFor(fn, key string) string {
+	if r := e.rings[fn]; r != nil {
+		return r.Lookup(key)
+	}
+	return ""
+}
+
+// QueueStats returns per-worker queue statistics keyed by worker ID.
+func (e *Engine) QueueStats() map[string]queue.Stats {
+	out := make(map[string]queue.Stats, len(e.workers))
+	for id, w := range e.workers {
+		out[id] = w.q.Stats()
+	}
+	return out
+}
+
+// LargestQueues returns the depth of the most loaded worker queue per
+// machine, the figure the status endpoint reports.
+func (e *Engine) LargestQueues() map[string]int {
+	out := make(map[string]int)
+	for _, name := range e.clu.MachineNames() {
+		out[name] = 0
+	}
+	for wid, w := range e.workers {
+		m := e.workerMachine[wid]
+		if l := w.q.Len(); l > out[m] {
+			out[m] = l
+		}
+	}
+	return out
+}
+
+// Updaters returns the application's update function names.
+func (e *Engine) Updaters() []string { return e.app.Updaters() }
+
+// MachineAccepted returns the number of deliveries accepted per
+// machine.
+func (e *Engine) MachineAccepted() map[string]uint64 {
+	out := make(map[string]uint64)
+	for wid, w := range e.workers {
+		out[e.workerMachine[wid]] += w.q.Stats().Accepted
+	}
+	return out
+}
+
+// CacheTotals returns aggregate (store loads, hits, misses) across all
+// worker caches.
+func (e *Engine) CacheTotals() (loads, hits, misses uint64) {
+	for _, w := range e.workers {
+		s := w.cache.Stats()
+		loads += s.StoreLoads
+		hits += s.Hits
+		misses += s.Misses
+	}
+	return loads, hits, misses
+}
+
+// StoreSaves returns the total slate writes issued to the durable
+// store across all worker caches.
+func (e *Engine) StoreSaves() uint64 {
+	var total uint64
+	for _, w := range e.workers {
+		total += w.cache.Stats().StoreSaves
+	}
+	return total
+}
+
+// MaxQueueDepth returns the deepest any worker queue ever got.
+func (e *Engine) MaxQueueDepth() int {
+	max := 0
+	for _, w := range e.workers {
+		if d := w.q.Stats().MaxDepth; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AcceptedPerQueue returns the accepted-delivery count of every worker
+// queue.
+func (e *Engine) AcceptedPerQueue() []uint64 {
+	var out []uint64
+	for _, w := range e.workers {
+		out = append(out, w.q.Stats().Accepted)
+	}
+	return out
+}
+
+// CacheStats aggregates slate-cache statistics across all workers of
+// the given updater.
+func (e *Engine) CacheStats(updater string) slate.CacheStats {
+	var total slate.CacheStats
+	for _, w := range e.workers {
+		if w.fn.Name() != updater {
+			continue
+		}
+		s := w.cache.Stats()
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.StoreLoads += s.StoreLoads
+		total.StoreSaves += s.StoreSaves
+		total.Evictions += s.Evictions
+		total.DirtyLost += s.DirtyLost
+		total.Size += s.Size
+	}
+	return total
+}

@@ -1,0 +1,838 @@
+// Package engine2 implements Muppet 2.0 (Section 4.5 of the paper):
+// the thread-pool execution engine developed at WalmartLabs.
+//
+// Per machine, the engine starts a dedicated pool of worker threads,
+// each capable of running any map or update function; a single central
+// slate cache shared by all threads; and a background flusher that
+// writes dirty slates to the durable key-value store without blocking
+// map and update calls.
+//
+// Incoming events are dispatched to one of two candidate queues (a
+// primary and a secondary, chosen by hashing <event key, destination
+// function>): if either queue's thread is already processing this
+// (key, function), the event follows it; otherwise it goes to the
+// primary unless the secondary is significantly shorter. This bounds
+// slate contention to at most two workers per slate while letting a
+// hot key's load spill onto a second thread — the hotspot relief of
+// Sections 4.5 and 5.
+package engine2
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muppet/internal/cluster"
+	"muppet/internal/core"
+	"muppet/internal/engine"
+	"muppet/internal/event"
+	"muppet/internal/hashring"
+	"muppet/internal/kvstore"
+	"muppet/internal/queue"
+	"muppet/internal/slate"
+	"muppet/internal/wal"
+)
+
+// Config tunes the Muppet 2.0 engine.
+type Config struct {
+	// Machines is the number of simulated machines.
+	Machines int
+	// ThreadsPerMachine is the worker-thread pool size per machine; the
+	// paper advises as many as the application's parallel-scaling limit
+	// allows, often the core count.
+	ThreadsPerMachine int
+	// QueueCapacity bounds each worker thread's queue.
+	QueueCapacity int
+	// QueuePolicy is the overflow behavior for internal event passing.
+	QueuePolicy queue.OverflowPolicy
+	// OverflowStream receives diverted events under the Divert policy.
+	OverflowStream string
+	// CacheCapacity is the central slate-cache capacity per machine —
+	// one pool, not scattered per-worker caches (Section 4.5).
+	CacheCapacity int
+	// FlushPolicy controls when dirty slates reach the key-value store.
+	FlushPolicy slate.FlushPolicy
+	// FlushInterval drives the background flusher under slate.Interval.
+	FlushInterval time.Duration
+	// Store is the durable key-value cluster; nil disables persistence.
+	Store *kvstore.Cluster
+	// StoreLevel is the consistency level for slate I/O.
+	StoreLevel kvstore.Consistency
+	// SourceThrottle makes Ingest wait-and-retry on a full queue.
+	SourceThrottle bool
+	// SendLatency is the simulated per-hop network latency.
+	SendLatency time.Duration
+	// DisableDualQueue restricts dispatch to the primary queue only,
+	// restoring the 1.0-style single-owner behavior; experiment E6
+	// uses it as the ablation baseline.
+	DisableDualQueue bool
+	// ReplayLog enables the event replay capability the paper lists as
+	// future work (§4.3): every accepted delivery is logged until
+	// fully processed, and CrashMachineAndReplay redelivers a dead
+	// machine's unacknowledged events to the keys' new owners
+	// (at-least-once semantics).
+	ReplayLog bool
+	// SecondarySpillFactor: the event goes to the secondary queue when
+	// primaryLen > SecondarySpillFactor*secondaryLen + 4. Default 2.
+	SecondarySpillFactor int
+}
+
+func (c *Config) fill() {
+	if c.Machines <= 0 {
+		c.Machines = 1
+	}
+	if c.ThreadsPerMachine <= 0 {
+		c.ThreadsPerMachine = 4
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 1024
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 100_000
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 100 * time.Millisecond
+	}
+	if c.SecondarySpillFactor <= 0 {
+		c.SecondarySpillFactor = 2
+	}
+}
+
+// fk is the (function, key) pair dispatch decisions are made on.
+type fk struct {
+	fn  string
+	key string
+}
+
+// thread is one worker thread with its queue.
+type thread struct {
+	idx int
+	q   *queue.Queue[engine.Envelope]
+}
+
+// slateLock serializes updates to one slate and tracks how many
+// workers hold or wait for it (the contention the paper bounds at 2).
+type slateLock struct {
+	mu     sync.Mutex
+	owners atomic.Int32
+	refs   int
+}
+
+// machine is the per-host runtime state.
+type machine struct {
+	name    string
+	threads []*thread
+	cache   *slate.Cache
+
+	// runningMu guards running: fk -> thread idx -> count of
+	// invocations of that (function, key) currently executing on the
+	// thread. The dispatcher's "follow the thread already processing
+	// this key" rule reads it (Section 4.5).
+	runningMu sync.Mutex
+	running   map[fk]map[int]int
+
+	lockMu sync.Mutex
+	locks  map[slate.Key]*slateLock
+
+	// log is the replay log, nil unless Config.ReplayLog is set.
+	log *wal.Log
+}
+
+func (m *machine) markRunning(k fk, idx int, delta int) {
+	m.runningMu.Lock()
+	if m.running[k] == nil {
+		m.running[k] = make(map[int]int)
+	}
+	m.running[k][idx] += delta
+	if m.running[k][idx] <= 0 {
+		delete(m.running[k], idx)
+		if len(m.running[k]) == 0 {
+			delete(m.running, k)
+		}
+	}
+	m.runningMu.Unlock()
+}
+
+// Engine is the Muppet 2.0 runtime for one application.
+type Engine struct {
+	app *core.App
+	cfg Config
+	clu *cluster.Cluster
+
+	ring     *hashring.Ring // machines
+	machines map[string]*machine
+
+	counters *engine.Counters
+	tracker  *engine.Tracker
+	sink     *engine.Sink
+	lost     *engine.LostLog
+	seq      atomic.Uint64
+	stopped  atomic.Bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds and starts a Muppet 2.0 engine for a validated app.
+func New(app *core.App, cfg Config) (*Engine, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fill()
+	e := &Engine{
+		app:      app,
+		cfg:      cfg,
+		clu:      cluster.New(cluster.Config{Machines: cfg.Machines, SendLatency: cfg.SendLatency}),
+		machines: make(map[string]*machine),
+		counters: engine.NewCounters(),
+		tracker:  engine.NewTracker(),
+		sink:     engine.NewSink(),
+		lost:     engine.NewLostLog(0),
+		done:     make(chan struct{}),
+	}
+	names := e.clu.MachineNames()
+	e.ring = hashring.New(names, 0)
+	for _, name := range names {
+		m := &machine{
+			name:    name,
+			running: make(map[fk]map[int]int),
+			locks:   make(map[slate.Key]*slateLock),
+		}
+		if cfg.ReplayLog {
+			m.log = wal.New()
+		}
+		var store slate.Store
+		if cfg.Store != nil {
+			store = &slate.KVStore{Cluster: cfg.Store, Level: cfg.StoreLevel}
+		}
+		m.cache = slate.NewCache(slate.CacheConfig{
+			Capacity: cfg.CacheCapacity,
+			Policy:   cfg.FlushPolicy,
+			Store:    store,
+			TTLFor:   app.TTLFor,
+		})
+		for i := 0; i < cfg.ThreadsPerMachine; i++ {
+			m.threads = append(m.threads, &thread{
+				idx: i,
+				q:   queue.New[engine.Envelope](cfg.QueueCapacity, cfg.QueuePolicy),
+			})
+		}
+		e.machines[name] = m
+		name := name
+		e.clu.SetHandler(name, func(worker string, ev event.Event) error {
+			return e.dispatchLocal(e.machines[name], worker, ev)
+		})
+	}
+	e.clu.Master().Subscribe(func(machine string) {
+		e.ring.Disable(machine)
+	})
+	e.start()
+	return e, nil
+}
+
+func (e *Engine) start() {
+	for _, m := range e.machines {
+		for _, th := range m.threads {
+			e.wg.Add(1)
+			go e.threadLoop(m, th)
+		}
+		if e.cfg.FlushPolicy == slate.Interval {
+			e.wg.Add(1)
+			go e.flusherLoop(m)
+		}
+	}
+}
+
+// flusherLoop is the per-machine background I/O thread: it writes
+// dirty slates to the durable store so map and update calls never
+// block on storage (Section 4.5).
+func (e *Engine) flusherLoop(m *machine) {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-ticker.C:
+			m.cache.FlushDirty()
+		}
+	}
+}
+
+// dispatchLocal implements the 2.0 queue-selection rule on the
+// receiving machine. The worker argument carries the destination
+// function name.
+func (e *Engine) dispatchLocal(m *machine, function string, ev event.Event) error {
+	k := fk{fn: function, key: ev.Key}
+	p, s := e.candidates(m, k)
+
+	target := p
+	if !e.cfg.DisableDualQueue && s != p {
+		m.runningMu.Lock()
+		holders := m.running[k]
+		_, onP := holders[p]
+		_, onS := holders[s]
+		m.runningMu.Unlock()
+		switch {
+		case onP:
+			// The primary thread is processing this key right now:
+			// follow it.
+			target = p
+		case onS:
+			// The secondary thread is processing this key: follow it.
+			target = s
+		case spill(m.threads[p].q.Len(), m.threads[s].q.Len(), e.cfg.SecondarySpillFactor):
+			// Neither thread is on this key and the primary is heavily
+			// loaded by other events: balance onto the secondary.
+			target = s
+		}
+	}
+	env := engine.Envelope{Func: function, Ev: ev}
+	if m.log != nil {
+		// Log before enqueueing so the consumer can acknowledge as
+		// soon as it finishes, whatever the interleaving.
+		env.WalSeq = m.log.Append(env)
+	}
+	err := m.threads[target].q.Put(env)
+	if err != nil && m.log != nil {
+		// The delivery was rejected; it is accounted by the overflow
+		// path, not the replay log.
+		m.log.Ack(env.WalSeq)
+	}
+	return err
+}
+
+// spill reports whether the primary queue is so much longer than the
+// secondary that the event should be placed on the secondary.
+func spill(primaryLen, secondaryLen, factor int) bool {
+	return primaryLen > factor*secondaryLen+4
+}
+
+// candidates returns the primary and secondary thread indexes for a
+// (function, key) pair, using two independent hashes.
+func (e *Engine) candidates(m *machine, k fk) (int, int) {
+	n := len(m.threads)
+	if n == 1 {
+		return 0, 0
+	}
+	h1 := hashString(k.fn + "\x00" + k.key)
+	h2 := hashString(k.key + "\x01" + k.fn)
+	p := int(h1 % uint64(n))
+	s := int(h2 % uint64(n))
+	if s == p {
+		s = (p + 1) % n
+	}
+	return p, s
+}
+
+func hashString(s string) uint64 {
+	// FNV-1a with a splitmix64 finalizer.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// threadLoop is one worker thread: take the next event from the
+// queue, run the map or update function, update slates, send outputs,
+// repeat.
+func (e *Engine) threadLoop(m *machine, th *thread) {
+	defer e.wg.Done()
+	for {
+		env, err := th.q.Get()
+		if err != nil {
+			return
+		}
+		k := fk{fn: env.Func, key: env.Ev.Key}
+		m.markRunning(k, th.idx, +1)
+		e.process(m, th, env)
+		m.markRunning(k, th.idx, -1)
+		if m.log != nil && env.WalSeq != 0 {
+			m.log.Ack(env.WalSeq)
+		}
+		e.counters.Processed.Add(1)
+		e.tracker.Dec()
+	}
+}
+
+func (e *Engine) process(m *machine, th *thread, env engine.Envelope) {
+	f := e.app.Function(env.Func)
+	if f == nil {
+		return
+	}
+	em := &collectEmitter{app: e.app, function: env.Func, isUpdate: f.Kind == core.KindUpdate}
+	switch f.Kind {
+	case core.KindMap:
+		f.Mapper.Map(em, env.Ev)
+	case core.KindUpdate:
+		sk := slate.Key{Updater: env.Func, Key: env.Ev.Key}
+		lock := e.acquireSlate(m, sk)
+		sl, _ := m.cache.Get(sk)
+		f.Updater.Update(em, env.Ev, sl)
+		if em.replaced {
+			m.cache.Put(sk, em.newSlate)
+			e.counters.SlateUpdates.Add(1)
+			e.counters.ObserveLatency(env.Ev)
+		}
+		e.releaseSlate(m, sk, lock)
+	}
+	for _, out := range em.outputs {
+		e.route(e.derive(out, env.Ev))
+	}
+}
+
+// acquireSlate takes the per-slate lock, recording how many workers
+// contend for the slate; Muppet 2.0's dispatch bounds this at two.
+func (e *Engine) acquireSlate(m *machine, sk slate.Key) *slateLock {
+	m.lockMu.Lock()
+	l := m.locks[sk]
+	if l == nil {
+		l = &slateLock{}
+		m.locks[sk] = l
+	}
+	l.refs++
+	m.lockMu.Unlock()
+	n := l.owners.Add(1)
+	e.counters.ObserveContention(n)
+	l.mu.Lock()
+	return l
+}
+
+func (e *Engine) releaseSlate(m *machine, sk slate.Key, l *slateLock) {
+	l.mu.Unlock()
+	l.owners.Add(-1)
+	m.lockMu.Lock()
+	l.refs--
+	if l.refs == 0 {
+		delete(m.locks, sk)
+	}
+	m.lockMu.Unlock()
+}
+
+// collectEmitter gathers one invocation's outputs.
+type collectEmitter struct {
+	app      *core.App
+	function string
+	isUpdate bool
+	outputs  []emitted
+	newSlate []byte
+	replaced bool
+	err      error
+}
+
+type emitted struct {
+	stream, key string
+	value       []byte
+}
+
+// Publish implements core.Emitter.
+func (c *collectEmitter) Publish(stream, key string, value []byte) error {
+	if !c.app.MayPublish(c.function, stream) {
+		err := core.ErrUndeclaredStream{Function: c.function, Stream: stream}
+		if c.err == nil {
+			c.err = err
+		}
+		return err
+	}
+	c.outputs = append(c.outputs, emitted{stream: stream, key: key, value: append([]byte(nil), value...)})
+	return nil
+}
+
+// ReplaceSlate implements core.Emitter.
+func (c *collectEmitter) ReplaceSlate(value []byte) {
+	if !c.isUpdate {
+		panic(fmt.Sprintf("engine2: map function %s called ReplaceSlate", c.function))
+	}
+	// append to a non-nil empty slice so that an empty slate stays
+	// distinct from "no slate" (nil) on the next update call.
+	c.newSlate = append([]byte{}, value...)
+	c.replaced = true
+}
+
+func (e *Engine) derive(out emitted, in event.Event) event.Event {
+	return event.Event{
+		Stream:  out.stream,
+		TS:      in.TS + 1,
+		Seq:     e.seq.Add(1),
+		Key:     out.key,
+		Value:   out.value,
+		Ingress: in.Ingress,
+	}
+}
+
+// route fans an event out to every subscriber of its stream.
+func (e *Engine) route(ev event.Event) {
+	if e.app.IsOutput(ev.Stream) {
+		e.sink.Record(ev)
+	}
+	for _, fn := range e.app.Subscribers(ev.Stream) {
+		e.deliver(fn, ev, false)
+	}
+}
+
+// deliver routes an event to the machine owning <key, fn> and applies
+// the overflow and failure semantics.
+func (e *Engine) deliver(fn string, ev event.Event, throttle bool) {
+	if e.stopped.Load() {
+		return
+	}
+	for {
+		machineName := e.ring.LookupRoute(fn, ev.Key)
+		if machineName == "" {
+			e.counters.LostMachineDown.Add(1)
+			e.lost.Record(fn, ev, engine.LossNoRoute)
+			return
+		}
+		e.tracker.Inc()
+		err := e.clu.Send(machineName, fn, ev)
+		switch {
+		case err == nil:
+			e.counters.Emitted.Add(1)
+			return
+		case err == cluster.ErrMachineDown:
+			e.tracker.Dec()
+			e.counters.FailureReports.Add(1)
+			e.clu.Master().ReportFailure(machineName)
+			e.counters.LostMachineDown.Add(1)
+			e.lost.Record(fn, ev, engine.LossMachineDown)
+			return
+		case err == queue.ErrOverflow:
+			e.tracker.Dec()
+			if throttle {
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+			switch e.cfg.QueuePolicy {
+			case queue.Divert:
+				if e.cfg.OverflowStream != "" && ev.Stream != e.cfg.OverflowStream {
+					div := ev
+					div.Stream = e.cfg.OverflowStream
+					e.counters.Diverted.Add(1)
+					e.route(div)
+				} else {
+					e.counters.LostOverflow.Add(1)
+					e.lost.Record(fn, ev, engine.LossOverflow)
+				}
+			default:
+				e.counters.LostOverflow.Add(1)
+				e.lost.Record(fn, ev, engine.LossOverflow)
+			}
+			return
+		default:
+			e.tracker.Dec()
+			e.counters.LostOverflow.Add(1)
+			e.lost.Record(fn, ev, engine.LossOverflow)
+			return
+		}
+	}
+}
+
+// Ingest feeds one external input event into the application.
+func (e *Engine) Ingest(ev event.Event) {
+	if !e.app.IsInput(ev.Stream) {
+		panic(fmt.Sprintf("engine2: Ingest on non-input stream %s", ev.Stream))
+	}
+	if ev.Seq == 0 {
+		ev.Seq = e.seq.Add(1)
+	}
+	if ev.Ingress == 0 {
+		ev.Ingress = time.Now().UnixNano()
+	}
+	e.counters.Ingested.Add(1)
+	if e.app.IsOutput(ev.Stream) {
+		e.sink.Record(ev)
+	}
+	for _, fn := range e.app.Subscribers(ev.Stream) {
+		e.deliver(fn, ev, e.cfg.SourceThrottle)
+	}
+}
+
+// Drain blocks until every accepted event has been fully processed.
+func (e *Engine) Drain() { e.tracker.Wait() }
+
+// Stop drains, halts all threads, and flushes dirty slates. It is
+// idempotent.
+func (e *Engine) Stop() {
+	if e.stopped.Swap(true) {
+		return
+	}
+	e.tracker.Wait()
+	close(e.done)
+	for _, m := range e.machines {
+		for _, th := range m.threads {
+			th.q.Close()
+		}
+	}
+	e.wg.Wait()
+	for _, m := range e.machines {
+		m.cache.FlushDirty()
+	}
+}
+
+// CrashMachine simulates a machine failure: queued events and
+// unflushed slates on the machine are lost (the stock §4.3 behavior).
+func (e *Engine) CrashMachine(name string) (lostQueued, lostDirtySlates int) {
+	m := e.crash(name)
+	if m == nil {
+		return 0, 0
+	}
+	for _, th := range m.threads {
+		for {
+			env, ok := th.q.TryGet()
+			if !ok {
+				break
+			}
+			lostQueued++
+			e.lost.Record(env.Func, env.Ev, engine.LossCrashedQueue)
+			e.tracker.Dec()
+		}
+		th.q.Close()
+	}
+	if m.log != nil {
+		m.log.Unacked() // discard; replay not requested
+	}
+	lostDirtySlates = m.cache.Crash()
+	return lostQueued, lostDirtySlates
+}
+
+// CrashMachineAndReplay crashes a machine and then redelivers its
+// unacknowledged deliveries from the replay log to the keys' new
+// owners — the replay capability the paper names as future work
+// (§4.3). Replay is at-least-once: deliveries that were mid-process at
+// crash time are applied again. It panics if ReplayLog is not
+// configured. Unflushed slates are still lost (the slate store, not
+// the event log, is their durability).
+func (e *Engine) CrashMachineAndReplay(name string) (replayed, lostDirtySlates int) {
+	m := e.crash(name)
+	if m == nil {
+		return 0, 0
+	}
+	if m.log == nil {
+		panic("engine2: CrashMachineAndReplay requires Config.ReplayLog")
+	}
+	for _, th := range m.threads {
+		for {
+			if _, ok := th.q.TryGet(); !ok {
+				break
+			}
+			// Queued events stay in the log; redelivered below.
+			e.tracker.Dec()
+		}
+		th.q.Close()
+	}
+	lostDirtySlates = m.cache.Crash()
+	// Remove the machine from the ring before redelivery so replayed
+	// events route to live owners (an operator-driven failure report).
+	e.counters.FailureReports.Add(1)
+	e.clu.Master().ReportFailure(name)
+	for _, env := range m.log.Unacked() {
+		e.deliver(env.Func, env.Ev, false)
+		replayed++
+	}
+	return replayed, lostDirtySlates
+}
+
+func (e *Engine) crash(name string) *machine {
+	e.clu.Crash(name)
+	return e.machines[name]
+}
+
+// MachineFor reports which machine owns <key, fn> on the current
+// ring.
+func (e *Engine) MachineFor(fn, key string) string {
+	return e.ring.LookupRoute(fn, key)
+}
+
+// Slate returns the current slate for <updater, key>, reading the
+// owning machine's central cache (falling through to the durable
+// store on a miss). The HTTP slate-fetch service resolves slates the
+// same way.
+func (e *Engine) Slate(updater, key string) []byte {
+	name := e.ring.LookupRoute(updater, key)
+	if name == "" {
+		return nil
+	}
+	v, _ := e.machines[name].cache.Get(slate.Key{Updater: updater, Key: key})
+	return v
+}
+
+// SlateCached returns the slate only if it is resident in the owning
+// machine's cache (no store fallback), with its residency flag.
+func (e *Engine) SlateCached(updater, key string) ([]byte, bool) {
+	name := e.ring.LookupRoute(updater, key)
+	if name == "" {
+		return nil, false
+	}
+	return e.machines[name].cache.Peek(slate.Key{Updater: updater, Key: key})
+}
+
+// Slates returns all cached slates of an updater merged across
+// machines.
+func (e *Engine) Slates(updater string) map[string][]byte {
+	out := make(map[string][]byte)
+	for _, m := range e.machines {
+		for _, k := range m.cache.Keys() {
+			if k.Updater != updater {
+				continue
+			}
+			if v, ok := m.cache.Peek(k); ok {
+				out[k.Key] = v
+			}
+		}
+	}
+	return out
+}
+
+// StoredSlates bulk-reads all of an updater's slates from the durable
+// key-value store (the "large-volume row reads" path of Section 5).
+// It returns nil when the engine runs without persistence. Callers
+// should flush first if they need the newest state; the cache, not the
+// store, is the up-to-date view (Section 4.4).
+func (e *Engine) StoredSlates(updater string) map[string][]byte {
+	if e.cfg.Store == nil {
+		return nil
+	}
+	out := make(map[string][]byte)
+	e.cfg.Store.Scan(updater, func(key string, stored []byte) {
+		raw, err := slate.Decompress(stored)
+		if err != nil {
+			return
+		}
+		out[key] = raw
+	})
+	return out
+}
+
+// FlushSlates forces every dirty cached slate to the durable store.
+func (e *Engine) FlushSlates() {
+	for _, m := range e.machines {
+		m.cache.FlushDirty()
+	}
+}
+
+// Output returns the recorded events of a declared output stream.
+func (e *Engine) Output(stream string) []event.Event { return e.sink.Events(stream) }
+
+// LostEvents exposes the log of abandoned deliveries ("logged as
+// lost", §4.3) for later processing and debugging.
+func (e *Engine) LostEvents() *engine.LostLog { return e.lost }
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() engine.Stats { return e.counters.Snapshot() }
+
+// Counters exposes the live counters.
+func (e *Engine) Counters() *engine.Counters { return e.counters }
+
+// Cluster exposes the simulated machine cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.clu }
+
+// App returns the application this engine runs.
+func (e *Engine) App() *core.App { return e.app }
+
+// Updaters returns the application's update function names.
+func (e *Engine) Updaters() []string { return e.app.Updaters() }
+
+// CacheStats aggregates central-cache statistics across machines.
+func (e *Engine) CacheStats() slate.CacheStats {
+	var total slate.CacheStats
+	for _, m := range e.machines {
+		s := m.cache.Stats()
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.StoreLoads += s.StoreLoads
+		total.StoreSaves += s.StoreSaves
+		total.Evictions += s.Evictions
+		total.DirtyLost += s.DirtyLost
+		total.Size += s.Size
+	}
+	return total
+}
+
+// QueueStats returns per-thread queue statistics keyed by
+// "machine/thread-index".
+func (e *Engine) QueueStats() map[string]queue.Stats {
+	out := make(map[string]queue.Stats)
+	for name, m := range e.machines {
+		for _, th := range m.threads {
+			out[fmt.Sprintf("%s/%d", name, th.idx)] = th.q.Stats()
+		}
+	}
+	return out
+}
+
+// MachineAccepted returns the number of deliveries accepted per
+// machine, the load-balance signal the scaling experiment reports.
+func (e *Engine) MachineAccepted() map[string]uint64 {
+	out := make(map[string]uint64)
+	for name, m := range e.machines {
+		var total uint64
+		for _, th := range m.threads {
+			total += th.q.Stats().Accepted
+		}
+		out[name] = total
+	}
+	return out
+}
+
+// CacheTotals returns aggregate (store loads, hits, misses) across the
+// central caches.
+func (e *Engine) CacheTotals() (loads, hits, misses uint64) {
+	s := e.CacheStats()
+	return s.StoreLoads, s.Hits, s.Misses
+}
+
+// StoreSaves returns the total slate writes issued to the durable
+// store across all central caches.
+func (e *Engine) StoreSaves() uint64 {
+	return e.CacheStats().StoreSaves
+}
+
+// MaxQueueDepth returns the deepest any thread queue ever got.
+func (e *Engine) MaxQueueDepth() int {
+	max := 0
+	for _, m := range e.machines {
+		for _, th := range m.threads {
+			if d := th.q.Stats().MaxDepth; d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// AcceptedPerQueue returns the accepted-delivery count of every thread
+// queue.
+func (e *Engine) AcceptedPerQueue() []uint64 {
+	var out []uint64
+	for _, m := range e.machines {
+		for _, th := range m.threads {
+			out = append(out, th.q.Stats().Accepted)
+		}
+	}
+	return out
+}
+
+// LargestQueues returns the depth of the most loaded queue per
+// machine, the figure the paper's status endpoint reports ("the event
+// count of the largest event queues").
+func (e *Engine) LargestQueues() map[string]int {
+	out := make(map[string]int)
+	for name, m := range e.machines {
+		max := 0
+		for _, th := range m.threads {
+			if l := th.q.Len(); l > max {
+				max = l
+			}
+		}
+		out[name] = max
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+// Package hashring implements the consistent hash ring Muppet uses to
+// route events to workers (Section 4.1 of the paper).
+//
+// Every worker holds the same ring, so after producing an event any
+// worker can instantly calculate which worker the pair <event key,
+// destination function> hashes to, then contact that worker directly —
+// no master on the data path. When the master broadcasts a machine
+// failure, each worker removes the failed node from its ring; keys that
+// hashed to the failed node move to the next node on the ring and, by
+// consistency, no other key moves (Section 4.3).
+package hashring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVirtualNodes is the number of ring positions per node. More
+// virtual nodes smooth the key distribution across nodes.
+const DefaultVirtualNodes = 64
+
+// Ring is a consistent hash ring mapping strings to node names. It is
+// safe for concurrent use: routing lookups take a read lock, membership
+// changes take a write lock.
+type Ring struct {
+	mu       sync.RWMutex
+	vnodes   int
+	points   []point // sorted by hash
+	nodes    map[string]bool
+	disabled map[string]bool
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// New returns a ring over the given nodes with vnodes virtual nodes per
+// node. If vnodes <= 0, DefaultVirtualNodes is used.
+func New(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{
+		vnodes:   vnodes,
+		nodes:    make(map[string]bool),
+		disabled: make(map[string]bool),
+	}
+	for _, n := range nodes {
+		r.addLocked(n)
+	}
+	return r
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix(h.Sum64())
+}
+
+// mix is a splitmix64 finalizer. FNV alone leaves similar inputs (such
+// as "machine-03#1", "machine-03#2", ...) clustered on the ring; the
+// finalizer scatters them so virtual nodes spread evenly.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (r *Ring) addLocked(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Add inserts a node into the ring.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addLocked(node)
+}
+
+// Disable marks a node as failed. Lookups skip disabled nodes, so keys
+// owned by the node move to its ring successors. The node's virtual
+// points stay on the ring, so re-enabling it restores the exact
+// original assignment.
+func (r *Ring) Disable(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		r.disabled[node] = true
+	}
+}
+
+// Enable clears a node's failed mark.
+func (r *Ring) Enable(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.disabled, node)
+}
+
+// Disabled reports whether the node is currently marked failed.
+func (r *Ring) Disabled(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.disabled[node]
+}
+
+// Lookup returns the live node owning the given key, walking clockwise
+// from the key's hash and skipping disabled nodes. It returns "" if the
+// ring is empty or every node is disabled.
+func (r *Ring) Lookup(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.lookupLocked(key)
+}
+
+func (r *Ring) lookupLocked(key string) string {
+	n := len(r.points)
+	if n == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	for probes := 0; probes < n; probes++ {
+		p := r.points[(i+probes)%n]
+		if !r.disabled[p.node] {
+			return p.node
+		}
+	}
+	return ""
+}
+
+// LookupRoute returns the node for an event key destined for a named
+// function. The paper routes on the pair <event key, destination
+// map/update function>, so distinct functions spread the same key space
+// differently.
+func (r *Ring) LookupRoute(function, key string) string {
+	return r.Lookup(function + "\x00" + key)
+}
+
+// LookupN returns the first n distinct live nodes clockwise from the
+// key's position. The replicated key-value store uses it to choose
+// replica sets.
+func (r *Ring) LookupN(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := len(r.points)
+	if total == 0 || n <= 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(total, func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, n)
+	var out []string
+	for probes := 0; probes < total && len(out) < n; probes++ {
+		p := r.points[(i+probes)%total]
+		if r.disabled[p.node] || seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// Nodes returns the live (enabled) node names in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for n := range r.nodes {
+		if !r.disabled[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size reports the number of nodes on the ring, including disabled
+// ones.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}

@@ -1,0 +1,105 @@
+// Package httpapi implements Muppet's slate-read HTTP service
+// (Section 4.4 of the paper): a small HTTP server through which
+// higher-level applications fetch live slates by updater name and
+// key, plus the basic status endpoint of Section 4.5 (largest queue
+// depths).
+//
+// The URI of a slate fetch includes the name of the updater and the
+// key of the slate: GET /slate/{updater}/{key}. The fetch is served
+// from the engine's live slate cache — forwarding internally to the
+// owning machine — rather than from the durable key-value store, to
+// ensure an up-to-date reply.
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// SlateReader is the engine-side surface the HTTP service needs. Both
+// Muppet engines satisfy it.
+type SlateReader interface {
+	// Slate resolves the live slate for <updater, key> wherever it is
+	// cached; nil means no such slate.
+	Slate(updater, key string) []byte
+	// LargestQueues reports the deepest event queue per machine.
+	LargestQueues() map[string]int
+}
+
+// Updaters is implemented by engines that can enumerate their update
+// functions; the status endpoint lists them when available.
+type Updaters interface {
+	Updaters() []string
+}
+
+// BulkReader is implemented by engines that support bulk slate dumps
+// from the durable store (Section 5 "Bulk Reading of Slates"); when
+// available, GET /slates/{updater} serves a JSON object of every
+// stored slate, flushed first so the dump is current.
+type BulkReader interface {
+	FlushSlates()
+	StoredSlates(updater string) map[string][]byte
+}
+
+// Handler returns the HTTP handler serving slate fetches and status.
+//
+//	GET /slate/{updater}/{key} -> 200 slate bytes | 404
+//	GET /status                -> 200 JSON {queues, updaters}
+func Handler(r SlateReader) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slate/", func(w http.ResponseWriter, req *http.Request) {
+		rest := strings.TrimPrefix(req.URL.Path, "/slate/")
+		parts := strings.SplitN(rest, "/", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			http.Error(w, "usage: /slate/{updater}/{key}", http.StatusBadRequest)
+			return
+		}
+		updater, key := parts[0], parts[1]
+		v := r.Slate(updater, key)
+		if v == nil {
+			http.Error(w, "no slate for "+updater+"/"+key, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(v)
+	})
+	mux.HandleFunc("/slates/", func(w http.ResponseWriter, req *http.Request) {
+		br, ok := r.(BulkReader)
+		if !ok {
+			http.Error(w, "bulk slate reads not supported", http.StatusNotImplemented)
+			return
+		}
+		updater := strings.TrimPrefix(req.URL.Path, "/slates/")
+		if updater == "" || strings.Contains(updater, "/") {
+			http.Error(w, "usage: /slates/{updater}", http.StatusBadRequest)
+			return
+		}
+		br.FlushSlates()
+		dump := br.StoredSlates(updater)
+		if dump == nil {
+			http.Error(w, "no durable store configured", http.StatusNotFound)
+			return
+		}
+		// []byte values marshal as base64 strings, keeping arbitrary
+		// slate blobs JSON-safe.
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(dump)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
+		st := statusReply{Queues: r.LargestQueues()}
+		if u, ok := r.(Updaters); ok {
+			st.Updaters = u.Updaters()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+	return mux
+}
+
+type statusReply struct {
+	// Queues maps machine name to its largest event-queue depth.
+	Queues map[string]int `json:"queues"`
+	// Updaters lists the application's update functions.
+	Updaters []string `json:"updaters,omitempty"`
+}

@@ -1,0 +1,109 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+type fakeEngine struct {
+	slates map[string][]byte
+	queues map[string]int
+}
+
+func (f *fakeEngine) Slate(updater, key string) []byte { return f.slates[updater+"/"+key] }
+func (f *fakeEngine) LargestQueues() map[string]int    { return f.queues }
+func (f *fakeEngine) Updaters() []string               { return []string{"U1", "U2"} }
+
+func newServer() (*httptest.Server, *fakeEngine) {
+	f := &fakeEngine{
+		slates: map[string][]byte{"U1/walmart": []byte(`{"count":42}`)},
+		queues: map[string]int{"machine-00": 7},
+	}
+	return httptest.NewServer(Handler(f)), f
+}
+
+func TestSlateFetchFound(t *testing.T) {
+	srv, _ := newServer()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/slate/U1/walmart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != `{"count":42}` {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestSlateFetchMissing(t *testing.T) {
+	srv, _ := newServer()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/slate/U1/nothere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSlateFetchBadPath(t *testing.T) {
+	srv, _ := newServer()
+	defer srv.Close()
+	for _, path := range []string{"/slate/", "/slate/onlyupdater", "/slate//key"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestSlateKeyMayContainSlashes(t *testing.T) {
+	srv, f := newServer()
+	defer srv.Close()
+	f.slates["U1/topic/14"] = []byte("7")
+	resp, err := http.Get(srv.URL + "/slate/U1/topic/14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != "7" {
+		t.Fatalf("status=%d body=%q", resp.StatusCode, body)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	srv, _ := newServer()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Queues   map[string]int `json:"queues"`
+		Updaters []string       `json:"updaters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queues["machine-00"] != 7 {
+		t.Fatalf("queues = %v", st.Queues)
+	}
+	if len(st.Updaters) != 2 {
+		t.Fatalf("updaters = %v", st.Updaters)
+	}
+}

@@ -1,0 +1,62 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkNodePut(b *testing.B) {
+	n := NewNode("b", NodeConfig{MemtableFlushBytes: 1 << 30})
+	v := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Put(fmt.Sprintf("k%d", i%65536), "U", v, 0)
+	}
+}
+
+func BenchmarkNodeGetMemtable(b *testing.B) {
+	n := NewNode("b", NodeConfig{MemtableFlushBytes: 1 << 30})
+	for i := 0; i < 10000; i++ {
+		n.Put(fmt.Sprintf("k%d", i), "U", []byte("v"), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Get(fmt.Sprintf("k%d", i%10000), "U")
+	}
+}
+
+func BenchmarkNodeGetSSTable(b *testing.B) {
+	n := NewNode("b", NodeConfig{CompactionThreshold: 1 << 30})
+	for i := 0; i < 10000; i++ {
+		n.Put(fmt.Sprintf("k%d", i), "U", []byte("v"), 0)
+	}
+	n.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Get(fmt.Sprintf("k%d", i%10000), "U")
+	}
+}
+
+func BenchmarkClusterPutQuorum(b *testing.B) {
+	c := NewCluster(ClusterConfig{Nodes: 5, ReplicationFactor: 3})
+	v := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(fmt.Sprintf("k%d", i%65536), "U", v, 0, Quorum)
+	}
+}
+
+func BenchmarkCompaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n := NewNode("b", NodeConfig{CompactionThreshold: 1 << 30})
+		for r := 0; r < 4; r++ {
+			for k := 0; k < 2500; k++ {
+				n.Put(fmt.Sprintf("k%d", k+r*1000), "U", []byte("v"), 0)
+			}
+			n.Flush()
+		}
+		b.StartTimer()
+		n.Compact()
+	}
+}

@@ -1,0 +1,335 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"muppet/internal/clock"
+	"muppet/internal/hashring"
+	"muppet/internal/storage"
+)
+
+// Consistency is the quorum level for cluster reads and writes,
+// matching the three levels the paper exposes to Muppet applications
+// (Section 4.2): any single replica, a majority, or all replicas.
+type Consistency int
+
+const (
+	// One succeeds after a single replica acknowledges.
+	One Consistency = iota
+	// Quorum succeeds after a majority of replicas acknowledge.
+	Quorum
+	// All succeeds only after every replica acknowledges.
+	All
+)
+
+// String names the consistency level.
+func (c Consistency) String() string {
+	switch c {
+	case One:
+		return "ONE"
+	case Quorum:
+		return "QUORUM"
+	case All:
+		return "ALL"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// required returns how many of rf replicas must acknowledge.
+func (c Consistency) required(rf int) int {
+	switch c {
+	case One:
+		return 1
+	case Quorum:
+		return rf/2 + 1
+	default:
+		return rf
+	}
+}
+
+// ErrUnavailable is returned when too few replicas are alive to meet
+// the requested consistency level.
+var ErrUnavailable = errors.New("kvstore: not enough live replicas for consistency level")
+
+// ClusterConfig tunes a replicated store cluster.
+type ClusterConfig struct {
+	// Nodes is the number of storage nodes.
+	Nodes int
+	// ReplicationFactor is the number of replicas per row.
+	ReplicationFactor int
+	// NetworkRTT is the simulated round-trip time to a replica. Each
+	// request to a replica is charged RTT plus up to RTTJitter of
+	// deterministic pseudo-random jitter; with quorum levels, the
+	// operation latency is the k-th fastest replica's latency. This is
+	// what makes ONE < QUORUM < ALL measurable in experiment E10.
+	NetworkRTT time.Duration
+	// RTTJitter is the maximum additional per-request delay.
+	RTTJitter time.Duration
+	// Seed makes the jitter deterministic.
+	Seed int64
+	// Node is the per-node configuration template. Each node gets its
+	// own device instance with the same profile.
+	Node NodeConfig
+	// DeviceProfile, when set, gives every node a fresh simulated
+	// device with this profile (overrides Node.Device).
+	DeviceProfile *storage.Profile
+	// Clock supplies time; nil means the real clock.
+	Clock clock.Clock
+}
+
+// Cluster is a set of replicated store nodes fronted by a consistent
+// hash ring, standing in for the Cassandra cluster named in a Muppet
+// application's configuration file.
+type Cluster struct {
+	cfg   ClusterConfig
+	ring  *hashring.Ring
+	nodes map[string]*Node
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewCluster builds a cluster of cfg.Nodes nodes named node-00..node-NN.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 3
+	}
+	if cfg.ReplicationFactor > cfg.Nodes {
+		cfg.ReplicationFactor = cfg.Nodes
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		nodes: make(map[string]*Node),
+		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	var names []string
+	for i := 0; i < cfg.Nodes; i++ {
+		name := fmt.Sprintf("node-%02d", i)
+		names = append(names, name)
+		ncfg := cfg.Node
+		ncfg.Clock = cfg.Clock
+		if cfg.DeviceProfile != nil {
+			ncfg.Device = storage.NewDevice(*cfg.DeviceProfile)
+		}
+		c.nodes[name] = NewNode(name, ncfg)
+	}
+	c.ring = hashring.New(names, 0)
+	return c
+}
+
+// Node returns the named node, or nil.
+func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
+
+// Nodes returns all node names in order.
+func (c *Cluster) Nodes() []string {
+	var names []string
+	for n := range c.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Replicas returns the replica set for a row key.
+func (c *Cluster) Replicas(key string) []string {
+	return c.ring.LookupN(key, c.cfg.ReplicationFactor)
+}
+
+// KillNode simulates a crash of the named node.
+func (c *Cluster) KillNode(name string) {
+	if n := c.nodes[name]; n != nil {
+		n.SetDown(true)
+		c.ring.Disable(name)
+	}
+}
+
+// ReviveNode brings a crashed node back (sstables intact, memtable
+// lost).
+func (c *Cluster) ReviveNode(name string) {
+	if n := c.nodes[name]; n != nil {
+		n.SetDown(false)
+		c.ring.Enable(name)
+	}
+}
+
+func (c *Cluster) jitter() time.Duration {
+	if c.cfg.RTTJitter <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(c.cfg.RTTJitter)))
+}
+
+// kthFastest returns the k-th smallest latency: with replicas contacted
+// in parallel, an operation completes when the k-th ack arrives.
+func kthFastest(lat []time.Duration, k int) time.Duration {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if k > len(lat) {
+		k = len(lat)
+	}
+	if k <= 0 {
+		return 0
+	}
+	return lat[k-1]
+}
+
+// Put writes value at <key, column> to the row's replica set, waiting
+// for the number of acknowledgements the consistency level requires.
+// It returns the simulated operation latency.
+func (c *Cluster) Put(key, column string, value []byte, ttl time.Duration, level Consistency) (time.Duration, error) {
+	reps := c.Replicas(rowKey(key, column))
+	need := level.required(c.cfg.ReplicationFactor)
+	var lats []time.Duration
+	acks := 0
+	for _, name := range reps {
+		cost, err := c.nodes[name].Put(key, column, value, ttl)
+		if err != nil {
+			continue
+		}
+		acks++
+		lats = append(lats, c.cfg.NetworkRTT+c.jitter()+cost)
+	}
+	if acks < need {
+		return 0, fmt.Errorf("%w: got %d acks, need %d", ErrUnavailable, acks, need)
+	}
+	return kthFastest(lats, need), nil
+}
+
+// Get reads <key, column> from enough replicas to satisfy the
+// consistency level and returns the newest version among the replies
+// (performing read repair on stale live replicas). The boolean reports
+// whether a live row was found.
+func (c *Cluster) Get(key, column string, level Consistency) ([]byte, bool, time.Duration, error) {
+	reps := c.Replicas(rowKey(key, column))
+	need := level.required(c.cfg.ReplicationFactor)
+
+	type reply struct {
+		node  string
+		value []byte
+		row   Row
+		found bool
+	}
+	var lats []time.Duration
+	var replies []reply
+	for _, name := range reps {
+		v, row, found, cost, err := c.nodes[name].Get(key, column)
+		if err != nil {
+			continue
+		}
+		replies = append(replies, reply{name, v, row, found})
+		lats = append(lats, c.cfg.NetworkRTT+c.jitter()+cost)
+		if len(replies) == need {
+			break
+		}
+	}
+	if len(replies) < need {
+		return nil, false, 0, fmt.Errorf("%w: got %d replies, need %d", ErrUnavailable, len(replies), need)
+	}
+	// Pick the newest version among replies.
+	best := -1
+	for i, r := range replies {
+		if !r.found {
+			continue
+		}
+		if best < 0 || r.row.WriteTime.After(replies[best].row.WriteTime) {
+			best = i
+		}
+	}
+	lat := kthFastest(lats, need)
+	if best < 0 {
+		return nil, false, lat, nil
+	}
+	winner := replies[best]
+	// Read repair: push the newest version to replicas that returned an
+	// older one.
+	for _, r := range replies {
+		if r.node != winner.node && (!r.found || r.row.WriteTime.Before(winner.row.WriteTime)) {
+			c.nodes[r.node].Put(key, column, winner.value, winner.row.TTL)
+		}
+	}
+	return winner.value, true, lat, nil
+}
+
+// Delete tombstones <key, column> at the required consistency.
+func (c *Cluster) Delete(key, column string, level Consistency) (time.Duration, error) {
+	reps := c.Replicas(rowKey(key, column))
+	need := level.required(c.cfg.ReplicationFactor)
+	var lats []time.Duration
+	acks := 0
+	for _, name := range reps {
+		cost, err := c.nodes[name].Delete(key, column)
+		if err != nil {
+			continue
+		}
+		acks++
+		lats = append(lats, c.cfg.NetworkRTT+c.jitter()+cost)
+	}
+	if acks < need {
+		return 0, fmt.Errorf("%w: got %d acks, need %d", ErrUnavailable, acks, need)
+	}
+	return kthFastest(lats, need), nil
+}
+
+// FlushAll forces every node's memtable to disk.
+func (c *Cluster) FlushAll() {
+	for _, n := range c.nodes {
+		n.Flush()
+	}
+}
+
+// CompactAll forces a full compaction on every node.
+func (c *Cluster) CompactAll() {
+	for _, n := range c.nodes {
+		n.Compact()
+	}
+}
+
+// TotalStats sums node statistics across the cluster.
+func (c *Cluster) TotalStats() NodeStats {
+	var total NodeStats
+	for _, n := range c.nodes {
+		s := n.Stats()
+		total.MemtableRows += s.MemtableRows
+		total.MemtableBytes += s.MemtableBytes
+		total.SSTables += s.SSTables
+		total.SSTableBytes += s.SSTableBytes
+		total.Flushes += s.Flushes
+		total.Compactions += s.Compactions
+		total.Reads += s.Reads
+		total.ReadsFromMem += s.ReadsFromMem
+		total.SSTableProbes += s.SSTableProbes
+		total.BloomSkips += s.BloomSkips
+		total.ExpiredDropped += s.ExpiredDropped
+		total.LiveRows += s.LiveRows
+	}
+	return total
+}
+
+// Scan calls fn for every live row with the given column on any node,
+// deduplicated by key (newest write wins is not enforced here; Scan is
+// a debugging/bulk-export aid mirroring the paper's "large-volume row
+// reads from the durable key-value store").
+func (c *Cluster) Scan(column string, fn func(key string, value []byte)) {
+	seen := make(map[string]bool)
+	for _, name := range c.Nodes() {
+		c.nodes[name].Scan(column, func(k string, v []byte) {
+			if !seen[k] {
+				seen[k] = true
+				fn(k, v)
+			}
+		})
+	}
+}

@@ -1,0 +1,249 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"muppet/internal/storage"
+)
+
+func testCluster(nodes, rf int) *Cluster {
+	return NewCluster(ClusterConfig{
+		Nodes:             nodes,
+		ReplicationFactor: rf,
+		NetworkRTT:        time.Millisecond,
+		RTTJitter:         time.Millisecond,
+		Seed:              7,
+	})
+}
+
+func TestClusterPutGetAllLevels(t *testing.T) {
+	for _, level := range []Consistency{One, Quorum, All} {
+		c := testCluster(5, 3)
+		if _, err := c.Put("k", "U", []byte("v"), 0, level); err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		v, found, _, err := c.Get("k", "U", level)
+		if err != nil || !found || string(v) != "v" {
+			t.Fatalf("%v: found=%v v=%q err=%v", level, found, v, err)
+		}
+	}
+}
+
+func TestReplicationFactorRespected(t *testing.T) {
+	c := testCluster(5, 3)
+	c.Put("k", "U", []byte("v"), 0, All)
+	holders := 0
+	for _, name := range c.Nodes() {
+		if _, _, found, _, _ := c.Node(name).Get("k", "U"); found {
+			holders++
+		}
+	}
+	if holders != 3 {
+		t.Fatalf("row on %d nodes, want RF=3", holders)
+	}
+}
+
+func TestQuorumRequiredCounts(t *testing.T) {
+	if One.required(3) != 1 || Quorum.required(3) != 2 || All.required(3) != 3 {
+		t.Fatal("required counts wrong for rf=3")
+	}
+	if Quorum.required(5) != 3 || Quorum.required(4) != 3 {
+		t.Fatal("majority math wrong")
+	}
+}
+
+func TestConsistencyString(t *testing.T) {
+	if One.String() != "ONE" || Quorum.String() != "QUORUM" || All.String() != "ALL" || Consistency(9).String() != "UNKNOWN" {
+		t.Fatal("consistency names wrong")
+	}
+}
+
+func TestWriteSurvivesMinorityFailureAtQuorum(t *testing.T) {
+	c := testCluster(5, 3)
+	c.Put("k", "U", []byte("v"), 0, All)
+	reps := c.Replicas(rowKey("k", "U"))
+	c.KillNode(reps[0])
+	v, found, _, err := c.Get("k", "U", Quorum)
+	if err != nil || !found || string(v) != "v" {
+		t.Fatalf("quorum read after 1 replica down: found=%v err=%v", found, err)
+	}
+}
+
+func TestAllFailsWithReplicaDown(t *testing.T) {
+	c := testCluster(3, 3)
+	c.Put("k", "U", []byte("v"), 0, All)
+	c.KillNode(c.Nodes()[0])
+	if _, err := c.Put("k", "U", []byte("v2"), 0, All); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("ALL write with node down = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestOneSucceedsWithMajorityDown(t *testing.T) {
+	c := testCluster(3, 3)
+	c.KillNode("node-00")
+	c.KillNode("node-01")
+	if _, err := c.Put("k", "U", []byte("v"), 0, One); err != nil {
+		t.Fatalf("ONE write with 1 live node: %v", err)
+	}
+	if _, found, _, err := c.Get("k", "U", One); err != nil || !found {
+		t.Fatalf("ONE read: found=%v err=%v", found, err)
+	}
+}
+
+func TestReadYourWritesAtQuorum(t *testing.T) {
+	c := testCluster(5, 3)
+	for i := 0; i < 20; i++ {
+		want := fmt.Sprintf("v%d", i)
+		if _, err := c.Put("k", "U", []byte(want), 0, Quorum); err != nil {
+			t.Fatal(err)
+		}
+		v, found, _, err := c.Get("k", "U", Quorum)
+		if err != nil || !found || string(v) != want {
+			t.Fatalf("iteration %d: got %q, want %q (err=%v)", i, v, want, err)
+		}
+	}
+}
+
+func TestQuorumLatencyOrdering(t *testing.T) {
+	// With parallel replica requests, ONE completes at the fastest
+	// replica and ALL at the slowest, so mean latency must be
+	// ONE <= QUORUM <= ALL.
+	c := testCluster(6, 3)
+	var one, quorum, all time.Duration
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%d", i)
+		l1, err := c.Put(k, "U", []byte("v"), 0, One)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := c.Put(k, "U", []byte("v"), 0, Quorum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l3, err := c.Put(k, "U", []byte("v"), 0, All)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one += l1
+		quorum += l2
+		all += l3
+	}
+	if !(one <= quorum && quorum <= all) {
+		t.Fatalf("latency ordering violated: ONE=%v QUORUM=%v ALL=%v", one, quorum, all)
+	}
+	if one == all {
+		t.Fatal("jitter produced no spread between ONE and ALL")
+	}
+}
+
+func TestReadRepairHealsStaleReplica(t *testing.T) {
+	c := testCluster(5, 3)
+	c.Put("k", "U", []byte("v1"), 0, All)
+	reps := c.Replicas(rowKey("k", "U"))
+	// Take one replica down, write a newer version at quorum, revive.
+	c.KillNode(reps[2])
+	if _, err := c.Put("k", "U", []byte("v2"), 0, Quorum); err != nil {
+		t.Fatal(err)
+	}
+	c.ReviveNode(reps[2])
+	// Repeated quorum reads eventually include the stale replica and
+	// repair it.
+	for i := 0; i < 10; i++ {
+		v, found, _, err := c.Get("k", "U", All)
+		if err != nil || !found || string(v) != "v2" {
+			t.Fatalf("read %d after repair: %q found=%v err=%v", i, v, found, err)
+		}
+	}
+	v, _, found, _, _ := c.Node(reps[2]).Get("k", "U")
+	if !found || string(v) != "v2" {
+		t.Fatalf("stale replica not repaired: %q found=%v", v, found)
+	}
+}
+
+func TestKillAndReviveNode(t *testing.T) {
+	c := testCluster(3, 1)
+	c.KillNode("node-01")
+	if !c.Node("node-01").Down() {
+		t.Fatal("node not down after KillNode")
+	}
+	c.ReviveNode("node-01")
+	if c.Node("node-01").Down() {
+		t.Fatal("node still down after ReviveNode")
+	}
+}
+
+func TestRFClampedToNodeCount(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 2, ReplicationFactor: 5})
+	if got := len(c.Replicas("k")); got != 2 {
+		t.Fatalf("replica set size %d, want 2", got)
+	}
+}
+
+func TestClusterScanDeduplicates(t *testing.T) {
+	c := testCluster(4, 3)
+	c.Put("a", "U", []byte("1"), 0, All)
+	c.Put("b", "U", []byte("2"), 0, All)
+	seen := map[string]int{}
+	c.Scan("U", func(k string, v []byte) { seen[k]++ })
+	if len(seen) != 2 || seen["a"] != 1 || seen["b"] != 1 {
+		t.Fatalf("scan = %v", seen)
+	}
+}
+
+func TestTotalStatsAggregates(t *testing.T) {
+	c := testCluster(3, 3)
+	c.Put("k", "U", []byte("v"), 0, All)
+	c.FlushAll()
+	s := c.TotalStats()
+	if s.Flushes != 3 {
+		t.Fatalf("Flushes = %d, want 3 (one per replica)", s.Flushes)
+	}
+	if s.LiveRows != 3 {
+		t.Fatalf("LiveRows = %d, want 3 replicas", s.LiveRows)
+	}
+}
+
+func TestDeviceProfileAppliedPerNode(t *testing.T) {
+	p := storage.HDD()
+	c := NewCluster(ClusterConfig{Nodes: 2, ReplicationFactor: 1, DeviceProfile: &p})
+	c.Put("k", "U", []byte("v"), 0, One)
+	c.FlushAll()
+	var busy time.Duration
+	for _, n := range c.Nodes() {
+		// Get through sstable to charge reads.
+		c.Node(n).Get("k", "U")
+		busy += time.Duration(c.Node(n).cfg.Device.Stats().BusyTime)
+	}
+	if busy == 0 {
+		t.Fatal("HDD device never charged")
+	}
+}
+
+func TestClusterDeleteAtQuorum(t *testing.T) {
+	c := testCluster(5, 3)
+	c.Put("k", "U", []byte("v"), 0, All)
+	if _, err := c.Delete("k", "U", Quorum); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _, _ := c.Get("k", "U", All); found {
+		t.Fatal("row readable after quorum delete")
+	}
+}
+
+func TestCompactAllShrinksRuns(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 2, ReplicationFactor: 2, Node: NodeConfig{CompactionThreshold: 1000}})
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), "U", []byte("v"), 0, All)
+		c.FlushAll()
+	}
+	if s := c.TotalStats(); s.SSTables != 10 {
+		t.Fatalf("SSTables = %d, want 10", s.SSTables)
+	}
+	c.CompactAll()
+	if s := c.TotalStats(); s.SSTables != 2 {
+		t.Fatalf("SSTables after compaction = %d, want 2", s.SSTables)
+	}
+}

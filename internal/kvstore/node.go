@@ -1,0 +1,415 @@
+// Package kvstore is a from-scratch, stdlib-only stand-in for the
+// Cassandra cluster Muppet persists slates to (Section 4.2 of the
+// paper). It reproduces the pieces of Cassandra the paper's arguments
+// depend on:
+//
+//   - a log-structured write path: writes land in an in-memory memtable
+//     and are flushed as immutable sorted runs ("sstables"); the more
+//     runs a row is spread over, the more files a read must check —
+//     exactly the §4.2 observation about delayed flushing;
+//   - size-tiered compaction that merges runs, drops tombstones, and
+//     garbage-collects TTL-expired rows;
+//   - per-write time-to-live, used by Muppet to bound slate storage;
+//   - column-family addressing: a value is indexed by <row key, column>,
+//     and Muppet stores slate S(U,k) at row k, column U;
+//   - tunable consistency (ONE / QUORUM / ALL) over N-way replication
+//     (see cluster.go);
+//   - per-SSTable bloom filters on the read path.
+//
+// Real disks are replaced by the internal/storage cost model so that
+// the SSD-vs-HDD argument of §4.2 is measurable without hardware.
+package kvstore
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"muppet/internal/bloom"
+	"muppet/internal/clock"
+	"muppet/internal/storage"
+)
+
+// rowKey composes the <key, column> pair into a single map key. The
+// NUL separator cannot appear in Muppet function names.
+func rowKey(key, column string) string { return key + "\x00" + column }
+
+func splitRowKey(rk string) (key, column string) {
+	i := strings.IndexByte(rk, 0)
+	if i < 0 {
+		return rk, ""
+	}
+	return rk[:i], rk[i+1:]
+}
+
+// Row is one stored cell with its write metadata.
+type Row struct {
+	Value     []byte
+	WriteTime time.Time
+	// TTL of zero means the row lives forever (the paper's default).
+	TTL       time.Duration
+	Tombstone bool
+}
+
+// expired reports whether the row's TTL has lapsed at time now.
+func (r Row) expired(now time.Time) bool {
+	return r.TTL > 0 && now.Sub(r.WriteTime) > r.TTL
+}
+
+// memtable is the in-memory write buffer.
+type memtable struct {
+	rows map[string]Row
+	size int64
+}
+
+func newMemtable() *memtable {
+	return &memtable{rows: make(map[string]Row)}
+}
+
+func (m *memtable) put(rk string, r Row) {
+	if old, ok := m.rows[rk]; ok {
+		m.size -= int64(len(old.Value) + len(rk))
+	}
+	m.rows[rk] = r
+	m.size += int64(len(r.Value) + len(rk))
+}
+
+// sstable is an immutable sorted run with a bloom filter.
+type sstable struct {
+	keys   []string
+	rows   []Row
+	filter *bloom.Filter
+	bytes  int64
+}
+
+func buildSSTable(rows map[string]Row) *sstable {
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t := &sstable{
+		keys:   keys,
+		rows:   make([]Row, len(keys)),
+		filter: bloom.New(len(keys), 0.01),
+	}
+	for i, k := range keys {
+		r := rows[k]
+		t.rows[i] = r
+		t.filter.Add(k)
+		t.bytes += int64(len(k) + len(r.Value))
+	}
+	return t
+}
+
+func (t *sstable) get(rk string) (Row, bool) {
+	i := sort.SearchStrings(t.keys, rk)
+	if i < len(t.keys) && t.keys[i] == rk {
+		return t.rows[i], true
+	}
+	return Row{}, false
+}
+
+// NodeConfig tunes a single store node.
+type NodeConfig struct {
+	// MemtableFlushBytes flushes the memtable to a new sstable once its
+	// approximate size exceeds this threshold. Larger values buffer more
+	// writes in memory — the §4.2 "delay flushing as long as possible"
+	// strategy.
+	MemtableFlushBytes int64
+	// CompactionThreshold compacts all sstables into one when the run
+	// count reaches this value.
+	CompactionThreshold int
+	// Device models the node's disk; nil means a free (instant) device.
+	Device *storage.Device
+	// Clock supplies time for TTL bookkeeping; nil means the real clock.
+	Clock clock.Clock
+}
+
+func (c *NodeConfig) fill() {
+	if c.MemtableFlushBytes <= 0 {
+		c.MemtableFlushBytes = 4 << 20
+	}
+	if c.CompactionThreshold <= 0 {
+		c.CompactionThreshold = 4
+	}
+	if c.Device == nil {
+		c.Device = storage.NewDevice(storage.Profile{Name: "null"})
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+}
+
+// NodeStats is a snapshot of a node's internals.
+type NodeStats struct {
+	MemtableRows   int
+	MemtableBytes  int64
+	SSTables       int
+	SSTableBytes   int64
+	Flushes        uint64
+	Compactions    uint64
+	Reads          uint64
+	ReadsFromMem   uint64
+	SSTableProbes  uint64 // sstables actually read from device
+	BloomSkips     uint64 // sstables skipped thanks to the bloom filter
+	ExpiredDropped uint64 // rows GC'd by compaction (TTL or tombstone)
+	LiveRows       int    // live rows across memtable+sstables (post-merge view)
+}
+
+// Node is one storage server. It is safe for concurrent use and can be
+// marked down to simulate a crash.
+type Node struct {
+	name string
+	cfg  NodeConfig
+
+	mu     sync.Mutex
+	mem    *memtable
+	tables []*sstable // newest first
+	down   bool
+	stats  NodeStats
+}
+
+// NewNode returns a node with the given name and configuration.
+func NewNode(name string, cfg NodeConfig) *Node {
+	cfg.fill()
+	return &Node{name: name, cfg: cfg, mem: newMemtable()}
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Device returns the node's simulated storage device.
+func (n *Node) Device() *storage.Device { return n.cfg.Device }
+
+// SetDown marks the node crashed (true) or recovered (false). A
+// recovering node keeps its sstables — they are durable — but loses its
+// memtable, exactly like a Cassandra restart without a commit log
+// replay. (Muppet tolerates this: unflushed slate changes are lost on
+// failure, §4.3.)
+func (n *Node) SetDown(down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down && !n.down {
+		n.mem = newMemtable()
+	}
+	n.down = down
+}
+
+// Down reports whether the node is marked crashed.
+func (n *Node) Down() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+// ErrNodeDown is returned by operations on a crashed node.
+type ErrNodeDown struct{ Node string }
+
+func (e ErrNodeDown) Error() string { return "kvstore: node " + e.Node + " is down" }
+
+// Put writes value at <key, column> with the given TTL (0 = forever).
+// It returns the simulated device time consumed.
+func (n *Node) Put(key, column string, value []byte, ttl time.Duration) (time.Duration, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return 0, ErrNodeDown{n.name}
+	}
+	now := n.cfg.Clock.Now()
+	// Commit-log append: sequential write of the mutation.
+	cost := n.cfg.Device.SequentialWrite(int64(len(key) + len(column) + len(value)))
+	n.mem.put(rowKey(key, column), Row{Value: append([]byte(nil), value...), WriteTime: now, TTL: ttl})
+	if n.mem.size >= n.cfg.MemtableFlushBytes {
+		cost += n.flushLocked()
+	}
+	return cost, nil
+}
+
+// Delete writes a tombstone for <key, column>.
+func (n *Node) Delete(key, column string) (time.Duration, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return 0, ErrNodeDown{n.name}
+	}
+	cost := n.cfg.Device.SequentialWrite(int64(len(key) + len(column)))
+	n.mem.put(rowKey(key, column), Row{WriteTime: n.cfg.Clock.Now(), Tombstone: true})
+	if n.mem.size >= n.cfg.MemtableFlushBytes {
+		cost += n.flushLocked()
+	}
+	return cost, nil
+}
+
+// Get reads <key, column>. The boolean reports whether a live row was
+// found. Expired and tombstoned rows read as absent.
+func (n *Node) Get(key, column string) ([]byte, Row, bool, time.Duration, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return nil, Row{}, false, 0, ErrNodeDown{n.name}
+	}
+	n.stats.Reads++
+	rk := rowKey(key, column)
+	now := n.cfg.Clock.Now()
+	if r, ok := n.mem.rows[rk]; ok {
+		n.stats.ReadsFromMem++
+		if r.Tombstone || r.expired(now) {
+			return nil, r, false, 0, nil
+		}
+		return r.Value, r, true, 0, nil
+	}
+	var cost time.Duration
+	for _, t := range n.tables {
+		if !t.filter.MayContain(rk) {
+			n.stats.BloomSkips++
+			continue
+		}
+		r, ok := t.get(rk)
+		// A bloom hit costs a device read whether or not the row is
+		// there (false positives still seek).
+		n.stats.SSTableProbes++
+		cost += n.cfg.Device.Read(int64(len(rk) + len(r.Value) + 64))
+		if !ok {
+			continue
+		}
+		if r.Tombstone || r.expired(now) {
+			return nil, r, false, cost, nil
+		}
+		return r.Value, r, true, cost, nil
+	}
+	return nil, Row{}, false, cost, nil
+}
+
+// Flush forces the memtable to disk as a new sstable and returns the
+// simulated device time.
+func (n *Node) Flush() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return 0
+	}
+	return n.flushLocked()
+}
+
+func (n *Node) flushLocked() time.Duration {
+	if len(n.mem.rows) == 0 {
+		return 0
+	}
+	t := buildSSTable(n.mem.rows)
+	n.tables = append([]*sstable{t}, n.tables...)
+	n.mem = newMemtable()
+	n.stats.Flushes++
+	cost := n.cfg.Device.SequentialWrite(t.bytes)
+	if len(n.tables) >= n.cfg.CompactionThreshold {
+		cost += n.compactLocked()
+	}
+	return cost
+}
+
+// Compact merges all sstables into one, dropping tombstones and
+// TTL-expired rows, and returns the simulated device time.
+func (n *Node) Compact() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return 0
+	}
+	return n.compactLocked()
+}
+
+func (n *Node) compactLocked() time.Duration {
+	if len(n.tables) == 0 {
+		return 0
+	}
+	now := n.cfg.Clock.Now()
+	merged := make(map[string]Row)
+	var readBytes int64
+	// Oldest first so newer runs overwrite older rows.
+	for i := len(n.tables) - 1; i >= 0; i-- {
+		t := n.tables[i]
+		readBytes += t.bytes
+		for j, k := range t.keys {
+			merged[k] = t.rows[j]
+		}
+	}
+	for k, r := range merged {
+		if r.Tombstone || r.expired(now) {
+			delete(merged, k)
+			n.stats.ExpiredDropped++
+		}
+	}
+	cost := n.cfg.Device.Read(readBytes)
+	if len(merged) == 0 {
+		n.tables = nil
+		n.stats.Compactions++
+		return cost
+	}
+	t := buildSSTable(merged)
+	n.tables = []*sstable{t}
+	n.stats.Compactions++
+	cost += n.cfg.Device.SequentialWrite(t.bytes)
+	return cost
+}
+
+// Stats returns a snapshot of the node's internals, including a merged
+// live-row count (memtable over sstables, TTL and tombstones applied).
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.stats
+	s.MemtableRows = len(n.mem.rows)
+	s.MemtableBytes = n.mem.size
+	s.SSTables = len(n.tables)
+	now := n.cfg.Clock.Now()
+	live := make(map[string]bool)
+	for i := len(n.tables) - 1; i >= 0; i-- {
+		t := n.tables[i]
+		s.SSTableBytes += t.bytes
+		for j, k := range t.keys {
+			r := t.rows[j]
+			live[k] = !r.Tombstone && !r.expired(now)
+		}
+	}
+	for k, r := range n.mem.rows {
+		live[k] = !r.Tombstone && !r.expired(now)
+	}
+	for _, ok := range live {
+		if ok {
+			s.LiveRows++
+		}
+	}
+	return s
+}
+
+// Scan calls fn for every live row in the node whose column matches
+// the given column (the bulk slate-read path of Section 5). Iteration
+// order is unspecified.
+func (n *Node) Scan(column string, fn func(key string, value []byte)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return
+	}
+	now := n.cfg.Clock.Now()
+	seen := make(map[string]Row)
+	for i := len(n.tables) - 1; i >= 0; i-- {
+		t := n.tables[i]
+		for j, k := range t.keys {
+			seen[k] = t.rows[j]
+		}
+	}
+	for k, r := range n.mem.rows {
+		seen[k] = r
+	}
+	for rk, r := range seen {
+		if r.Tombstone || r.expired(now) {
+			continue
+		}
+		k, col := splitRowKey(rk)
+		if col == column {
+			fn(k, r.Value)
+		}
+	}
+}

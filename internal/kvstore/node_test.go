@@ -1,0 +1,339 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"muppet/internal/clock"
+	"muppet/internal/storage"
+)
+
+func testNode(t *testing.T, cfg NodeConfig) *Node {
+	t.Helper()
+	return NewNode("n0", cfg)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	n := testNode(t, NodeConfig{})
+	if _, err := n.Put("user1", "U1", []byte("slate-data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, _, found, _, err := n.Get("user1", "U1")
+	if err != nil || !found {
+		t.Fatalf("Get: found=%v err=%v", found, err)
+	}
+	if string(v) != "slate-data" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestGetMissingRow(t *testing.T) {
+	n := testNode(t, NodeConfig{})
+	_, _, found, _, err := n.Get("nope", "U1")
+	if err != nil || found {
+		t.Fatalf("found=%v err=%v, want absent", found, err)
+	}
+}
+
+func TestColumnsAreIndependent(t *testing.T) {
+	// Slate S(U,k) lives at row k, column U: two updaters may keep
+	// separate slates for the same key (Section 3).
+	n := testNode(t, NodeConfig{})
+	n.Put("k", "U1", []byte("one"), 0)
+	n.Put("k", "U2", []byte("two"), 0)
+	v1, _, _, _, _ := n.Get("k", "U1")
+	v2, _, _, _, _ := n.Get("k", "U2")
+	if string(v1) != "one" || string(v2) != "two" {
+		t.Fatalf("v1=%q v2=%q", v1, v2)
+	}
+}
+
+func TestOverwriteReturnsNewest(t *testing.T) {
+	n := testNode(t, NodeConfig{})
+	n.Put("k", "U", []byte("v1"), 0)
+	n.Put("k", "U", []byte("v2"), 0)
+	v, _, _, _, _ := n.Get("k", "U")
+	if string(v) != "v2" {
+		t.Fatalf("value = %q, want v2", v)
+	}
+}
+
+func TestReadAfterFlush(t *testing.T) {
+	n := testNode(t, NodeConfig{})
+	n.Put("k", "U", []byte("v"), 0)
+	n.Flush()
+	if s := n.Stats(); s.SSTables != 1 || s.MemtableRows != 0 {
+		t.Fatalf("stats after flush: %+v", s)
+	}
+	v, _, found, cost, _ := n.Get("k", "U")
+	if !found || string(v) != "v" {
+		t.Fatalf("found=%v v=%q", found, v)
+	}
+	_ = cost
+}
+
+func TestMemtableShadowsSSTable(t *testing.T) {
+	n := testNode(t, NodeConfig{})
+	n.Put("k", "U", []byte("old"), 0)
+	n.Flush()
+	n.Put("k", "U", []byte("new"), 0)
+	v, _, _, _, _ := n.Get("k", "U")
+	if string(v) != "new" {
+		t.Fatalf("value = %q, want memtable version", v)
+	}
+}
+
+func TestNewerSSTableShadowsOlder(t *testing.T) {
+	n := testNode(t, NodeConfig{CompactionThreshold: 100})
+	n.Put("k", "U", []byte("old"), 0)
+	n.Flush()
+	n.Put("k", "U", []byte("new"), 0)
+	n.Flush()
+	v, _, _, _, _ := n.Get("k", "U")
+	if string(v) != "new" {
+		t.Fatalf("value = %q, want newer sstable version", v)
+	}
+}
+
+func TestAutomaticFlushOnThreshold(t *testing.T) {
+	n := testNode(t, NodeConfig{MemtableFlushBytes: 100, CompactionThreshold: 100})
+	for i := 0; i < 20; i++ {
+		n.Put(fmt.Sprintf("key-%02d", i), "U", make([]byte, 20), 0)
+	}
+	if s := n.Stats(); s.Flushes == 0 {
+		t.Fatalf("no automatic flush happened: %+v", s)
+	}
+}
+
+func TestCompactionMergesRuns(t *testing.T) {
+	n := testNode(t, NodeConfig{CompactionThreshold: 3})
+	n.Put("a", "U", []byte("1"), 0)
+	n.Flush()
+	n.Put("b", "U", []byte("2"), 0)
+	n.Flush()
+	n.Put("c", "U", []byte("3"), 0)
+	n.Flush() // triggers compaction at threshold 3
+	s := n.Stats()
+	if s.Compactions != 1 || s.SSTables != 1 {
+		t.Fatalf("stats = %+v, want 1 compaction into 1 sstable", s)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, _, found, _, _ := n.Get(k, "U"); !found {
+			t.Fatalf("key %s lost by compaction", k)
+		}
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	n := testNode(t, NodeConfig{})
+	n.Put("k", "U", []byte("v"), 0)
+	n.Flush()
+	n.Delete("k", "U")
+	if _, _, found, _, _ := n.Get("k", "U"); found {
+		t.Fatal("deleted row still readable")
+	}
+	n.Flush()
+	n.Compact()
+	if _, _, found, _, _ := n.Get("k", "U"); found {
+		t.Fatal("deleted row resurfaced after compaction")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	n := testNode(t, NodeConfig{Clock: fake})
+	n.Put("k", "U", []byte("v"), 10*time.Second)
+	if _, _, found, _, _ := n.Get("k", "U"); !found {
+		t.Fatal("fresh row should be live")
+	}
+	fake.Advance(11 * time.Second)
+	if _, _, found, _, _ := n.Get("k", "U"); found {
+		t.Fatal("expired row still live")
+	}
+}
+
+func TestTTLZeroMeansForever(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	n := testNode(t, NodeConfig{Clock: fake})
+	n.Put("k", "U", []byte("v"), 0)
+	fake.Advance(1000 * time.Hour)
+	if _, _, found, _, _ := n.Get("k", "U"); !found {
+		t.Fatal("TTL=0 row expired")
+	}
+}
+
+func TestCompactionGCsExpiredRows(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	n := testNode(t, NodeConfig{Clock: fake, CompactionThreshold: 100})
+	for i := 0; i < 10; i++ {
+		n.Put(fmt.Sprintf("k%d", i), "U", []byte("v"), 5*time.Second)
+	}
+	n.Flush()
+	fake.Advance(10 * time.Second)
+	n.Compact()
+	s := n.Stats()
+	if s.ExpiredDropped != 10 {
+		t.Fatalf("ExpiredDropped = %d, want 10", s.ExpiredDropped)
+	}
+	if s.LiveRows != 0 {
+		t.Fatalf("LiveRows = %d, want 0", s.LiveRows)
+	}
+	if _, _, found, _, _ := n.Get("k3", "U"); found {
+		t.Fatal("TTL-expired row resurfaced after compaction")
+	}
+}
+
+func TestExpiredRowNeverResurfacesAfterRewrite(t *testing.T) {
+	// After expiry, a new write must start a fresh row (the paper:
+	// "resetting to an empty slate at that time").
+	fake := clock.NewFake(time.Unix(1000, 0))
+	n := testNode(t, NodeConfig{Clock: fake})
+	n.Put("k", "U", []byte("old"), time.Second)
+	fake.Advance(2 * time.Second)
+	n.Put("k", "U", []byte("new"), time.Second)
+	v, _, found, _, _ := n.Get("k", "U")
+	if !found || string(v) != "new" {
+		t.Fatalf("found=%v v=%q, want fresh row", found, v)
+	}
+}
+
+func TestDownNodeRejectsOps(t *testing.T) {
+	n := testNode(t, NodeConfig{})
+	n.Put("k", "U", []byte("v"), 0)
+	n.SetDown(true)
+	if !n.Down() {
+		t.Fatal("node should report down")
+	}
+	if _, err := n.Put("k", "U", []byte("v2"), 0); err == nil {
+		t.Fatal("Put on down node should fail")
+	}
+	if _, _, _, _, err := n.Get("k", "U"); err == nil {
+		t.Fatal("Get on down node should fail")
+	}
+}
+
+func TestCrashLosesMemtableKeepsSSTables(t *testing.T) {
+	n := testNode(t, NodeConfig{CompactionThreshold: 100})
+	n.Put("durable", "U", []byte("v1"), 0)
+	n.Flush()
+	n.Put("volatile", "U", []byte("v2"), 0)
+	n.SetDown(true)
+	n.SetDown(false)
+	if _, _, found, _, _ := n.Get("durable", "U"); !found {
+		t.Fatal("flushed row lost on crash")
+	}
+	if _, _, found, _, _ := n.Get("volatile", "U"); found {
+		t.Fatal("memtable row survived crash")
+	}
+}
+
+func TestBloomFilterSkipsIrrelevantRuns(t *testing.T) {
+	n := testNode(t, NodeConfig{CompactionThreshold: 1000})
+	for run := 0; run < 5; run++ {
+		n.Put(fmt.Sprintf("run%d-key", run), "U", []byte("v"), 0)
+		n.Flush()
+	}
+	// An absent key must walk all runs; the bloom filters should skip
+	// (almost) every one without touching the device.
+	n.Get("absent-key", "U")
+	after := n.Stats()
+	if after.BloomSkips < 4 {
+		t.Fatalf("bloom filters skipped only %d of 5 runs", after.BloomSkips)
+	}
+	// A key in the oldest run should skip the four newer runs.
+	before := n.Stats().BloomSkips
+	if _, _, found, _, _ := n.Get("run0-key", "U"); !found {
+		t.Fatal("run0-key lost")
+	}
+	if n.Stats().BloomSkips <= before {
+		t.Fatal("no bloom skips when reading the oldest run")
+	}
+}
+
+func TestDeviceChargedForSSTableReads(t *testing.T) {
+	dev := storage.NewDevice(storage.SSD())
+	n := testNode(t, NodeConfig{Device: dev, CompactionThreshold: 100})
+	n.Put("k", "U", []byte("v"), 0)
+	n.Flush()
+	n.Get("k", "U")
+	if dev.Stats().ReadOps == 0 {
+		t.Fatal("sstable read did not touch the device")
+	}
+}
+
+func TestMemtableReadIsFree(t *testing.T) {
+	dev := storage.NewDevice(storage.SSD())
+	n := testNode(t, NodeConfig{Device: dev})
+	n.Put("k", "U", []byte("v"), 0)
+	before := dev.Stats().ReadOps
+	n.Get("k", "U")
+	if dev.Stats().ReadOps != before {
+		t.Fatal("memtable read charged a device read")
+	}
+}
+
+func TestScanFiltersByColumn(t *testing.T) {
+	n := testNode(t, NodeConfig{})
+	n.Put("a", "U1", []byte("1"), 0)
+	n.Put("b", "U1", []byte("2"), 0)
+	n.Put("c", "U2", []byte("3"), 0)
+	n.Flush()
+	got := map[string]string{}
+	n.Scan("U1", func(k string, v []byte) { got[k] = string(v) })
+	if len(got) != 2 || got["a"] != "1" || got["b"] != "2" {
+		t.Fatalf("scan = %v", got)
+	}
+}
+
+func TestPropertyNodeMatchesModelMap(t *testing.T) {
+	// The node's visible contents always equal a plain map applied the
+	// same operations, regardless of flush/compaction interleaving.
+	type op struct {
+		Key    uint8
+		Delete bool
+		Flush  bool
+	}
+	f := func(ops []op) bool {
+		n := NewNode("p", NodeConfig{CompactionThreshold: 3})
+		model := map[string]string{}
+		for i, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key%8)
+			if o.Delete {
+				n.Delete(k, "U")
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%d", i)
+				n.Put(k, "U", []byte(v), 0)
+				model[k] = v
+			}
+			if o.Flush {
+				n.Flush()
+			}
+		}
+		for j := 0; j < 8; j++ {
+			k := fmt.Sprintf("k%d", j)
+			v, _, found, _, _ := n.Get(k, "U")
+			want, ok := model[k]
+			if found != ok || (found && string(v) != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	n := testNode(t, NodeConfig{})
+	buf := []byte("original")
+	n.Put("k", "U", buf, 0)
+	buf[0] = 'X'
+	v, _, _, _, _ := n.Get("k", "U")
+	if string(v) != "original" {
+		t.Fatalf("stored value aliases caller buffer: %q", v)
+	}
+}

@@ -1,0 +1,158 @@
+// Package metrics provides the counters, throughput meters, and latency
+// histograms the benchmark harness uses to reproduce the paper's
+// operational claims (Section 5): sustained events/second and
+// end-to-end latency percentiles.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram records duration samples and reports percentiles. It is
+// safe for concurrent use. Samples are kept exactly (no sketching) up
+// to a cap, then reservoir-sampled, which is accurate enough for the
+// experiment harness while bounding memory.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+	cap     int
+	rngSeed uint64
+}
+
+// NewHistogram returns a histogram keeping at most capSamples raw
+// samples (default 100k if capSamples <= 0).
+func NewHistogram(capSamples int) *Histogram {
+	if capSamples <= 0 {
+		capSamples = 100_000
+	}
+	return &Histogram{cap: capSamples, rngSeed: 0x9E3779B97F4A7C15}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Reservoir sampling: replace a random slot with probability cap/count.
+	h.rngSeed = h.rngSeed*6364136223846793005 + 1442695040888963407
+	slot := h.rngSeed % h.count
+	if slot < uint64(h.cap) {
+		h.samples[slot] = d
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean reports the average of all observations.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.sum) / h.count)
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) over the retained
+// samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(h.samples))
+	copy(s, h.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Summary renders count/mean/p50/p95/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}
+
+// Meter measures throughput: events counted over a wall-clock window.
+type Meter struct {
+	count atomic.Uint64
+	start time.Time
+}
+
+// NewMeter returns a meter whose window starts now.
+func NewMeter() *Meter {
+	return &Meter{start: time.Now()}
+}
+
+// Mark counts one event.
+func (m *Meter) Mark() { m.count.Add(1) }
+
+// MarkN counts n events.
+func (m *Meter) MarkN(n uint64) { m.count.Add(n) }
+
+// Count returns the events counted so far.
+func (m *Meter) Count() uint64 { return m.count.Load() }
+
+// Rate returns events per second since the meter was created.
+func (m *Meter) Rate() float64 {
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.count.Load()) / elapsed
+}
+
+// PerDay converts an events/second rate into the events/day framing the
+// paper reports ("over 100 million tweets per day").
+func PerDay(ratePerSec float64) float64 {
+	return ratePerSec * 86400
+}

@@ -1,0 +1,201 @@
+// Package queue implements the bounded incoming-event queues that every
+// Muppet worker owns, together with the three queue-overflow mechanisms
+// the paper describes in Section 4.3: dropping (with logging), diverting
+// to an overflow stream for degraded service, and slowing down the event
+// pace (backpressure / source throttling).
+package queue
+
+import (
+	"errors"
+	"sync"
+)
+
+// OverflowPolicy selects what happens when an event is offered to a
+// full queue.
+type OverflowPolicy int
+
+const (
+	// Drop rejects the event; the caller counts it as lost (and may log
+	// it for later processing and debugging, as the paper suggests).
+	Drop OverflowPolicy = iota
+	// Divert rejects the event but marks it for redirection to a
+	// configured overflow stream, whose recipients can implement a
+	// "slightly degraded" service.
+	Divert
+	// Block makes the producer wait until space frees up, slowing the
+	// pace of passing events (the paper's source-throttling behavior
+	// when applied at stream sources).
+	Block
+)
+
+// String names the policy for logs and bench output.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case Drop:
+		return "drop"
+	case Divert:
+		return "divert"
+	case Block:
+		return "block"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrClosed is returned by Put and Get once the queue is closed.
+var ErrClosed = errors.New("queue: closed")
+
+// ErrOverflow is returned by Put under the Drop and Divert policies
+// when the queue is full.
+var ErrOverflow = errors.New("queue: overflow")
+
+// Stats is a snapshot of a queue's lifetime accounting. The invariant
+// Offered == Accepted + Dropped + Diverted always holds.
+type Stats struct {
+	Offered  uint64
+	Accepted uint64
+	Dropped  uint64
+	Diverted uint64
+	Blocked  uint64 // Put calls that had to wait under the Block policy
+	MaxDepth int
+}
+
+// Queue is a bounded FIFO, safe for concurrent producers and
+// consumers. The element type is generic: Muppet 1.0 workers queue
+// bare events, Muppet 2.0 threads queue (function, event) envelopes.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf      []T
+	head     int
+	count    int
+	capacity int
+	policy   OverflowPolicy
+	closed   bool
+	stats    Stats
+}
+
+// New returns a queue with the given capacity and overflow policy.
+// Capacity must be positive.
+func New[T any](capacity int, policy OverflowPolicy) *Queue[T] {
+	if capacity <= 0 {
+		panic("queue: capacity must be positive")
+	}
+	q := &Queue[T]{
+		buf:      make([]T, capacity),
+		capacity: capacity,
+		policy:   policy,
+	}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+// Put offers an element to the queue. Under Drop and Divert it returns
+// ErrOverflow immediately when full; under Block it waits. It returns
+// ErrClosed if the queue is (or becomes) closed.
+func (q *Queue[T]) Put(e T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.stats.Offered++
+	if q.closed {
+		return ErrClosed
+	}
+	if q.count == q.capacity {
+		switch q.policy {
+		case Drop:
+			q.stats.Dropped++
+			return ErrOverflow
+		case Divert:
+			q.stats.Diverted++
+			return ErrOverflow
+		case Block:
+			q.stats.Blocked++
+			for q.count == q.capacity && !q.closed {
+				q.notFull.Wait()
+			}
+			if q.closed {
+				return ErrClosed
+			}
+		}
+	}
+	q.buf[(q.head+q.count)%q.capacity] = e
+	q.count++
+	if q.count > q.stats.MaxDepth {
+		q.stats.MaxDepth = q.count
+	}
+	q.stats.Accepted++
+	q.notEmpty.Signal()
+	return nil
+}
+
+// Get removes and returns the oldest element, blocking while the queue
+// is empty. It returns ErrClosed once the queue is closed and drained.
+func (q *Queue[T]) Get() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	var zero T
+	if q.count == 0 {
+		return zero, ErrClosed
+	}
+	e := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % q.capacity
+	q.count--
+	q.notFull.Signal()
+	return e, nil
+}
+
+// TryGet removes and returns the oldest element without blocking. The
+// boolean reports whether an element was available.
+func (q *Queue[T]) TryGet() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.count == 0 {
+		return zero, false
+	}
+	e := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % q.capacity
+	q.count--
+	q.notFull.Signal()
+	return e, true
+}
+
+// Close marks the queue closed. Blocked producers fail with ErrClosed;
+// consumers drain remaining elements and then receive ErrClosed.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Len reports the current queue depth.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Cap reports the queue capacity.
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// Stats returns a snapshot of the queue's accounting counters.
+func (q *Queue[T]) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Policy returns the queue's overflow policy.
+func (q *Queue[T]) Policy() OverflowPolicy { return q.policy }

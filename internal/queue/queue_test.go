@@ -1,0 +1,238 @@
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"muppet/internal/event"
+)
+
+func ev(i int) event.Event {
+	return event.Event{Stream: "s", Seq: uint64(i), Key: fmt.Sprintf("k%d", i)}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[event.Event](10, Drop)
+	for i := 0; i < 5; i++ {
+		if err := q.Put(ev(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		e, err := q.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Seq != uint64(i) {
+			t.Fatalf("got seq %d, want %d", e.Seq, i)
+		}
+	}
+}
+
+func TestDropPolicyRejectsWhenFull(t *testing.T) {
+	q := New[event.Event](2, Drop)
+	q.Put(ev(0))
+	q.Put(ev(1))
+	if err := q.Put(ev(2)); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("Put on full queue = %v, want ErrOverflow", err)
+	}
+	s := q.Stats()
+	if s.Dropped != 1 || s.Accepted != 2 || s.Offered != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDivertPolicyCountsSeparately(t *testing.T) {
+	q := New[event.Event](1, Divert)
+	q.Put(ev(0))
+	if err := q.Put(ev(1)); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("want ErrOverflow, got %v", err)
+	}
+	s := q.Stats()
+	if s.Diverted != 1 || s.Dropped != 0 {
+		t.Fatalf("stats = %+v, want 1 diverted", s)
+	}
+}
+
+func TestBlockPolicyWaitsForSpace(t *testing.T) {
+	q := New[event.Event](1, Block)
+	q.Put(ev(0))
+	done := make(chan error, 1)
+	go func() { done <- q.Put(ev(1)) }()
+	select {
+	case <-done:
+		t.Fatal("Put returned before space freed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := q.Get(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked Put never completed")
+	}
+	if s := q.Stats(); s.Blocked != 1 {
+		t.Fatalf("Blocked = %d, want 1", s.Blocked)
+	}
+}
+
+func TestGetBlocksUntilPut(t *testing.T) {
+	q := New[event.Event](1, Drop)
+	got := make(chan event.Event, 1)
+	go func() {
+		e, _ := q.Get()
+		got <- e
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Put(ev(7))
+	select {
+	case e := <-got:
+		if e.Seq != 7 {
+			t.Fatalf("seq = %d, want 7", e.Seq)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get never returned")
+	}
+}
+
+func TestTryGetNonBlocking(t *testing.T) {
+	q := New[event.Event](1, Drop)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue returned ok")
+	}
+	q.Put(ev(1))
+	e, ok := q.TryGet()
+	if !ok || e.Seq != 1 {
+		t.Fatalf("TryGet = %v, %v", e, ok)
+	}
+}
+
+func TestCloseDrainsThenErrClosed(t *testing.T) {
+	q := New[event.Event](4, Drop)
+	q.Put(ev(0))
+	q.Put(ev(1))
+	q.Close()
+	if _, err := q.Get(); err != nil {
+		t.Fatalf("Get of buffered event after close = %v", err)
+	}
+	if _, err := q.Get(); err != nil {
+		t.Fatalf("Get of buffered event after close = %v", err)
+	}
+	if _, err := q.Get(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get on drained closed queue = %v, want ErrClosed", err)
+	}
+	if err := q.Put(ev(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put on closed queue = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseUnblocksBlockedProducer(t *testing.T) {
+	q := New[event.Event](1, Block)
+	q.Put(ev(0))
+	done := make(chan error, 1)
+	go func() { done <- q.Put(ev(1)) }()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked Put after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked producer never released")
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	q := New[event.Event](1, Drop)
+	q.Close()
+	q.Close()
+}
+
+func TestWraparound(t *testing.T) {
+	q := New[event.Event](3, Drop)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if err := q.Put(ev(round*3 + i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			e, err := q.Get()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Seq != uint64(round*3+i) {
+				t.Fatalf("round %d: got %d, want %d", round, e.Seq, round*3+i)
+			}
+		}
+	}
+}
+
+func TestStatsConservation(t *testing.T) {
+	q := New[event.Event](8, Drop)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if _, ok := q.TryGet(); !ok {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}
+	}()
+	const producers, per = 4, 500
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < per; i++ {
+				q.Put(ev(p*per + i))
+			}
+		}(p)
+	}
+	pwg.Wait()
+	close(stop)
+	wg.Wait()
+	s := q.Stats()
+	if s.Offered != producers*per {
+		t.Fatalf("Offered = %d, want %d", s.Offered, producers*per)
+	}
+	if s.Accepted+s.Dropped+s.Diverted != s.Offered {
+		t.Fatalf("conservation violated: %+v", s)
+	}
+	if s.MaxDepth > q.Cap() {
+		t.Fatalf("MaxDepth %d exceeds capacity %d", s.MaxDepth, q.Cap())
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	cases := map[OverflowPolicy]string{Drop: "drop", Divert: "divert", Block: "block", OverflowPolicy(99): "unknown"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Fatalf("String(%d) = %s, want %s", p, p.String(), want)
+		}
+	}
+}
+
+func TestNewPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[event.Event](0, Drop)
+}

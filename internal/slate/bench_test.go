@@ -1,0 +1,46 @@
+package slate
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := NewCache(CacheConfig{Capacity: 10000})
+	for i := 0; i < 1000; i++ {
+		c.Put(k("U", fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(k("U", fmt.Sprintf("k%d", i%1000)))
+	}
+}
+
+func BenchmarkCachePutWriteThrough(b *testing.B) {
+	c := NewCache(CacheConfig{Capacity: 10000, Policy: WriteThrough, Store: newFakeStore()})
+	v := []byte(`{"count": 42}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(k("U", fmt.Sprintf("k%d", i%1000)), v)
+	}
+}
+
+func BenchmarkCompressTypicalSlate(b *testing.B) {
+	slate := bytes.Repeat([]byte(`{"user":"u123","count":42,"tags":["a","b"]},`), 20)
+	b.SetBytes(int64(len(slate)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(slate)
+	}
+}
+
+func BenchmarkDecompressTypicalSlate(b *testing.B) {
+	slate := bytes.Repeat([]byte(`{"user":"u123","count":42,"tags":["a","b"]},`), 20)
+	stored := Compress(slate)
+	b.SetBytes(int64(len(slate)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompress(stored)
+	}
+}

@@ -1,0 +1,56 @@
+// Package slate implements Muppet's slate management (Sections 3 and
+// 4.2 of the paper): the per-<updater, key> memory of update functions,
+// the in-memory slate cache on each machine, the flush policies that
+// persist dirty slates to the durable key-value store, and the
+// compressed encoding used when storing them.
+//
+// A slate is an opaque byte blob to the framework; applications often
+// encode JSON for language independence, and Muppet compresses each
+// slate before storing it in the key-value store, both of which this
+// package reproduces.
+package slate
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Key identifies a slate: the pair <update function U, event key k>
+// uniquely determines a slate (Section 3) — the same event key yields
+// different slates for different updaters.
+type Key struct {
+	Updater string
+	Key     string
+}
+
+// String renders the slate key as updater/key, matching the HTTP fetch
+// URI layout of Section 4.4.
+func (k Key) String() string { return k.Updater + "/" + k.Key }
+
+// Compress deflate-compresses a slate for storage, reproducing
+// "Muppet compresses each slate before storing it in the key-value
+// store" (Section 4.2).
+func Compress(raw []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		// flate.NewWriter only fails on an invalid level constant.
+		panic(fmt.Sprintf("slate: flate writer: %v", err))
+	}
+	w.Write(raw)
+	w.Close()
+	return buf.Bytes()
+}
+
+// Decompress reverses Compress.
+func Decompress(stored []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(stored))
+	defer r.Close()
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("slate: decompress: %w", err)
+	}
+	return raw, nil
+}

@@ -1,0 +1,46 @@
+package slate
+
+import (
+	"time"
+
+	"muppet/internal/kvstore"
+)
+
+// KVStore adapts the replicated key-value cluster to the Store
+// interface, reproducing Muppet's layout: slate S(U,k) is stored at
+// row k, column U, compressed (Section 4.2).
+type KVStore struct {
+	Cluster *kvstore.Cluster
+	// Level is the consistency level for slate reads and writes, a
+	// per-application knob in Muppet.
+	Level kvstore.Consistency
+	// DisableCompression stores slates raw; experiment harnesses use it
+	// to isolate compression cost.
+	DisableCompression bool
+}
+
+// Load implements Store.
+func (s *KVStore) Load(k Key) ([]byte, bool, error) {
+	v, found, _, err := s.Cluster.Get(k.Key, k.Updater, s.Level)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	if s.DisableCompression {
+		return v, true, nil
+	}
+	raw, err := Decompress(v)
+	if err != nil {
+		return nil, false, err
+	}
+	return raw, true, nil
+}
+
+// Save implements Store.
+func (s *KVStore) Save(k Key, value []byte, ttl time.Duration) error {
+	stored := value
+	if !s.DisableCompression {
+		stored = Compress(value)
+	}
+	_, err := s.Cluster.Put(k.Key, k.Updater, stored, ttl, s.Level)
+	return err
+}

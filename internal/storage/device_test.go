@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSSDFasterThanHDDForRandomReads(t *testing.T) {
+	ssd := NewDevice(SSD())
+	hdd := NewDevice(HDD())
+	var ssdTime, hddTime time.Duration
+	for i := 0; i < 1000; i++ {
+		ssdTime += ssd.Read(4096)
+		hddTime += hdd.Read(4096)
+	}
+	if hddTime < ssdTime*10 {
+		t.Fatalf("hdd random reads (%v) should be >=10x slower than ssd (%v)", hddTime, ssdTime)
+	}
+}
+
+func TestSeekChargedPerOperation(t *testing.T) {
+	d := NewDevice(Profile{SeekLatency: time.Millisecond, ReadBandwidth: 1 << 30, WriteBandwidth: 1 << 30})
+	one := d.Read(0)
+	if one < time.Millisecond {
+		t.Fatalf("read of 0 bytes cost %v, want >= seek 1ms", one)
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	d := NewDevice(Profile{SeekLatency: 0, ReadBandwidth: 1 << 20, WriteBandwidth: 1 << 20})
+	small := d.Read(1 << 10)
+	big := d.Read(1 << 20)
+	if big < 900*small {
+		t.Fatalf("1MB read (%v) should be ~1024x the 1KB read (%v)", big, small)
+	}
+}
+
+func TestZeroBandwidthChargesSeekOnly(t *testing.T) {
+	d := NewDevice(Profile{SeekLatency: time.Millisecond})
+	if got := d.Write(1 << 20); got != time.Millisecond {
+		t.Fatalf("write with zero bandwidth = %v, want 1ms", got)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := NewDevice(SSD())
+	d.Read(100)
+	d.Write(200)
+	d.SequentialWrite(300)
+	s := d.Stats()
+	if s.ReadOps != 1 || s.WriteOps != 2 {
+		t.Fatalf("ops = %d/%d, want 1/2", s.ReadOps, s.WriteOps)
+	}
+	if s.ReadBytes != 100 || s.WriteBytes != 500 {
+		t.Fatalf("bytes = %d/%d, want 100/500", s.ReadBytes, s.WriteBytes)
+	}
+	if s.BusyTime <= 0 {
+		t.Fatal("busy time not accumulated")
+	}
+	if s.ProfileName != "ssd" {
+		t.Fatalf("profile name = %q", s.ProfileName)
+	}
+}
+
+func TestResetZeroesCounters(t *testing.T) {
+	d := NewDevice(SSD())
+	d.Read(1000)
+	d.Reset()
+	s := d.Stats()
+	if s.ReadOps != 0 || s.BusyTime != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	d := NewDevice(SSD())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				d.Read(512)
+				d.Write(512)
+			}
+		}()
+	}
+	wg.Wait()
+	s := d.Stats()
+	if s.ReadOps != 800 || s.WriteOps != 800 {
+		t.Fatalf("ops = %d/%d, want 800/800", s.ReadOps, s.WriteOps)
+	}
+}

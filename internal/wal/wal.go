@@ -1,0 +1,95 @@
+// Package wal implements the event replay log the paper names as
+// future work: "Developing a replay capability to recover the lost
+// events is a subject of future work" (Section 4.3).
+//
+// Each machine appends every delivery it accepts to a log and
+// acknowledges it once the event is fully processed. When the machine
+// dies, the unacknowledged suffix is exactly the set of events the
+// stock Muppet would lose (queued plus in-flight); the engine replays
+// them to the keys' new owners.
+//
+// Substitution note: in a real deployment the log would live on
+// durable local storage or a replicated log service so it survives the
+// crash; here it survives because the "machine" is simulated. The
+// preserved behavior is the recovery protocol, not the storage medium.
+// Replay is at-least-once: an event processed but not yet acknowledged
+// at crash time is replayed and applied twice. Exactly-once would
+// additionally need idempotence or deduplication in the updaters.
+package wal
+
+import (
+	"sync"
+
+	"muppet/internal/engine"
+)
+
+// Log is a per-machine replay log. It is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	next    uint64
+	pending map[uint64]engine.Envelope
+	appends uint64
+	acks    uint64
+}
+
+// New returns an empty log.
+func New() *Log {
+	return &Log{next: 1, pending: make(map[uint64]engine.Envelope)}
+}
+
+// Append records an accepted delivery and returns its sequence number.
+func (l *Log) Append(env engine.Envelope) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.next
+	l.next++
+	l.pending[seq] = env
+	l.appends++
+	return seq
+}
+
+// Ack marks a delivery fully processed; its log entry is dropped.
+// Acknowledging an unknown sequence is a no-op (it can happen when a
+// crash handler drained the log concurrently).
+func (l *Log) Ack(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.pending[seq]; ok {
+		delete(l.pending, seq)
+		l.acks++
+	}
+}
+
+// Unacked drains and returns every unacknowledged delivery, in
+// sequence order. After Unacked the log is empty; the caller owns
+// redelivery.
+func (l *Log) Unacked() []engine.Envelope {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pending) == 0 {
+		return nil
+	}
+	seqs := make([]uint64, 0, len(l.pending))
+	for s := range l.pending {
+		seqs = append(seqs, s)
+	}
+	// Insertion sort is fine at crash-recovery scale.
+	for i := 1; i < len(seqs); i++ {
+		for j := i; j > 0 && seqs[j] < seqs[j-1]; j-- {
+			seqs[j], seqs[j-1] = seqs[j-1], seqs[j]
+		}
+	}
+	out := make([]engine.Envelope, len(seqs))
+	for i, s := range seqs {
+		out[i] = l.pending[s]
+		delete(l.pending, s)
+	}
+	return out
+}
+
+// Stats reports lifetime appends, acks, and the current pending count.
+func (l *Log) Stats() (appends, acks uint64, pending int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.acks, len(l.pending)
+}

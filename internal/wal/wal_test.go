@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"muppet/internal/engine"
+	"muppet/internal/event"
+)
+
+func env(i int) engine.Envelope {
+	return engine.Envelope{Func: "U", Ev: event.Event{Key: fmt.Sprintf("k%d", i), Seq: uint64(i)}}
+}
+
+func TestAppendAckLifecycle(t *testing.T) {
+	l := New()
+	s1 := l.Append(env(1))
+	s2 := l.Append(env(2))
+	if s1 == s2 {
+		t.Fatal("duplicate sequence numbers")
+	}
+	l.Ack(s1)
+	un := l.Unacked()
+	if len(un) != 1 || un[0].Ev.Seq != 2 {
+		t.Fatalf("unacked = %v", un)
+	}
+}
+
+func TestUnackedOrderedAndDraining(t *testing.T) {
+	l := New()
+	for i := 0; i < 50; i++ {
+		l.Append(env(i))
+	}
+	un := l.Unacked()
+	if len(un) != 50 {
+		t.Fatalf("len = %d", len(un))
+	}
+	for i := 1; i < len(un); i++ {
+		if un[i].Ev.Seq < un[i-1].Ev.Seq {
+			t.Fatal("unacked not in sequence order")
+		}
+	}
+	if again := l.Unacked(); again != nil {
+		t.Fatalf("second drain returned %v", again)
+	}
+}
+
+func TestAckUnknownIsNoop(t *testing.T) {
+	l := New()
+	l.Ack(999)
+	if _, acks, _ := l.Stats(); acks != 0 {
+		t.Fatal("phantom ack counted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := New()
+	s := l.Append(env(1))
+	l.Append(env(2))
+	l.Ack(s)
+	appends, acks, pending := l.Stats()
+	if appends != 2 || acks != 1 || pending != 1 {
+		t.Fatalf("stats = %d %d %d", appends, acks, pending)
+	}
+}
+
+func TestConcurrentAppendAck(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				seq := l.Append(env(g*500 + i))
+				l.Ack(seq)
+			}
+		}(g)
+	}
+	wg.Wait()
+	appends, acks, pending := l.Stats()
+	if appends != 2000 || acks != 2000 || pending != 0 {
+		t.Fatalf("stats = %d %d %d", appends, acks, pending)
+	}
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"muppet/internal/event"
+)
+
+func TestDeterministicStreams(t *testing.T) {
+	a := New(Config{Seed: 42}).Tweets("S1", 100)
+	b := New(Config{Seed: 42}).Tweets("S1", 100)
+	for i := range a {
+		if string(a[i].Value) != string(b[i].Value) || a[i].TS != b[i].TS {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+	c := New(Config{Seed: 43}).Tweets("S1", 100)
+	same := 0
+	for i := range a {
+		if string(a[i].Value) == string(c[i].Value) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestTimestampsStrictlyIncrease(t *testing.T) {
+	g := New(Config{Seed: 1, EventsPerSecond: 500})
+	evs := g.Tweets("S1", 200)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS <= evs[i-1].TS {
+			t.Fatalf("ts not increasing at %d: %d then %d", i, evs[i-1].TS, evs[i].TS)
+		}
+	}
+	// 500 events/s means 2ms spacing.
+	if d := evs[1].TS - evs[0].TS; d != 2000 {
+		t.Fatalf("spacing = %dµs, want 2000", d)
+	}
+}
+
+func TestTweetsParseAndHaveTopics(t *testing.T) {
+	g := New(Config{Seed: 7})
+	valid := map[string]bool{}
+	for _, tp := range Topics {
+		valid[tp] = true
+	}
+	for _, ev := range g.Tweets("S1", 200) {
+		tw, err := ParseTweet(ev.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !valid[tw.Topic] {
+			t.Fatalf("unknown topic %q", tw.Topic)
+		}
+		if ev.Key != tw.User {
+			t.Fatalf("event key %q != user %q", ev.Key, tw.User)
+		}
+	}
+}
+
+func TestCheckinRetailerFraction(t *testing.T) {
+	g := New(Config{Seed: 7, RetailerFraction: 0.5})
+	hits := 0
+	const n = 2000
+	for _, ev := range g.Checkins("S1", n) {
+		c, err := ParseCheckin(ev.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := IsRetailer(c.Venue); ok {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("retailer fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestZipfSkewsUsers(t *testing.T) {
+	g := New(Config{Seed: 3, Users: 1000, ZipfS: 1.5})
+	counts := map[string]int{}
+	const n = 5000
+	for _, ev := range g.Tweets("S1", n) {
+		counts[ev.Key]++
+	}
+	var freqs []int
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	// The most active user should dominate dramatically under s=1.5.
+	if freqs[0] < n/10 {
+		t.Fatalf("top user has %d of %d events; distribution not skewed", freqs[0], n)
+	}
+	if len(counts) < 10 {
+		t.Fatalf("only %d distinct users; distribution degenerate", len(counts))
+	}
+}
+
+func TestHotTopicBurst(t *testing.T) {
+	g := New(Config{
+		Seed: 5, HotTopic: "sports",
+		HotFromMinute: 0, HotToMinute: 10, HotBoost: 20,
+	})
+	inBurst, total := 0, 0
+	for _, ev := range g.Tweets("S1", 3000) {
+		tw, _ := ParseTweet(ev.Value)
+		if tw.Minute < 10 {
+			total++
+			if tw.Topic == "sports" {
+				inBurst++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no events landed in the burst window")
+	}
+	frac := float64(inBurst) / float64(total)
+	if frac < 0.5 {
+		t.Fatalf("hot topic fraction %.3f during burst, want > 0.5", frac)
+	}
+}
+
+func TestRetweetsPresent(t *testing.T) {
+	g := New(Config{Seed: 11, RetweetFraction: 0.5})
+	retweets := 0
+	for _, ev := range g.Tweets("S1", 500) {
+		tw, _ := ParseTweet(ev.Value)
+		if tw.RetweetOf != "" {
+			retweets++
+		}
+	}
+	if retweets < 150 {
+		t.Fatalf("retweets = %d of 500, want ~250", retweets)
+	}
+}
+
+func TestURLsPresent(t *testing.T) {
+	g := New(Config{Seed: 13, URLFraction: 0.5})
+	withURL := 0
+	for _, ev := range g.Tweets("S1", 500) {
+		tw, _ := ParseTweet(ev.Value)
+		if len(tw.URLs) > 0 {
+			withURL++
+		}
+	}
+	if withURL < 150 {
+		t.Fatalf("tweets with URL = %d of 500, want ~250", withURL)
+	}
+}
+
+func TestKeyedEventsZipf(t *testing.T) {
+	g := New(Config{Seed: 17, ZipfS: 1.5})
+	evs := g.KeyedEvents("S1", 2000, 100)
+	counts := map[string]int{}
+	for _, e := range evs {
+		counts[e.Key]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 200 {
+		t.Fatalf("hottest key has %d of 2000; not skewed", max)
+	}
+}
+
+func TestMinute(t *testing.T) {
+	if Minute(0) != 0 {
+		t.Fatal("minute of ts 0")
+	}
+	if got := Minute(event.Timestamp(61 * 1_000_000)); got != 1 {
+		t.Fatalf("Minute(61s) = %d, want 1", got)
+	}
+	// 23:59 wraps to 1439, then rolls over.
+	if got := Minute(event.Timestamp(1440 * 60 * 1_000_000)); got != 0 {
+		t.Fatalf("Minute(24h) = %d, want 0", got)
+	}
+}
+
+func TestIsRetailer(t *testing.T) {
+	if r, ok := IsRetailer("Walmart"); !ok || r != "Walmart" {
+		t.Fatal("Walmart not recognized")
+	}
+	if _, ok := IsRetailer("Joe's Diner #42"); ok {
+		t.Fatal("diner recognized as retailer")
+	}
+}

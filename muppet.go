@@ -1,0 +1,376 @@
+// Package muppet is a Go implementation of MapUpdate — the
+// MapReduce-style programming model for fast data introduced in
+// "Muppet: MapReduce-Style Processing of Fast Data" (Lam et al.,
+// PVLDB 5(12), 2012) — together with both Muppet execution engines the
+// paper describes.
+//
+// A MapUpdate application is a workflow of map and update functions
+// connected by streams. Map functions are memoryless: they consume
+// events and emit events. Update functions keep per-key memory called
+// slates — live, continuously updated data structures that summarize
+// every event with that key the updater has seen — persisted in a
+// replicated key-value store and queryable over HTTP while the
+// application runs.
+//
+// Quick start:
+//
+//	counter := muppet.UpdateFunc{FName: "U1", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
+//		n := 0
+//		if sl != nil {
+//			n, _ = strconv.Atoi(string(sl))
+//		}
+//		emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
+//	}}
+//	app := muppet.NewApp("counts").Input("S1")
+//	app.AddUpdate(counter, []string{"S1"}, nil, 0)
+//	eng, err := muppet.NewEngine(app, muppet.Config{Machines: 4})
+//	// eng.Ingest(...); eng.Drain(); eng.Slate("U1", key)
+//
+// Two engines are provided. Muppet 1.0 (EngineV1) runs each function
+// on dedicated conductor/task-processor worker pairs with private
+// slate caches; Muppet 2.0 (EngineV2, the default) runs a worker-
+// thread pool per machine with a central slate cache and dual-queue
+// hotspot relief. Both detect machine failures on first failed send
+// and reroute keys via a shared consistent hash ring.
+package muppet
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"muppet/internal/cluster"
+	"muppet/internal/core"
+	"muppet/internal/engine"
+	"muppet/internal/engine1"
+	"muppet/internal/engine2"
+	"muppet/internal/event"
+	"muppet/internal/httpapi"
+	"muppet/internal/kvstore"
+	"muppet/internal/metrics"
+	"muppet/internal/queue"
+	"muppet/internal/slate"
+	"muppet/internal/storage"
+)
+
+// Event is the unit of data flowing through an application: the tuple
+// <sid, ts, k, v> of Section 3 of the paper.
+type Event = event.Event
+
+// Timestamp is a global logical timestamp in microseconds.
+type Timestamp = event.Timestamp
+
+// Emitter is the handle through which running functions publish events
+// and replace slates (the paper's PerformerUtilities).
+type Emitter = core.Emitter
+
+// Mapper is a map function: map(event) -> event*.
+type Mapper = core.Mapper
+
+// Updater is an update function: update(event, slate) -> event*.
+type Updater = core.Updater
+
+// MapFunc adapts a function literal to Mapper.
+type MapFunc = core.MapFunc
+
+// UpdateFunc adapts a function literal to Updater.
+type UpdateFunc = core.UpdateFunc
+
+// App is a MapUpdate application: a workflow graph of map and update
+// functions connected by streams.
+type App = core.App
+
+// NewApp returns an empty application with the given name.
+func NewApp(name string) *App { return core.NewApp(name) }
+
+// Stats aggregates an engine's lifetime counters.
+type Stats = engine.Stats
+
+// OverflowPolicy selects what a full worker queue does with new events.
+type OverflowPolicy = queue.OverflowPolicy
+
+// Overflow policies (Section 4.3 of the paper).
+const (
+	// DropOverflow drops and logs events offered to a full queue.
+	DropOverflow = queue.Drop
+	// DivertOverflow redirects them to Config.OverflowStream.
+	DivertOverflow = queue.Divert
+	// BlockOverflow applies backpressure to the producer.
+	BlockOverflow = queue.Block
+)
+
+// FlushPolicy selects when dirty slates reach the durable store.
+type FlushPolicy = slate.FlushPolicy
+
+// Flush policies (Section 4.2: "ranging from immediate write-through
+// to only when evicted from cache").
+const (
+	// WriteThrough persists every slate update immediately.
+	WriteThrough = slate.WriteThrough
+	// FlushInterval persists dirty slates periodically in the
+	// background.
+	FlushInterval = slate.Interval
+	// FlushOnEvict persists dirty slates only on cache eviction.
+	FlushOnEvict = slate.OnEvict
+)
+
+// Consistency is the quorum level for slate reads/writes against the
+// store.
+type Consistency = kvstore.Consistency
+
+// Consistency levels (Section 4.2).
+const (
+	// One succeeds after a single replica acknowledges.
+	One = kvstore.One
+	// Quorum succeeds after a majority of replicas acknowledge.
+	Quorum = kvstore.Quorum
+	// All succeeds only after every replica acknowledges.
+	All = kvstore.All
+)
+
+// EngineVersion selects the execution engine.
+type EngineVersion int
+
+const (
+	// EngineV2 is Muppet 2.0: a worker-thread pool per machine with a
+	// central slate cache and dual-queue dispatch (Section 4.5). The
+	// default.
+	EngineV2 EngineVersion = iota
+	// EngineV1 is Muppet 1.0: conductor/task-processor worker pairs
+	// with per-worker slate caches (Sections 4.1-4.4).
+	EngineV1
+)
+
+// StoreConfig describes the durable key-value cluster slates persist
+// to (the paper's Cassandra cluster, Section 4.2).
+type StoreConfig struct {
+	// Nodes is the number of store nodes (default 3).
+	Nodes int
+	// ReplicationFactor is the replicas per slate row (default 3).
+	ReplicationFactor int
+	// UseSSD selects the simulated device profile: true for the SSD
+	// cost model the paper deploys, false for a spinning disk.
+	UseSSD bool
+	// NoDevice disables device cost simulation entirely.
+	NoDevice bool
+	// MemtableFlushBytes and CompactionThreshold tune each node's LSM
+	// behavior; zero means defaults.
+	MemtableFlushBytes  int64
+	CompactionThreshold int
+	// NetworkRTT and RTTJitter shape simulated replica latency.
+	NetworkRTT time.Duration
+	RTTJitter  time.Duration
+	// Seed makes jitter deterministic.
+	Seed int64
+}
+
+// Store is a handle to a running slate store cluster.
+type Store struct {
+	cluster *kvstore.Cluster
+}
+
+// NewStore builds a replicated slate store.
+func NewStore(cfg StoreConfig) *Store {
+	kcfg := kvstore.ClusterConfig{
+		Nodes:             cfg.Nodes,
+		ReplicationFactor: cfg.ReplicationFactor,
+		NetworkRTT:        cfg.NetworkRTT,
+		RTTJitter:         cfg.RTTJitter,
+		Seed:              cfg.Seed,
+		Node: kvstore.NodeConfig{
+			MemtableFlushBytes:  cfg.MemtableFlushBytes,
+			CompactionThreshold: cfg.CompactionThreshold,
+		},
+	}
+	if !cfg.NoDevice {
+		p := storage.HDD()
+		if cfg.UseSSD {
+			p = storage.SSD()
+		}
+		kcfg.DeviceProfile = &p
+	}
+	return &Store{cluster: kvstore.NewCluster(kcfg)}
+}
+
+// Cluster exposes the underlying store cluster for advanced use
+// (failure injection, scans, statistics).
+func (s *Store) Cluster() *kvstore.Cluster { return s.cluster }
+
+// Config tunes an engine. The zero value is usable: one machine,
+// Muppet 2.0, no persistence.
+type Config struct {
+	// Engine selects Muppet 1.0 or 2.0.
+	Engine EngineVersion
+	// Machines is the number of simulated machines in the cluster.
+	Machines int
+	// WorkersPerFunction is the 1.0 worker count per map/update
+	// function.
+	WorkersPerFunction int
+	// ThreadsPerMachine is the 2.0 worker-thread pool size.
+	ThreadsPerMachine int
+	// QueueCapacity bounds each worker queue.
+	QueueCapacity int
+	// QueuePolicy is the overflow behavior for internal event passing.
+	QueuePolicy OverflowPolicy
+	// OverflowStream receives diverted events under DivertOverflow.
+	OverflowStream string
+	// CacheCapacity is the slate-cache capacity: per worker under 1.0
+	// (its disparate caches), per machine under 2.0 (its central
+	// cache).
+	CacheCapacity int
+	// FlushPolicy controls slate persistence.
+	FlushPolicy FlushPolicy
+	// FlushEvery drives periodic flushing under FlushInterval.
+	FlushEvery time.Duration
+	// Store is the durable slate store; nil disables persistence.
+	Store *Store
+	// StoreLevel is the consistency level for slate I/O.
+	StoreLevel Consistency
+	// SourceThrottle slows Ingest instead of dropping when queues fill
+	// (safe only at external inputs, Section 5).
+	SourceThrottle bool
+	// SendLatency is the simulated per-hop network latency.
+	SendLatency time.Duration
+	// DisableDualQueue restores single-queue dispatch under 2.0 (the
+	// E6 ablation).
+	DisableDualQueue bool
+	// ReplayLog enables event replay after machine failure (2.0 only):
+	// the capability the paper lists as future work in Section 4.3.
+	// With it, CrashAndReplay redelivers a dead machine's queued and
+	// in-flight events to the keys' new owners with at-least-once
+	// semantics.
+	ReplayLog bool
+}
+
+// Replayer is implemented by engines that support the replay-log
+// extension (Muppet 2.0 with Config.ReplayLog set).
+type Replayer interface {
+	// CrashMachineAndReplay crashes a machine and redelivers its
+	// unacknowledged events, returning how many were replayed and how
+	// many dirty slates were lost.
+	CrashMachineAndReplay(machine string) (replayed, lostDirtySlates int)
+}
+
+// Engine is a running MapUpdate application. Both Muppet engines
+// satisfy it.
+type Engine interface {
+	// Ingest feeds one external input event into the application.
+	Ingest(Event)
+	// Drain blocks until all accepted events are fully processed.
+	Drain()
+	// Stop drains, halts the engine, and flushes dirty slates.
+	Stop()
+	// Slate returns the live slate for <updater, key>, or nil.
+	Slate(updater, key string) []byte
+	// Slates returns the cached slates of an updater by event key.
+	Slates(updater string) map[string][]byte
+	// Output returns events recorded on a declared output stream.
+	Output(stream string) []Event
+	// Stats snapshots the engine counters.
+	Stats() Stats
+	// Counters exposes live counters including the latency histogram.
+	Counters() *engine.Counters
+	// Cluster exposes the simulated machine cluster for failure
+	// injection.
+	Cluster() *cluster.Cluster
+	// CrashMachine kills a machine, returning how many queued events
+	// and dirty slates died with it.
+	CrashMachine(machine string) (lostQueued, lostDirtySlates int)
+	// LargestQueues reports the deepest queue per machine.
+	LargestQueues() map[string]int
+	// Updaters lists the application's update functions.
+	Updaters() []string
+	// FlushSlates forces dirty cached slates to the durable store.
+	FlushSlates()
+	// StoredSlates bulk-reads an updater's slates from the durable
+	// store (nil without persistence); see Section 5 "Bulk Reading of
+	// Slates".
+	StoredSlates(updater string) map[string][]byte
+	// LostEvents exposes the log of abandoned deliveries ("logged as
+	// lost", Section 4.3) for later processing and debugging.
+	LostEvents() *engine.LostLog
+}
+
+// LostLog is the bounded log of abandoned deliveries.
+type LostLog = engine.LostLog
+
+// LostEvent is one abandoned delivery with its loss reason.
+type LostEvent = engine.LostEvent
+
+// NewEngine builds and starts an engine for a validated application.
+func NewEngine(app *App, cfg Config) (Engine, error) {
+	switch cfg.Engine {
+	case EngineV1:
+		e, err := engine1.New(app, engine1.Config{
+			Machines:            cfg.Machines,
+			WorkersPerFunction:  cfg.WorkersPerFunction,
+			QueueCapacity:       cfg.QueueCapacity,
+			QueuePolicy:         cfg.QueuePolicy,
+			OverflowStream:      cfg.OverflowStream,
+			SlateCachePerWorker: cfg.CacheCapacity,
+			FlushPolicy:         cfg.FlushPolicy,
+			FlushInterval:       cfg.FlushEvery,
+			Store:               storeCluster(cfg.Store),
+			StoreLevel:          cfg.StoreLevel,
+			SourceThrottle:      cfg.SourceThrottle,
+			SendLatency:         cfg.SendLatency,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	case EngineV2:
+		e, err := engine2.New(app, engine2.Config{
+			Machines:          cfg.Machines,
+			ThreadsPerMachine: cfg.ThreadsPerMachine,
+			QueueCapacity:     cfg.QueueCapacity,
+			QueuePolicy:       cfg.QueuePolicy,
+			OverflowStream:    cfg.OverflowStream,
+			CacheCapacity:     cfg.CacheCapacity,
+			FlushPolicy:       cfg.FlushPolicy,
+			FlushInterval:     cfg.FlushEvery,
+			Store:             storeCluster(cfg.Store),
+			StoreLevel:        cfg.StoreLevel,
+			SourceThrottle:    cfg.SourceThrottle,
+			SendLatency:       cfg.SendLatency,
+			DisableDualQueue:  cfg.DisableDualQueue,
+			ReplayLog:         cfg.ReplayLog,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("muppet: unknown engine version %d", cfg.Engine)
+	}
+}
+
+func storeCluster(s *Store) *kvstore.Cluster {
+	if s == nil {
+		return nil
+	}
+	return s.cluster
+}
+
+// Handler returns the HTTP handler serving live slate fetches
+// (GET /slate/{updater}/{key}) and engine status (GET /status), the
+// service of Section 4.4 of the paper.
+func Handler(e Engine) http.Handler { return httpapi.Handler(slateReader{e}) }
+
+// slateReader adapts Engine to the httpapi surface.
+type slateReader struct{ e Engine }
+
+func (r slateReader) Slate(updater, key string) []byte { return r.e.Slate(updater, key) }
+func (r slateReader) LargestQueues() map[string]int    { return r.e.LargestQueues() }
+func (r slateReader) Updaters() []string               { return r.e.Updaters() }
+func (r slateReader) FlushSlates()                     { r.e.FlushSlates() }
+func (r slateReader) StoredSlates(updater string) map[string][]byte {
+	return r.e.StoredSlates(updater)
+}
+
+// LatencySummary renders an engine's end-to-end latency histogram
+// (event ingress to slate update) on one line.
+func LatencySummary(e Engine) string { return e.Counters().Latency.Summary() }
+
+// Histogram is re-exported for benchmark harnesses.
+type Histogram = metrics.Histogram

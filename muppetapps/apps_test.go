@@ -1,0 +1,330 @@
+package muppetapps
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"muppet"
+	"muppet/internal/workload"
+)
+
+func run(t *testing.T, app *muppet.App, events []muppet.Event, cfg muppet.Config) muppet.Engine {
+	t.Helper()
+	if cfg.Machines == 0 {
+		cfg.Machines = 3
+	}
+	if cfg.QueueCapacity == 0 {
+		// Funnel-shaped apps (top-URLs, key-splitting) drive all count
+		// reports at a single key; size the queues so exactness tests
+		// exercise the apps, not the (separately tested) drop policy.
+		cfg.QueueCapacity = 1 << 15
+	}
+	e, err := muppet.NewEngine(app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		e.Ingest(ev)
+	}
+	e.Drain()
+	return e
+}
+
+func TestCanonicalRetailerRegexes(t *testing.T) {
+	// The Figure 3 patterns are deliberately loose.
+	cases := map[string]string{
+		"Walmart":          "Walmart",
+		"wal mart express": "Walmart",
+		"WAL*MART":         "Walmart",
+		"Sam's Club":       "Sam's Club",
+		"sams club":        "Sam's Club",
+		"Best Buy":         "Best Buy",
+		"JCPenney":         "JCPenney",
+	}
+	for venue, want := range cases {
+		got, ok := CanonicalRetailer(venue)
+		if !ok || got != want {
+			t.Fatalf("CanonicalRetailer(%q) = %q, %v; want %q", venue, got, ok, want)
+		}
+	}
+	if _, ok := CanonicalRetailer("Joe's Diner"); ok {
+		t.Fatal("diner classified as retailer")
+	}
+}
+
+func TestRetailerAppCountsMatchWorkload(t *testing.T) {
+	gen := NewGenerator(GenConfig{Seed: 42, RetailerFraction: 0.5})
+	events := gen.Checkins("S1", 1000)
+	want := map[string]int{}
+	for _, ev := range events {
+		c, _ := ParseCheckin(ev.Value)
+		if r, ok := CanonicalRetailer(c.Venue); ok {
+			want[r]++
+		}
+	}
+	e := run(t, RetailerApp(), events, muppet.Config{})
+	defer e.Stop()
+	for r, n := range want {
+		if got := Count(e.Slate("U1", r)); got != n {
+			t.Fatalf("%s = %d, want %d", r, got, n)
+		}
+	}
+}
+
+func TestRetailerAppBothEnginesAgree(t *testing.T) {
+	gen1 := NewGenerator(GenConfig{Seed: 7})
+	gen2 := NewGenerator(GenConfig{Seed: 7})
+	e1 := run(t, RetailerApp(), gen1.Checkins("S1", 500), muppet.Config{Engine: muppet.EngineV1})
+	defer e1.Stop()
+	e2 := run(t, RetailerApp(), gen2.Checkins("S1", 500), muppet.Config{Engine: muppet.EngineV2})
+	defer e2.Stop()
+	for _, r := range RetailerSet() {
+		if Count(e1.Slate("U1", r)) != Count(e2.Slate("U1", r)) {
+			t.Fatalf("engines disagree on %s: %d vs %d", r, Count(e1.Slate("U1", r)), Count(e2.Slate("U1", r)))
+		}
+	}
+}
+
+func TestHotTopicsDetectsPlantedBurst(t *testing.T) {
+	gen := NewGenerator(GenConfig{
+		Seed: 11, HotTopic: "tech",
+		HotFromMinute: 3, HotToMinute: 4, HotBoost: 30,
+		EventsPerSecond: 10, // 600 events/minute of stream time
+	})
+	events := gen.Tweets("S1", 3000) // 5 stream minutes
+	e := run(t, HotTopicsApp(HotTopicsConfig{Threshold: 3, MinCount: 20}), events, muppet.Config{})
+	defer e.Stop()
+	verdicts := HotVerdicts(e.Output("S4"))
+	if !verdicts[TopicMinuteKey("tech", 3)] {
+		t.Fatalf("planted burst not detected; verdicts = %v", verdicts)
+	}
+}
+
+func TestHotTopicsQuietOnUniformTraffic(t *testing.T) {
+	gen := NewGenerator(GenConfig{Seed: 13, EventsPerSecond: 100})
+	events := gen.Tweets("S1", 3000)
+	e := run(t, HotTopicsApp(HotTopicsConfig{Threshold: 4, MinCount: 30}), events, muppet.Config{})
+	defer e.Stop()
+	if n := len(e.Output("S4")); n > 3 {
+		t.Fatalf("%d hot verdicts on uniform traffic, want ~0", n)
+	}
+}
+
+func TestSplitTopicMinute(t *testing.T) {
+	tp, m, ok := splitTopicMinute("sports_14")
+	if !ok || tp != "sports" || m != 14 {
+		t.Fatalf("got %q %d %v", tp, m, ok)
+	}
+	if _, _, ok := splitTopicMinute("nounderscore"); ok {
+		t.Fatal("parsed key without underscore")
+	}
+	// Topic names may contain underscores; the split is at the last.
+	tp, m, ok = splitTopicMinute("a_b_7")
+	if !ok || tp != "a_b" || m != 7 {
+		t.Fatalf("got %q %d %v", tp, m, ok)
+	}
+}
+
+func TestReputationRetweetRaisesTargetScore(t *testing.T) {
+	gen := NewGenerator(GenConfig{Seed: 17, RetweetFraction: 0.6, Users: 50})
+	events := gen.Tweets("S1", 800)
+	// Find a user who got retweeted.
+	target := ""
+	for _, ev := range events {
+		tw, _ := ParseTweet(ev.Value)
+		if tw.RetweetOf != "" && tw.RetweetOf != tw.User {
+			target = tw.RetweetOf
+			break
+		}
+	}
+	if target == "" {
+		t.Fatal("workload produced no retweets")
+	}
+	e := run(t, ReputationApp(), events, muppet.Config{})
+	defer e.Stop()
+	st := ParseRepSlate(e.Slate("U_rep", target))
+	if st.Score <= 0 {
+		t.Fatalf("retweeted user %s has score %f, want > 0", target, st.Score)
+	}
+}
+
+func TestReputationScoresConserveEvents(t *testing.T) {
+	gen := NewGenerator(GenConfig{Seed: 19, Users: 30})
+	events := gen.Tweets("S1", 300)
+	e := run(t, ReputationApp(), events, muppet.Config{})
+	defer e.Stop()
+	totalTweets := 0
+	for _, sl := range e.Slates("U_rep") {
+		totalTweets += ParseRepSlate(sl).Tweets
+	}
+	if totalTweets != 300 {
+		t.Fatalf("tweets recorded in slates = %d, want 300", totalTweets)
+	}
+}
+
+func TestTopURLsTracksTrueTop(t *testing.T) {
+	gen := NewGenerator(GenConfig{Seed: 23, URLFraction: 0.9, URLs: 50})
+	events := gen.Tweets("S1", 2000)
+	want := map[string]int{}
+	for _, ev := range events {
+		tw, _ := ParseTweet(ev.Value)
+		for _, u := range tw.URLs {
+			want[u]++
+		}
+	}
+	// True top URL.
+	bestURL, bestCount := "", 0
+	for u, c := range want {
+		if c > bestCount || (c == bestCount && u < bestURL) {
+			bestURL, bestCount = u, c
+		}
+	}
+	e := run(t, TopURLsApp(10), events, muppet.Config{})
+	defer e.Stop()
+	st := ParseTopSlate(e.Slate("U_top", TopURLsKey))
+	ranked := st.Ranked()
+	if len(ranked) == 0 {
+		t.Fatal("empty top slate")
+	}
+	if ranked[0].URL != bestURL || ranked[0].Count != bestCount {
+		t.Fatalf("top = %+v, want %s x%d", ranked[0], bestURL, bestCount)
+	}
+	if len(ranked) > 10 {
+		t.Fatalf("ranked returned %d entries, want <= 10", len(ranked))
+	}
+}
+
+func TestSplitCountTotalsExact(t *testing.T) {
+	for _, split := range []int{1, 2, 4} {
+		gen := NewGenerator(GenConfig{Seed: 29, RetailerFraction: 1})
+		events := gen.Checkins("S1", 600)
+		want := map[string]int{}
+		for _, ev := range events {
+			c, _ := ParseCheckin(ev.Value)
+			if r, ok := CanonicalRetailer(c.Venue); ok {
+				want[r]++
+			}
+		}
+		e := run(t, SplitCountApp(SplitCountConfig{Split: split, ReportEvery: 1}), events, muppet.Config{})
+		for r, n := range want {
+			st := ParseSplitSlate(e.Slate("U_total", r))
+			if st.Total() != n {
+				t.Fatalf("split=%d: %s total = %d, want %d", split, r, st.Total(), n)
+			}
+			if split > 1 && len(st.Parts) < 2 {
+				t.Fatalf("split=%d: %s used only %d partitions", split, r, len(st.Parts))
+			}
+		}
+		e.Stop()
+	}
+}
+
+func TestSplitCountWithSparseReports(t *testing.T) {
+	// ReportEvery > 1 trades aggregator traffic for staleness: totals
+	// must still be within ReportEvery per partition.
+	gen := NewGenerator(GenConfig{Seed: 31, RetailerFraction: 1})
+	events := gen.Checkins("S1", 500)
+	const split, every = 4, 10
+	e := run(t, SplitCountApp(SplitCountConfig{Split: split, ReportEvery: every}), events, muppet.Config{})
+	defer e.Stop()
+	want := map[string]int{}
+	for _, ev := range events {
+		c, _ := ParseCheckin(ev.Value)
+		if r, ok := CanonicalRetailer(c.Venue); ok {
+			want[r]++
+		}
+	}
+	for r, n := range want {
+		got := ParseSplitSlate(e.Slate("U_total", r)).Total()
+		if got > n || got < n-split*every {
+			t.Fatalf("%s total = %d, want within %d of %d", r, got, split*every, n)
+		}
+	}
+}
+
+func TestHTTPHitsApp(t *testing.T) {
+	paths := []string{"/products/1", "/products/2?ref=x", "/cart", "/", "/products/3"}
+	var events []muppet.Event
+	for i, p := range paths {
+		events = append(events, muppet.Event{Stream: "S1", TS: muppet.Timestamp(i + 1), Key: strconv.Itoa(i), Value: []byte(p)})
+	}
+	e := run(t, HTTPHitsApp(), events, muppet.Config{})
+	defer e.Stop()
+	if got := Count(e.Slate("U_hits", "products")); got != 3 {
+		t.Fatalf("products hits = %d, want 3", got)
+	}
+	if got := Count(e.Slate("U_hits", "(root)")); got != 1 {
+		t.Fatalf("root hits = %d, want 1", got)
+	}
+}
+
+func TestPathSection(t *testing.T) {
+	cases := map[string]string{
+		"/a/b/c": "a",
+		"/a?x=1": "a",
+		"/":      "(root)",
+		"":       "(root)",
+		"/cart":  "cart",
+		"/cart/": "cart",
+	}
+	for in, want := range cases {
+		if got := PathSection(in); got != want {
+			t.Fatalf("PathSection(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAppsValidate(t *testing.T) {
+	apps := []*muppet.App{
+		RetailerApp(),
+		HotTopicsApp(HotTopicsConfig{}),
+		ReputationApp(),
+		TopURLsApp(10),
+		SplitCountApp(SplitCountConfig{Split: 2}),
+		HTTPHitsApp(),
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestCountHelper(t *testing.T) {
+	if Count(nil) != 0 || Count([]byte("42")) != 42 || Count([]byte("junk")) != 0 {
+		t.Fatal("Count helper wrong")
+	}
+}
+
+func TestGeneratorReexports(t *testing.T) {
+	if len(TopicSet()) != len(workload.Topics) || len(RetailerSet()) != len(workload.Retailers) {
+		t.Fatal("re-exports out of sync")
+	}
+	g := NewGenerator(GenConfig{Seed: 1})
+	if ev := g.Tweet("S1"); ev.Stream != "S1" {
+		t.Fatal("generator broken")
+	}
+}
+
+func TestHotTopicsEmitEveryReducesS3Traffic(t *testing.T) {
+	gen1 := NewGenerator(GenConfig{Seed: 37, EventsPerSecond: 100})
+	gen2 := NewGenerator(GenConfig{Seed: 37, EventsPerSecond: 100})
+	events1 := gen1.Tweets("S1", 1000)
+	events2 := gen2.Tweets("S1", 1000)
+	e1 := run(t, HotTopicsApp(HotTopicsConfig{EmitEvery: 1}), events1, muppet.Config{})
+	defer e1.Stop()
+	e5 := run(t, HotTopicsApp(HotTopicsConfig{EmitEvery: 5}), events2, muppet.Config{})
+	defer e5.Stop()
+	// With EmitEvery=5 the U1->U2 traffic should be ~5x lower; compare
+	// U2 invocation counts via processed counters is indirect, so use
+	// the stats' Emitted counter difference instead.
+	if e5.Stats().Emitted >= e1.Stats().Emitted {
+		t.Fatalf("EmitEvery=5 emitted %d >= EmitEvery=1 emitted %d", e5.Stats().Emitted, e1.Stats().Emitted)
+	}
+}
+
+func ExampleCount() {
+	fmt.Println(Count([]byte("7")))
+	// Output: 7
+}

@@ -1,0 +1,162 @@
+package muppetapps
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"muppet"
+	"muppet/internal/workload"
+)
+
+// HotTopicsConfig tunes the hot-topic detector of Examples 2 and 5.
+type HotTopicsConfig struct {
+	// Threshold is the hotness ratio: a (topic, minute) is hot when its
+	// count exceeds Threshold times the topic's historical per-minute
+	// average.
+	Threshold float64
+	// MinCount suppresses hotness verdicts before a topic has any
+	// meaningful volume.
+	MinCount int
+	// EmitEvery makes U1 republish a (topic, minute) count to S3 every
+	// N events instead of on each one; 1 (the default) reports every
+	// update.
+	EmitEvery int
+}
+
+func (c *HotTopicsConfig) fill() {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = 10
+	}
+	if c.EmitEvery <= 0 {
+		c.EmitEvery = 1
+	}
+}
+
+// TopicMinuteKey builds the concatenated "v m" key of Example 5.
+func TopicMinuteKey(topic string, minute int) string {
+	return fmt.Sprintf("%s_%d", topic, minute)
+}
+
+// topicCount is the S3 payload: U1 reporting that topic was mentioned
+// count times in minute.
+type topicCount struct {
+	Topic  string `json:"topic"`
+	Minute int    `json:"minute"`
+	Count  int    `json:"count"`
+}
+
+// u2Slate is U2's per-topic memory. The paper's U2 keeps total_count
+// and days per (topic, minute) slate; here the slate is keyed by topic
+// and tracks per-minute observations so the historical average is
+// computable without wall-clock day boundaries (the deterministic
+// substitution is documented in DESIGN.md).
+type u2Slate struct {
+	// LastCount holds the latest count reported per minute.
+	LastCount map[int]int `json:"last_count"`
+}
+
+// average returns the mean count over all minutes other than the one
+// being judged — the stand-in for avg_count(v, m) of Example 5.
+func (s *u2Slate) average(excludeMinute int) float64 {
+	total, n := 0, 0
+	for m, c := range s.LastCount {
+		if m == excludeMinute {
+			continue
+		}
+		total += c
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// HotTopicsApp builds the workflow of Figure 1c:
+//
+//	S1 (tweets) -> M1 -> S2 (key "topic_minute") -> U1 -> S3 (counts)
+//	            -> U2 -> S4 (hot <topic, minute> verdicts)
+//
+// M1 classifies each tweet into a topic and emits an event keyed
+// "topic_minute". U1 counts events per key and reports the count on
+// S3 keyed by topic. U2 compares each report against the topic's
+// historical per-minute average and emits the <topic, minute> pair on
+// S4 when the ratio exceeds the threshold. S4 is the application's
+// declared output stream.
+func HotTopicsApp(cfg HotTopicsConfig) *muppet.App {
+	cfg.fill()
+	m1 := muppet.MapFunc{FName: "M1", Fn: func(emit muppet.Emitter, in muppet.Event) {
+		t, err := workload.ParseTweet(in.Value)
+		if err != nil {
+			return
+		}
+		emit.Publish("S2", TopicMinuteKey(t.Topic, t.Minute), in.Value)
+	}}
+	u1 := muppet.UpdateFunc{FName: "U1", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
+		count := Count(sl) + 1
+		emit.ReplaceSlate([]byte(fmt.Sprintf("%d", count)))
+		if count%cfg.EmitEvery != 0 {
+			return
+		}
+		// The key is "topic_minute"; split at the last underscore.
+		topic, minute, ok := splitTopicMinute(in.Key)
+		if !ok {
+			return
+		}
+		b, _ := json.Marshal(topicCount{Topic: topic, Minute: minute, Count: count})
+		emit.Publish("S3", topic, b)
+	}}
+	u2 := muppet.UpdateFunc{FName: "U2", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
+		var tc topicCount
+		if err := json.Unmarshal(in.Value, &tc); err != nil {
+			return
+		}
+		st := u2Slate{LastCount: map[int]int{}}
+		if sl != nil {
+			json.Unmarshal(sl, &st)
+		}
+		avg := st.average(tc.Minute)
+		// Reports may arrive out of order; per-minute counts only grow.
+		if tc.Count > st.LastCount[tc.Minute] {
+			st.LastCount[tc.Minute] = tc.Count
+		}
+		b, _ := json.Marshal(st)
+		emit.ReplaceSlate(b)
+		if tc.Count >= cfg.MinCount && avg > 0 && float64(tc.Count) > cfg.Threshold*avg {
+			emit.Publish("S4", TopicMinuteKey(tc.Topic, tc.Minute), in.Value)
+		}
+	}}
+	return muppet.NewApp("hot-topics").
+		Input("S1").
+		Output("S4").
+		AddMap(m1, []string{"S1"}, []string{"S2"}).
+		AddUpdate(u1, []string{"S2"}, []string{"S3"}, 0).
+		AddUpdate(u2, []string{"S3"}, []string{"S4"}, 0)
+}
+
+// splitTopicMinute parses a "topic_minute" key.
+func splitTopicMinute(key string) (topic string, minute int, ok bool) {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '_' {
+			m := 0
+			if _, err := fmt.Sscanf(key[i+1:], "%d", &m); err != nil {
+				return "", 0, false
+			}
+			return key[:i], m, true
+		}
+	}
+	return "", 0, false
+}
+
+// HotVerdicts decodes the distinct <topic, minute> pairs an engine
+// reported hot on S4.
+func HotVerdicts(events []muppet.Event) map[string]bool {
+	out := make(map[string]bool)
+	for _, e := range events {
+		out[e.Key] = true
+	}
+	return out
+}

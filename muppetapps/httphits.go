@@ -1,0 +1,39 @@
+package muppetapps
+
+import (
+	"strings"
+
+	"muppet"
+)
+
+// HTTPHitsApp builds the "live counters of the number of HTTP requests
+// made to various parts of a Web site" application the paper lists
+// among its motivating workloads. Input events carry a request path in
+// the value; M1 keys each request by its top-level path segment
+// ("section") and U_hits counts per section.
+func HTTPHitsApp() *muppet.App {
+	m1 := muppet.MapFunc{FName: "M1", Fn: func(emit muppet.Emitter, in muppet.Event) {
+		emit.Publish("S2", PathSection(string(in.Value)), nil)
+	}}
+	u := muppet.UpdateFunc{FName: "U_hits", Fn: CountingUpdate}
+	return muppet.NewApp("http-hits").
+		Input("S1").
+		AddMap(m1, []string{"S1"}, []string{"S2"}).
+		AddUpdate(u, []string{"S2"}, nil, 0)
+}
+
+// PathSection extracts the top-level section of a request path:
+// "/products/123?x=1" -> "products"; "/" -> "(root)".
+func PathSection(path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimPrefix(path, "/")
+	if path == "" {
+		return "(root)"
+	}
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
