@@ -110,6 +110,9 @@ func TestE04Engine2NotSlower(t *testing.T) {
 	// Run at a slightly larger scale so the comparison is stable; allow
 	// generous slack — the claim tested is "2.0 is not dramatically
 	// slower", the full-scale run in EXPERIMENTS.md shows the real gap.
+	if raceEnabled {
+		t.Skip("wall-clock engine comparison is not meaningful under the race detector")
+	}
 	tb := E04Engine1vs2(Scale(0.05))
 	speed := atoi(t, tb.Rows[1][4])
 	if speed < 0.5 {

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation skews wall-clock comparisons.
+const raceEnabled = true

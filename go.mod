@@ -1,0 +1,3 @@
+module muppet
+
+go 1.24

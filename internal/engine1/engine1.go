@@ -33,6 +33,7 @@ import (
 	"muppet/internal/kvstore"
 	"muppet/internal/queue"
 	"muppet/internal/slate"
+	"muppet/internal/wal"
 )
 
 // Config tunes the Muppet 1.0 engine.
@@ -67,6 +68,14 @@ type Config struct {
 	SourceThrottle bool
 	// SendLatency is the simulated per-hop network latency.
 	SendLatency time.Duration
+	// SlateShards is the number of stripes in each worker's private
+	// slate store (default 4 — 1.0 workers are single-threaded, so a
+	// few stripes suffice; the shared value is the group-commit flush
+	// path, not lock spreading).
+	SlateShards int
+	// FlushBatch bounds the records per group-commit multi-put when a
+	// worker flushes dirty slates (default 256).
+	FlushBatch int
 }
 
 func (c *Config) fill() {
@@ -84,6 +93,9 @@ func (c *Config) fill() {
 	}
 	if c.FlushInterval <= 0 {
 		c.FlushInterval = 100 * time.Millisecond
+	}
+	if c.SlateShards <= 0 {
+		c.SlateShards = 4
 	}
 }
 
@@ -112,7 +124,7 @@ type worker struct {
 	machine string
 	fn      *core.FunctionSpec
 	q       *queue.Queue[event.Event]
-	cache   *slate.Cache
+	cache   slate.SlateStore
 	req     chan taskRequest
 	resp    chan taskResponse
 }
@@ -170,11 +182,23 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 				req:     make(chan taskRequest),
 				resp:    make(chan taskResponse),
 			}
-			w.cache = slate.NewCache(slate.CacheConfig{
-				Capacity: cfg.SlateCachePerWorker,
-				Policy:   cfg.FlushPolicy,
-				Store:    e.storeFor(),
-				TTLFor:   app.TTLFor,
+			// Even with 1.0's disparate per-worker caches, slates run
+			// through the shared SlateStore interface and flush via the
+			// group-commit (WAL + multi-put) pipeline.
+			var slateWAL *wal.SlateBatchLog
+			store := e.storeFor()
+			if store != nil {
+				slateWAL = wal.NewSlateBatchLog()
+			}
+			w.cache = slate.NewSharded(slate.ShardedConfig{
+				Shards:        cfg.SlateShards,
+				Capacity:      cfg.SlateCachePerWorker,
+				Policy:        cfg.FlushPolicy,
+				Store:         store,
+				WAL:           slateWAL,
+				MaxFlushBatch: cfg.FlushBatch,
+				WALCheckpoint: true,
+				TTLFor:        app.TTLFor,
 			})
 			e.workers[id] = w
 			e.workerMachine[id] = machine
@@ -650,6 +674,17 @@ func (e *Engine) AcceptedPerQueue() []uint64 {
 		out = append(out, w.q.Stats().Accepted)
 	}
 	return out
+}
+
+// FlushStats aggregates the workers' group-commit flush counters.
+func (e *Engine) FlushStats() slate.FlushStats {
+	var total slate.FlushStats
+	for _, w := range e.workers {
+		if s, ok := w.cache.(*slate.Sharded); ok {
+			total.Add(s.FlushStats())
+		}
+	}
+	return total
 }
 
 // CacheStats aggregates slate-cache statistics across all workers of

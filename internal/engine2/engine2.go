@@ -76,6 +76,13 @@ type Config struct {
 	// SecondarySpillFactor: the event goes to the secondary queue when
 	// primaryLen > SecondarySpillFactor*secondaryLen + 4. Default 2.
 	SecondarySpillFactor int
+	// SlateShards is the number of stripes in each machine's central
+	// slate store (default 16): worker threads touching different
+	// slates contend on per-shard locks, not one cache-wide mutex.
+	SlateShards int
+	// FlushBatch bounds the records per group-commit multi-put when
+	// the background flusher drains dirty slates (default 256).
+	FlushBatch int
 }
 
 func (c *Config) fill() {
@@ -123,7 +130,7 @@ type slateLock struct {
 type machine struct {
 	name    string
 	threads []*thread
-	cache   *slate.Cache
+	cache   slate.SlateStore
 
 	// runningMu guards running: fk -> thread idx -> count of
 	// invocations of that (function, key) currently executing on the
@@ -202,14 +209,23 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 			m.log = wal.New()
 		}
 		var store slate.Store
+		var slateWAL *wal.SlateBatchLog
 		if cfg.Store != nil {
 			store = &slate.KVStore{Cluster: cfg.Store, Level: cfg.StoreLevel}
+			slateWAL = wal.NewSlateBatchLog()
 		}
-		m.cache = slate.NewCache(slate.CacheConfig{
-			Capacity: cfg.CacheCapacity,
-			Policy:   cfg.FlushPolicy,
-			Store:    store,
-			TTLFor:   app.TTLFor,
+		// The central cache is the sharded store: per-shard locking for
+		// the worker threads and group-commit (WAL + multi-put)
+		// flushing for the background flusher.
+		m.cache = slate.NewSharded(slate.ShardedConfig{
+			Shards:        cfg.SlateShards,
+			Capacity:      cfg.CacheCapacity,
+			Policy:        cfg.FlushPolicy,
+			Store:         store,
+			WAL:           slateWAL,
+			MaxFlushBatch: cfg.FlushBatch,
+			WALCheckpoint: true,
+			TTLFor:        app.TTLFor,
 		})
 		for i := 0; i < cfg.ThreadsPerMachine; i++ {
 			m.threads = append(m.threads, &thread{
@@ -752,6 +768,18 @@ func (e *Engine) CacheStats() slate.CacheStats {
 		total.Evictions += s.Evictions
 		total.DirtyLost += s.DirtyLost
 		total.Size += s.Size
+	}
+	return total
+}
+
+// FlushStats aggregates the central stores' group-commit counters
+// across machines (flush rounds, batches, records, failed batches).
+func (e *Engine) FlushStats() slate.FlushStats {
+	var total slate.FlushStats
+	for _, m := range e.machines {
+		if s, ok := m.cache.(*slate.Sharded); ok {
+			total.Add(s.FlushStats())
+		}
 	}
 	return total
 }

@@ -208,6 +208,56 @@ func (c *Cluster) Put(key, column string, value []byte, ttl time.Duration, level
 	return kthFastest(lats, need), nil
 }
 
+// PutBatch writes all entries as one multi-put. Entries are grouped by
+// replica node and each node applies its group under a single lock and
+// commit-log append (Node.PutBatch); replica groups are contacted in
+// parallel, so the batch latency is the slowest node's latency, not the
+// sum over entries. The batch succeeds when every entry has the number
+// of acknowledgements the consistency level requires; otherwise the
+// first under-replicated entry is reported (writes that did land are
+// not rolled back, matching per-entry Put semantics).
+func (c *Cluster) PutBatch(entries []BatchEntry, level Consistency) (time.Duration, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	need := level.required(c.cfg.ReplicationFactor)
+	perNode := make(map[string][]BatchEntry)
+	perNodeIdx := make(map[string][]int)
+	for i, e := range entries {
+		for _, name := range c.Replicas(rowKey(e.Key, e.Column)) {
+			perNode[name] = append(perNode[name], e)
+			perNodeIdx[name] = append(perNodeIdx[name], i)
+		}
+	}
+	// Sorted node order keeps the jitter sequence deterministic.
+	names := make([]string, 0, len(perNode))
+	for name := range perNode {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	acks := make([]int, len(entries))
+	var maxLat time.Duration
+	for _, name := range names {
+		cost, err := c.nodes[name].PutBatch(perNode[name])
+		if err != nil {
+			continue
+		}
+		for _, i := range perNodeIdx[name] {
+			acks[i]++
+		}
+		if lat := c.cfg.NetworkRTT + c.jitter() + cost; lat > maxLat {
+			maxLat = lat
+		}
+	}
+	for i, a := range acks {
+		if a < need {
+			return maxLat, fmt.Errorf("%w: batch entry %d (%s/%s) got %d acks, need %d",
+				ErrUnavailable, i, entries[i].Key, entries[i].Column, a, need)
+		}
+	}
+	return maxLat, nil
+}
+
 // Get reads <key, column> from enough replicas to satisfy the
 // consistency level and returns the newest version among the replies
 // (performing read repair on stale live replicas). The boolean reports

@@ -1,0 +1,35 @@
+package metrics
+
+import "testing"
+
+func TestIntHistogramBasics(t *testing.T) {
+	h := NewIntHistogram(0)
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 100 || h.Sum() != 5050 || h.Max() != 100 {
+		t.Fatalf("count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	if m := h.Mean(); m != 50.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if q := h.Quantile(0.5); q < 45 || q > 55 {
+		t.Fatalf("p50 = %d", q)
+	}
+	if q := h.Quantile(1.0); q != 100 {
+		t.Fatalf("p100 = %d", q)
+	}
+}
+
+func TestIntHistogramReservoirBounds(t *testing.T) {
+	h := NewIntHistogram(10)
+	for i := int64(0); i < 10_000; i++ {
+		h.Observe(7)
+	}
+	if h.Count() != 10_000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.99); q != 7 {
+		t.Fatalf("p99 = %d, want 7", q)
+	}
+}

@@ -6,9 +6,6 @@ package metrics
 
 import (
 	"fmt"
-	"math"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -27,94 +24,39 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
-// Histogram records duration samples and reports percentiles. It is
-// safe for concurrent use. Samples are kept exactly (no sketching) up
-// to a cap, then reservoir-sampled, which is accurate enough for the
-// experiment harness while bounding memory.
+// Histogram records duration samples and reports percentiles over a
+// bounded reservoir (see reservoir.go). It is safe for concurrent use.
 type Histogram struct {
-	mu      sync.Mutex
-	samples []time.Duration
-	count   uint64
-	sum     time.Duration
-	max     time.Duration
-	cap     int
-	rngSeed uint64
+	r reservoir[time.Duration]
 }
 
 // NewHistogram returns a histogram keeping at most capSamples raw
 // samples (default 100k if capSamples <= 0).
 func NewHistogram(capSamples int) *Histogram {
-	if capSamples <= 0 {
-		capSamples = 100_000
-	}
-	return &Histogram{cap: capSamples, rngSeed: 0x9E3779B97F4A7C15}
+	return &Histogram{r: newReservoir[time.Duration](capSamples)}
 }
 
 // Observe records one sample.
-func (h *Histogram) Observe(d time.Duration) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.count++
-	h.sum += d
-	if d > h.max {
-		h.max = d
-	}
-	if len(h.samples) < h.cap {
-		h.samples = append(h.samples, d)
-		return
-	}
-	// Reservoir sampling: replace a random slot with probability cap/count.
-	h.rngSeed = h.rngSeed*6364136223846793005 + 1442695040888963407
-	slot := h.rngSeed % h.count
-	if slot < uint64(h.cap) {
-		h.samples[slot] = d
-	}
-}
+func (h *Histogram) Observe(d time.Duration) { h.r.observe(d) }
 
 // Count reports the number of observations.
-func (h *Histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() uint64 { return h.r.observations() }
 
 // Mean reports the average of all observations.
 func (h *Histogram) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	count, sum := h.r.snapshot()
+	if count == 0 {
 		return 0
 	}
-	return time.Duration(uint64(h.sum) / h.count)
+	return time.Duration(uint64(sum) / count)
 }
 
 // Max reports the largest observation.
-func (h *Histogram) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
-}
+func (h *Histogram) Max() time.Duration { return h.r.maximum() }
 
 // Quantile reports the q-quantile (0 <= q <= 1) over the retained
 // samples.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	s := make([]time.Duration, len(h.samples))
-	copy(s, h.samples)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(math.Ceil(q*float64(len(s)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(s) {
-		idx = len(s) - 1
-	}
-	return s[idx]
-}
+func (h *Histogram) Quantile(q float64) time.Duration { return h.r.quantile(q) }
 
 // Summary renders count/mean/p50/p95/p99/max on one line.
 func (h *Histogram) Summary() string {

@@ -70,9 +70,9 @@ func TestHistogramReservoirBoundsMemory(t *testing.T) {
 	if h.Count() != 10_000 {
 		t.Fatalf("Count = %d", h.Count())
 	}
-	h.mu.Lock()
-	n := len(h.samples)
-	h.mu.Unlock()
+	h.r.mu.Lock()
+	n := len(h.r.samples)
+	h.r.mu.Unlock()
 	if n != 100 {
 		t.Fatalf("retained %d samples, want 100", n)
 	}

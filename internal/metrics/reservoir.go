@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// reservoir is the shared sampling core behind Histogram (durations)
+// and IntHistogram (counts/sizes): exact samples up to a cap, then
+// reservoir sampling, which is accurate enough for the experiment
+// harness while bounding memory. It is safe for concurrent use.
+type reservoir[T ~int64] struct {
+	mu      sync.Mutex
+	samples []T
+	count   uint64
+	sum     T
+	max     T
+	cap     int
+	rngSeed uint64
+}
+
+func newReservoir[T ~int64](capSamples int) reservoir[T] {
+	if capSamples <= 0 {
+		capSamples = 100_000
+	}
+	return reservoir[T]{cap: capSamples, rngSeed: 0x9E3779B97F4A7C15}
+}
+
+func (r *reservoir[T]) observe(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	r.sum += v
+	if v > r.max {
+		r.max = v
+	}
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, v)
+		return
+	}
+	// Reservoir sampling: replace a random slot with probability cap/count.
+	r.rngSeed = r.rngSeed*6364136223846793005 + 1442695040888963407
+	slot := r.rngSeed % r.count
+	if slot < uint64(r.cap) {
+		r.samples[slot] = v
+	}
+}
+
+func (r *reservoir[T]) observations() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+func (r *reservoir[T]) maximum() T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.max
+}
+
+// snapshot returns count and sum under one lock, so means computed
+// from them are mutually consistent.
+func (r *reservoir[T]) snapshot() (count uint64, sum T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count, r.sum
+}
+
+// quantile reports the q-quantile (0 <= q <= 1) over the retained
+// samples.
+func (r *reservoir[T]) quantile(q float64) T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	s := make([]T, len(r.samples))
+	copy(s, r.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -1,0 +1,80 @@
+package microbatch
+
+import (
+	"testing"
+)
+
+func TestChunkSplitsEvenly(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5, 6, 7}
+	got := Chunk(items, 3)
+	if len(got) != 3 || len(got[0]) != 3 || len(got[1]) != 3 || len(got[2]) != 1 {
+		t.Fatalf("chunks = %v", got)
+	}
+}
+
+func TestChunkEdgeCases(t *testing.T) {
+	if got := Chunk([]int{}, 3); got != nil {
+		t.Fatalf("empty input = %v", got)
+	}
+	if got := Chunk([]int{1, 2}, 0); len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("max<=0 = %v, want single batch", got)
+	}
+	if got := Chunk([]int{1, 2}, 10); len(got) != 1 {
+		t.Fatalf("max>len = %v, want single batch", got)
+	}
+}
+
+func TestChunkBySizeBound(t *testing.T) {
+	items := []string{"aaaa", "bb", "cccc", "d", "eeeee"}
+	size := func(s string) int64 { return int64(len(s)) }
+	got := ChunkBy(items, 0, 6, size)
+	// aaaa+bb = 6 fits; cccc+d = 5 fits, adding eeeee would be 10.
+	if len(got) != 3 {
+		t.Fatalf("batches = %v", got)
+	}
+	for _, b := range got {
+		var total int64
+		for _, s := range b {
+			total += size(s)
+		}
+		if total > 6 && len(b) > 1 {
+			t.Fatalf("batch %v exceeds size bound", b)
+		}
+	}
+}
+
+func TestChunkByOversizedItemGetsOwnBatch(t *testing.T) {
+	items := []string{"small", "this-item-is-way-over-budget", "tiny"}
+	got := ChunkBy(items, 0, 8, func(s string) int64 { return int64(len(s)) })
+	if len(got) != 3 {
+		t.Fatalf("batches = %v, want each item alone", got)
+	}
+}
+
+func TestChunkByCountBound(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5}
+	got := ChunkBy(items, 2, 1<<20, func(int) int64 { return 1 })
+	if len(got) != 3 {
+		t.Fatalf("batches = %v, want 3 under count bound", got)
+	}
+}
+
+func TestChunkByCoversAllItems(t *testing.T) {
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i
+	}
+	got := ChunkBy(items, 7, 100, func(int) int64 { return 13 })
+	n := 0
+	for _, b := range got {
+		for _, v := range b {
+			if v != n {
+				t.Fatalf("item %d out of order (got %d)", n, v)
+			}
+			n++
+		}
+	}
+	if n != 1000 {
+		t.Fatalf("covered %d items, want 1000", n)
+	}
+}

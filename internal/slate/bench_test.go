@@ -3,8 +3,208 @@ package slate
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
+	"runtime"
 	"testing"
+	"time"
+
+	"muppet/internal/kvstore"
+	"muppet/internal/storage"
 )
+
+// storesUnderTest builds one instance of each SlateStore implementation
+// for a comparison benchmark: the single-mutex baseline and the sharded
+// store at two stripe counts.
+func storesUnderTest(capacity int, policy FlushPolicy, store func() Store) []struct {
+	name string
+	s    SlateStore
+} {
+	mk := func() Store {
+		if store == nil {
+			return nil
+		}
+		return store()
+	}
+	return []struct {
+		name string
+		s    SlateStore
+	}{
+		{"single-lock", NewCache(CacheConfig{Capacity: capacity, Policy: policy, Store: mk()})},
+		{"sharded-16", NewSharded(ShardedConfig{Shards: 16, Capacity: capacity, Policy: policy, Store: mk()})},
+		{"sharded-64", NewSharded(ShardedConfig{Shards: 64, Capacity: capacity, Policy: policy, Store: mk()})},
+	}
+}
+
+// parallelism ensures at least 8 concurrent goroutines regardless of
+// GOMAXPROCS, the contention level the acceptance benchmarks target.
+func parallelism() int {
+	p := runtime.GOMAXPROCS(0)
+	if p >= 8 {
+		return 1
+	}
+	return (8 + p - 1) / p
+}
+
+func benchKeys(n int) []Key {
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key{Updater: "U1", Key: fmt.Sprintf("user-%d", i)}
+	}
+	return keys
+}
+
+// BenchmarkStoreUniform: concurrent 50/50 get/put over a uniform key
+// space — the shard-friendly workload where striping should win on
+// multicore hardware.
+func BenchmarkStoreUniform(b *testing.B) {
+	keys := benchKeys(10_000)
+	for _, impl := range storesUnderTest(20_000, Interval, nil) {
+		b.Run(impl.name, func(b *testing.B) {
+			for _, key := range keys {
+				impl.s.Put(key, []byte("seed"))
+			}
+			val := []byte(`{"count":42}`)
+			b.SetParallelism(parallelism())
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(rand.Int63()))
+				for pb.Next() {
+					key := keys[rng.Intn(len(keys))]
+					if rng.Intn(2) == 0 {
+						impl.s.Put(key, val)
+					} else {
+						impl.s.Get(key)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreHotKeySkew: 90% of operations hammer 16 hot keys —
+// the hotspot workload of Section 5. Hot keys collapse onto few shards,
+// so this bounds the win striping can claim.
+func BenchmarkStoreHotKeySkew(b *testing.B) {
+	keys := benchKeys(10_000)
+	hot := keys[:16]
+	for _, impl := range storesUnderTest(20_000, Interval, nil) {
+		b.Run(impl.name, func(b *testing.B) {
+			for _, key := range keys {
+				impl.s.Put(key, []byte("seed"))
+			}
+			val := []byte(`{"count":42}`)
+			b.SetParallelism(parallelism())
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(rand.Int63()))
+				for pb.Next() {
+					var key Key
+					if rng.Intn(10) < 9 {
+						key = hot[rng.Intn(len(hot))]
+					} else {
+						key = keys[rng.Intn(len(keys))]
+					}
+					if rng.Intn(2) == 0 {
+						impl.s.Put(key, val)
+					} else {
+						impl.s.Get(key)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreFlushHeavy: concurrent writers race a background
+// flusher draining to a real (device-free) kvstore cluster. The
+// sharded store group-commits each drain as multi-puts; the baseline
+// writes slates one at a time.
+func BenchmarkStoreFlushHeavy(b *testing.B) {
+	keys := benchKeys(4_096)
+	mkStore := func() Store {
+		clu := kvstore.NewCluster(kvstore.ClusterConfig{Nodes: 3, ReplicationFactor: 2})
+		return &KVStore{Cluster: clu, Level: kvstore.One, DisableCompression: true}
+	}
+	for _, impl := range storesUnderTest(8_192, Interval, mkStore) {
+		b.Run(impl.name, func(b *testing.B) {
+			val := []byte(`{"count":42}`)
+			stop := make(chan struct{})
+			flusherDone := make(chan struct{})
+			go func() {
+				defer close(flusherDone)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						impl.s.FlushDirty()
+					}
+				}
+			}()
+			b.SetParallelism(parallelism())
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(rand.Int63()))
+				for pb.Next() {
+					impl.s.Put(keys[rng.Intn(len(keys))], val)
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			<-flusherDone
+		})
+	}
+}
+
+// BenchmarkFlushDirtyBatchVsSingle isolates the flush path itself:
+// 4096 dirty slates drained to an SSD-profile cluster in one
+// FlushDirty call. Beyond wall-clock time, it reports the simulated
+// device busy time per flush (the repo's standard I/O metric): the
+// baseline pays one commit-log seek per slate per replica, the
+// group-commit path one per multi-put per node.
+func BenchmarkFlushDirtyBatchVsSingle(b *testing.B) {
+	keys := benchKeys(4_096)
+	val := []byte(`{"count":42}`)
+	ssd := storage.SSD()
+	impls := []struct {
+		name string
+		mk   func(Store) SlateStore
+	}{
+		{"single-lock", func(st Store) SlateStore {
+			return NewCache(CacheConfig{Capacity: 8_192, Policy: Interval, Store: st})
+		}},
+		{"sharded-16", func(st Store) SlateStore {
+			return NewSharded(ShardedConfig{Shards: 16, Capacity: 8_192, Policy: Interval, Store: st})
+		}},
+	}
+	for _, impl := range impls {
+		b.Run(impl.name, func(b *testing.B) {
+			clu := kvstore.NewCluster(kvstore.ClusterConfig{
+				Nodes: 3, ReplicationFactor: 2, DeviceProfile: &ssd,
+			})
+			s := impl.mk(&KVStore{Cluster: clu, Level: kvstore.One, DisableCompression: true})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for _, key := range keys {
+					s.Put(key, val)
+				}
+				b.StartTimer()
+				s.FlushDirty()
+			}
+			b.StopTimer()
+			var busy time.Duration
+			var writeOps uint64
+			for _, name := range clu.Nodes() {
+				st := clu.Node(name).Device().Stats()
+				busy += st.BusyTime
+				writeOps += st.WriteOps
+			}
+			b.ReportMetric(float64(busy.Microseconds())/float64(b.N), "device-µs/flush")
+			b.ReportMetric(float64(writeOps)/float64(b.N), "device-writes/flush")
+		})
+	}
+}
 
 func BenchmarkCacheGetHit(b *testing.B) {
 	c := NewCache(CacheConfig{Capacity: 10000})

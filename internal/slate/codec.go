@@ -1,13 +1,3 @@
-// Package slate implements Muppet's slate management (Sections 3 and
-// 4.2 of the paper): the per-<updater, key> memory of update functions,
-// the in-memory slate cache on each machine, the flush policies that
-// persist dirty slates to the durable key-value store, and the
-// compressed encoding used when storing them.
-//
-// A slate is an opaque byte blob to the framework; applications often
-// encode JSON for language independence, and Muppet compresses each
-// slate before storing it in the key-value store, both of which this
-// package reproduces.
 package slate
 
 import (

@@ -1,0 +1,49 @@
+// Package slate implements Muppet's slate management (Sections 3 and
+// 4.2 of the paper): the per-<updater, key> memory of update functions,
+// the in-memory slate cache on each machine, the flush policies that
+// persist dirty slates to the durable key-value store, and the
+// compressed encoding used when storing them.
+//
+// A slate is an opaque byte blob to the framework; applications often
+// encode JSON for language independence, and Muppet compresses each
+// slate before storing it in the key-value store, both of which this
+// package reproduces.
+//
+// # Store implementations
+//
+// Engines program against the SlateStore interface. Two implementations
+// are provided:
+//
+//   - Cache is the original single-mutex LRU cache — one lock guards
+//     the whole table, and FlushDirty writes dirty slates to the store
+//     one at a time. It is kept as the baseline the benchmarks compare
+//     against (and remains adequate for single-goroutine owners).
+//
+//   - Sharded is the scalable store: the key space is striped over N
+//     independent shards by an FNV-1a hash of <updater, key>. Each
+//     shard has its own mutex, LRU list, and dirty list, so worker
+//     threads touching different slates proceed without contending on
+//     a global lock. This is what the Muppet 2.0 central cache
+//     (Section 4.5) needs to scale past a handful of threads.
+//
+// # Group-commit flushing
+//
+// Sharded replaces the per-slate flusher with a group-commit pipeline.
+// One FlushDirty call:
+//
+//  1. drains each shard's dirty list under that shard's lock (marking
+//     the entries clean),
+//  2. chunks the drained records into bounded batches via
+//     internal/microbatch (MaxFlushBatch records / MaxFlushBytes bytes),
+//  3. appends each batch to an optional internal/wal.SlateBatchLog as
+//     one record batch (WAL first, store second — replaying the log
+//     restores every flushed slate),
+//  4. writes each batch to the store with a single multi-put when the
+//     backing Store implements BatchStore (the kvstore adapter does,
+//     via Cluster.PutBatch), falling back to per-record Save otherwise.
+//
+// A batch that fails to persist is re-marked dirty so a later flush
+// retries it. Flush latency and batch sizes are recorded with
+// internal/metrics histograms (FlushLatency, BatchSizes) and counters
+// (FlushStats).
+package slate

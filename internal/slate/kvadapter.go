@@ -44,3 +44,19 @@ func (s *KVStore) Save(k Key, value []byte, ttl time.Duration) error {
 	_, err := s.Cluster.Put(k.Key, k.Updater, stored, ttl, s.Level)
 	return err
 }
+
+// SaveBatch implements BatchStore: the whole flush batch goes to the
+// cluster as one multi-put, so replica round-trips and commit-log
+// appends are paid per batch, not per slate.
+func (s *KVStore) SaveBatch(recs []BatchRecord) error {
+	entries := make([]kvstore.BatchEntry, len(recs))
+	for i, r := range recs {
+		stored := r.Value
+		if !s.DisableCompression {
+			stored = Compress(r.Value)
+		}
+		entries[i] = kvstore.BatchEntry{Key: r.K.Key, Column: r.K.Updater, Value: stored, TTL: r.TTL}
+	}
+	_, err := s.Cluster.PutBatch(entries, s.Level)
+	return err
+}

@@ -1,0 +1,508 @@
+package slate
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muppet/internal/metrics"
+	"muppet/internal/microbatch"
+	"muppet/internal/wal"
+)
+
+// ShardedConfig tunes a sharded slate store.
+type ShardedConfig struct {
+	// Shards is the number of independent stripes (default 16). More
+	// shards means less lock contention between worker threads; the
+	// per-shard state is small, so oversizing is cheap.
+	Shards int
+	// Capacity is the maximum number of cached slates across all
+	// shards (default 10000). Each shard gets an equal slice of it.
+	Capacity int
+	// Policy selects the flush behavior.
+	Policy FlushPolicy
+	// Store is the durable backing; nil disables persistence. When it
+	// also implements BatchStore, group-commit flushes use SaveBatch.
+	Store Store
+	// WAL, when set, receives every flush batch as one record batch
+	// before the batch is written to the store; replaying it restores
+	// all flushed slates.
+	WAL *wal.SlateBatchLog
+	// MaxFlushBatch bounds records per group-commit batch (default 256).
+	MaxFlushBatch int
+	// MaxFlushBytes bounds a batch's total slate bytes (default 1MiB).
+	MaxFlushBytes int64
+	// WALCheckpoint truncates the WAL after a fully successful flush,
+	// so the log retains only batches not yet known durable in the
+	// store (the group-commit checkpoint long-running engines need to
+	// bound log memory). Leave false to retain the full flush history,
+	// e.g. for replay tests.
+	WALCheckpoint bool
+	// TTLFor returns the slate TTL for an updater; nil means forever.
+	TTLFor func(updater string) time.Duration
+}
+
+func (c *ShardedConfig) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 10_000
+	}
+	// Per-shard capacity rounds up, so more shards than slates would
+	// inflate the effective capacity; clamp to keep it honest for tiny
+	// caches (the eviction experiments rely on exact small capacities).
+	if c.Shards > c.Capacity {
+		c.Shards = c.Capacity
+	}
+	if c.MaxFlushBatch <= 0 {
+		c.MaxFlushBatch = 256
+	}
+	if c.MaxFlushBytes <= 0 {
+		c.MaxFlushBytes = 1 << 20
+	}
+}
+
+// shard is one stripe: a small LRU cache with its own mutex and dirty
+// list.
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	items    map[Key]*entry
+	lru      *list.List // front = most recently used
+	dirty    map[Key]*entry
+	stats    CacheStats
+}
+
+// FlushStats counts group-commit activity.
+type FlushStats struct {
+	// Flushes is the number of FlushDirty calls that found dirty work.
+	Flushes uint64
+	// Batches is the number of group-commit batches issued.
+	Batches uint64
+	// Records is the number of slates persisted by those batches.
+	Records uint64
+	// Errors is the number of batches whose store write failed (their
+	// records were re-marked dirty for retry).
+	Errors uint64
+}
+
+// Add accumulates s into t (engines aggregate per-machine or
+// per-worker stores with it).
+func (t *FlushStats) Add(s FlushStats) {
+	t.Flushes += s.Flushes
+	t.Batches += s.Batches
+	t.Records += s.Records
+	t.Errors += s.Errors
+}
+
+// Sharded is a striped slate store: the key space is divided over
+// independent shards by an FNV-1a hash of <updater, key>, and dirty
+// slates are persisted by a group-commit flush pipeline. It is safe
+// for concurrent use. See the package documentation for the design.
+type Sharded struct {
+	cfg    ShardedConfig
+	shards []*shard
+	batch  BatchStore // non-nil when cfg.Store supports multi-put
+
+	flushMu      sync.Mutex // serializes group commits
+	flushes      atomic.Uint64
+	batches      atomic.Uint64
+	records      atomic.Uint64
+	flushErrors  atomic.Uint64
+	flushSaves   atomic.Uint64 // StoreSaves issued by the flush path
+	flushLatency *metrics.Histogram
+	batchSizes   *metrics.IntHistogram
+}
+
+// NewSharded returns a sharded store with the given configuration.
+func NewSharded(cfg ShardedConfig) *Sharded {
+	cfg.fill()
+	s := &Sharded{
+		cfg:          cfg,
+		shards:       make([]*shard, cfg.Shards),
+		flushLatency: metrics.NewHistogram(0),
+		batchSizes:   metrics.NewIntHistogram(0),
+	}
+	// Distribute the capacity exactly: the first Capacity%Shards
+	// shards hold one extra slate, so the totals match the configured
+	// bound (eviction experiments rely on exact small capacities).
+	base, rem := cfg.Capacity/cfg.Shards, cfg.Capacity%cfg.Shards
+	for i := range s.shards {
+		capacity := base
+		if i < rem {
+			capacity++
+		}
+		s.shards[i] = &shard{
+			capacity: capacity,
+			items:    make(map[Key]*entry),
+			lru:      list.New(),
+			dirty:    make(map[Key]*entry),
+		}
+	}
+	if bs, ok := cfg.Store.(BatchStore); ok {
+		s.batch = bs
+	}
+	return s
+}
+
+// shardFor stripes a key over the shards with FNV-1a.
+func (s *Sharded) shardFor(k Key) *shard {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(k.Updater); i++ {
+		h ^= uint64(k.Updater[i])
+		h *= 1099511628211
+	}
+	// Separator byte (cannot appear in UTF-8 function names) keeps
+	// ("ab","c") distinct from ("a","bc").
+	h ^= 0xff
+	h *= 1099511628211
+	for i := 0; i < len(k.Key); i++ {
+		h ^= uint64(k.Key[i])
+		h *= 1099511628211
+	}
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+func (s *Sharded) ttl(k Key) time.Duration {
+	if s.cfg.TTLFor == nil {
+		return 0
+	}
+	return s.cfg.TTLFor(k.Updater)
+}
+
+// Get implements SlateStore: cache hit, or load-through from the
+// durable store.
+func (s *Sharded) Get(k Key) ([]byte, error) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	if e, ok := sh.items[k]; ok {
+		sh.stats.Hits++
+		sh.lru.MoveToFront(e.elem)
+		v := e.value
+		sh.mu.Unlock()
+		return v, nil
+	}
+	sh.stats.Misses++
+	if s.cfg.Store == nil {
+		sh.mu.Unlock()
+		return nil, nil
+	}
+	sh.stats.StoreLoads++
+	// The store round-trip holds the shard lock, like the single-lock
+	// baseline holds its global one: releasing it would let a
+	// concurrent Put-then-evict land a newer value in the store that
+	// this load has already missed, and the re-insert would cache the
+	// stale copy as clean. A slow load therefore stalls one stripe,
+	// not the whole cache.
+	defer sh.mu.Unlock()
+	v, found, err := s.cfg.Store.Load(k)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	s.insertLocked(sh, k, v, false)
+	return v, nil
+}
+
+// Peek implements SlateStore.
+func (s *Sharded) Peek(k Key) ([]byte, bool) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.items[k]; ok {
+		return e.value, true
+	}
+	return nil, false
+}
+
+// Put implements SlateStore.
+func (s *Sharded) Put(k Key, value []byte) error {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	e, ok := sh.items[k]
+	if ok {
+		e.value = value
+		if !e.dirty {
+			e.dirty = true
+			sh.dirty[k] = e
+		}
+		sh.lru.MoveToFront(e.elem)
+	} else {
+		e = s.insertLocked(sh, k, value, true)
+	}
+	if s.cfg.Policy == WriteThrough && s.cfg.Store != nil {
+		e.dirty = false
+		delete(sh.dirty, k)
+		sh.stats.StoreSaves++
+		ttl := s.ttl(k)
+		sh.mu.Unlock()
+		return s.cfg.Store.Save(k, value, ttl)
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+// Delete implements SlateStore.
+func (s *Sharded) Delete(k Key) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.items[k]; ok {
+		sh.lru.Remove(e.elem)
+		delete(sh.items, k)
+		delete(sh.dirty, k)
+	}
+}
+
+// insertLocked adds a new entry to sh, evicting as needed. Caller
+// holds sh.mu.
+func (s *Sharded) insertLocked(sh *shard, k Key, value []byte, dirty bool) *entry {
+	e := &entry{key: k, value: value, dirty: dirty}
+	e.elem = sh.lru.PushFront(e)
+	sh.items[k] = e
+	if dirty {
+		sh.dirty[k] = e
+	}
+	for len(sh.items) > sh.capacity {
+		s.evictLocked(sh)
+	}
+	return e
+}
+
+func (s *Sharded) evictLocked(sh *shard) {
+	back := sh.lru.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*entry)
+	if e.dirty && s.cfg.Store != nil {
+		// Interval and OnEvict persist on eviction; WriteThrough
+		// entries are already clean.
+		sh.stats.StoreSaves++
+		s.cfg.Store.Save(e.key, e.value, s.ttl(e.key))
+	}
+	sh.lru.Remove(back)
+	delete(sh.items, e.key)
+	delete(sh.dirty, e.key)
+	sh.stats.Evictions++
+}
+
+// FlushDirty implements SlateStore with the group-commit pipeline:
+// drain every shard's dirty list, chunk the records through
+// internal/microbatch, append each chunk to the WAL as one record
+// batch, and write it to the store with a single multi-put. It returns
+// the number of slates durably written. Failed batches are re-marked
+// dirty and retried by the next flush.
+func (s *Sharded) FlushDirty() (int, error) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	start := time.Now()
+	var recs []BatchRecord
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k, e := range sh.dirty {
+			e.dirty = false
+			recs = append(recs, BatchRecord{K: k, Value: e.value, TTL: s.ttl(k)})
+		}
+		clear(sh.dirty)
+		sh.mu.Unlock()
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	s.flushes.Add(1)
+	if s.cfg.Store == nil {
+		return 0, nil
+	}
+	// Saves are counted when issued, not when the store returns —
+	// matching Cache.FlushDirty's accounting, which observers (stats
+	// endpoints, experiments) read while a slow flush is in flight.
+	s.flushSaves.Add(uint64(len(recs)))
+	var firstErr error
+	flushed := 0
+	chunks := microbatch.ChunkBy(recs, s.cfg.MaxFlushBatch, s.cfg.MaxFlushBytes,
+		func(r BatchRecord) int64 { return int64(len(r.Value)) })
+	for _, chunk := range chunks {
+		var walSeq uint64
+		if s.cfg.WAL != nil {
+			walRecs := make([]wal.SlateRecord, len(chunk))
+			for i, r := range chunk {
+				walRecs[i] = wal.SlateRecord{Updater: r.K.Updater, Key: r.K.Key, Value: r.Value, TTL: r.TTL}
+			}
+			walSeq = s.cfg.WAL.AppendBatch(walRecs)
+		}
+		s.batches.Add(1)
+		s.batchSizes.Observe(int64(len(chunk)))
+		err := s.saveChunk(chunk)
+		if err != nil {
+			s.flushErrors.Add(1)
+			if firstErr == nil {
+				firstErr = err
+			}
+			// The records stay dirty and will be re-appended by the
+			// retry flush; drop the failed attempt so a long store
+			// outage cannot grow the log without bound, and take the
+			// failed writes back out of the saves count so retries do
+			// not inflate StoreSaves past actual store writes.
+			s.remarkDirty(chunk)
+			s.flushSaves.Add(^uint64(len(chunk) - 1))
+			if s.cfg.WAL != nil {
+				s.cfg.WAL.AbortBatch(walSeq)
+			}
+			continue
+		}
+		flushed += len(chunk)
+	}
+	s.records.Add(uint64(flushed))
+	s.flushLatency.Observe(time.Since(start))
+	if firstErr == nil && s.cfg.WAL != nil && s.cfg.WALCheckpoint {
+		s.cfg.WAL.Truncate()
+	}
+	return flushed, firstErr
+}
+
+// saveChunk persists one batch: a single multi-put when the store
+// supports it, per-record saves otherwise.
+func (s *Sharded) saveChunk(chunk []BatchRecord) error {
+	if s.batch != nil {
+		return s.batch.SaveBatch(chunk)
+	}
+	var firstErr error
+	for _, r := range chunk {
+		if err := s.cfg.Store.Save(r.K, r.Value, r.TTL); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// remarkDirty restores the dirty flag of a failed batch's entries so a
+// later flush retries them (unless they were evicted or deleted in the
+// meantime — those are gone either way).
+func (s *Sharded) remarkDirty(chunk []BatchRecord) {
+	for _, r := range chunk {
+		sh := s.shardFor(r.K)
+		sh.mu.Lock()
+		if e, ok := sh.items[r.K]; ok {
+			e.dirty = true
+			sh.dirty[r.K] = e
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Crash implements SlateStore: drop everything without flushing.
+func (s *Sharded) Crash() (dirtyLost int) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, e := range sh.items {
+			if e.dirty {
+				dirtyLost++
+				sh.stats.DirtyLost++
+			}
+		}
+		sh.items = make(map[Key]*entry)
+		sh.dirty = make(map[Key]*entry)
+		sh.lru = list.New()
+		sh.mu.Unlock()
+	}
+	return dirtyLost
+}
+
+// Len implements SlateStore.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// DirtyCount implements SlateStore.
+func (s *Sharded) DirtyCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.dirty)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats implements SlateStore, summing per-shard counters and the
+// flush pipeline's saves.
+func (s *Sharded) Stats() CacheStats {
+	var total CacheStats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st := sh.stats
+		st.Size = len(sh.items)
+		sh.mu.Unlock()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.StoreLoads += st.StoreLoads
+		total.StoreSaves += st.StoreSaves
+		total.Evictions += st.Evictions
+		total.DirtyLost += st.DirtyLost
+		total.Size += st.Size
+	}
+	total.StoreSaves += s.flushSaves.Load()
+	return total
+}
+
+// Keys implements SlateStore.
+func (s *Sharded) Keys() []Key {
+	var out []Key
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k := range sh.items {
+			out = append(out, k)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Shards reports the number of stripes (for distribution tests and
+// status endpoints).
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// ShardSizes reports each shard's resident slate count, the
+// distribution signal the shard-balance test asserts on.
+func (s *Sharded) ShardSizes() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = len(sh.items)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// FlushStats snapshots the group-commit counters.
+func (s *Sharded) FlushStats() FlushStats {
+	return FlushStats{
+		Flushes: s.flushes.Load(),
+		Batches: s.batches.Load(),
+		Records: s.records.Load(),
+		Errors:  s.flushErrors.Load(),
+	}
+}
+
+// WAL exposes the group-commit batch log (nil when not configured) so
+// recovery tooling and status endpoints can reach the batches retained
+// since the last checkpoint.
+func (s *Sharded) WAL() *wal.SlateBatchLog { return s.cfg.WAL }
+
+// FlushLatency is the histogram of FlushDirty wall-clock durations.
+func (s *Sharded) FlushLatency() *metrics.Histogram { return s.flushLatency }
+
+// BatchSizes is the histogram of group-commit batch sizes (records per
+// multi-put).
+func (s *Sharded) BatchSizes() *metrics.IntHistogram { return s.batchSizes }

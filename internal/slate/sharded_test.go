@@ -1,0 +1,377 @@
+package slate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"muppet/internal/kvstore"
+	"muppet/internal/wal"
+)
+
+// fakeBatchStore is a fakeStore that also counts multi-put batches.
+type fakeBatchStore struct {
+	fakeStore
+	batches    int
+	batchSizes []int
+	failNext   int // fail this many SaveBatch calls
+}
+
+func newFakeBatchStore() *fakeBatchStore {
+	return &fakeBatchStore{fakeStore: fakeStore{data: map[Key][]byte{}, ttls: map[Key]time.Duration{}}}
+}
+
+func (f *fakeBatchStore) SaveBatch(recs []BatchRecord) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext > 0 {
+		f.failNext--
+		return errors.New("fakeBatchStore: injected failure")
+	}
+	f.batches++
+	f.batchSizes = append(f.batchSizes, len(recs))
+	for _, r := range recs {
+		f.saves++
+		f.data[r.K] = append([]byte(nil), r.Value...)
+		f.ttls[r.K] = r.TTL
+	}
+	return nil
+}
+
+func TestShardedBasicGetPutPeek(t *testing.T) {
+	s := NewSharded(ShardedConfig{Shards: 8, Capacity: 100})
+	if v, err := s.Get(k("U", "a")); err != nil || v != nil {
+		t.Fatalf("empty get = %v, %v", v, err)
+	}
+	s.Put(k("U", "a"), []byte("1"))
+	if v, _ := s.Get(k("U", "a")); string(v) != "1" {
+		t.Fatalf("get = %q, want 1", v)
+	}
+	if v, ok := s.Peek(k("U", "a")); !ok || string(v) != "1" {
+		t.Fatalf("peek = %q, %v", v, ok)
+	}
+	if _, ok := s.Peek(k("U", "b")); ok {
+		t.Fatal("peek of absent key reported present")
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("len = %d, want 1", got)
+	}
+	if got := s.DirtyCount(); got != 1 {
+		t.Fatalf("dirty = %d, want 1", got)
+	}
+	s.Delete(k("U", "a"))
+	if got, dirty := s.Len(), s.DirtyCount(); got != 0 || dirty != 0 {
+		t.Fatalf("after delete len=%d dirty=%d", got, dirty)
+	}
+}
+
+func TestShardedLoadsThroughStore(t *testing.T) {
+	fs := newFakeStore()
+	fs.data[k("U", "cold")] = []byte("42")
+	s := NewSharded(ShardedConfig{Shards: 4, Capacity: 10, Store: fs})
+	if v, err := s.Get(k("U", "cold")); err != nil || string(v) != "42" {
+		t.Fatalf("load-through = %q, %v", v, err)
+	}
+	// Now cached: a second get must not hit the store again.
+	s.Get(k("U", "cold"))
+	if fs.loads != 1 {
+		t.Fatalf("store loads = %d, want 1", fs.loads)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.StoreLoads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShardedWriteThrough(t *testing.T) {
+	fs := newFakeStore()
+	s := NewSharded(ShardedConfig{Shards: 4, Capacity: 10, Policy: WriteThrough, Store: fs})
+	s.Put(k("U", "a"), []byte("1"))
+	if fs.saves != 1 {
+		t.Fatalf("saves = %d, want immediate write-through", fs.saves)
+	}
+	if got := s.DirtyCount(); got != 0 {
+		t.Fatalf("dirty = %d after write-through", got)
+	}
+}
+
+func TestShardedEvictionPersistsDirty(t *testing.T) {
+	fs := newFakeStore()
+	s := NewSharded(ShardedConfig{Shards: 2, Capacity: 2, Policy: OnEvict, Store: fs})
+	for i := 0; i < 10; i++ {
+		s.Put(k("U", fmt.Sprintf("key%d", i)), []byte("v"))
+	}
+	if s.Len() > 2 {
+		t.Fatalf("len = %d, want <= capacity 2", s.Len())
+	}
+	st := s.Stats()
+	if st.Evictions == 0 || fs.saves == 0 {
+		t.Fatalf("evictions=%d saves=%d, want both > 0", st.Evictions, fs.saves)
+	}
+}
+
+func TestShardedDistribution(t *testing.T) {
+	// 10k distinct keys over 16 shards: FNV striping should land
+	// every shard within a loose factor of the 625 mean.
+	s := NewSharded(ShardedConfig{Shards: 16, Capacity: 100_000})
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		s.Put(k("U", fmt.Sprintf("user-%d", i)), []byte("v"))
+	}
+	sizes := s.ShardSizes()
+	if len(sizes) != 16 {
+		t.Fatalf("shards = %d, want 16", len(sizes))
+	}
+	mean := n / 16
+	for i, sz := range sizes {
+		if sz < mean/2 || sz > mean*2 {
+			t.Fatalf("shard %d holds %d slates, want within [%d, %d]; distribution %v",
+				i, sz, mean/2, mean*2, sizes)
+		}
+	}
+}
+
+func TestShardedGroupCommitBatches(t *testing.T) {
+	fs := newFakeBatchStore()
+	log := wal.NewSlateBatchLog()
+	s := NewSharded(ShardedConfig{
+		Shards: 8, Capacity: 10_000, Policy: Interval,
+		Store: fs, WAL: log, MaxFlushBatch: 100,
+	})
+	for i := 0; i < 250; i++ {
+		s.Put(k("U", fmt.Sprintf("key%d", i)), []byte("v"))
+	}
+	n, err := s.FlushDirty()
+	if err != nil || n != 250 {
+		t.Fatalf("flush = %d, %v; want 250, nil", n, err)
+	}
+	// 250 records at <=100 per batch: 3 multi-puts, not 250 saves.
+	if fs.batches != 3 {
+		t.Fatalf("multi-put batches = %d (%v), want 3", fs.batches, fs.batchSizes)
+	}
+	batches, records, _ := log.Stats()
+	if batches != 3 || records != 250 {
+		t.Fatalf("wal batches=%d records=%d, want 3/250", batches, records)
+	}
+	fstats := s.FlushStats()
+	if fstats.Flushes != 1 || fstats.Batches != 3 || fstats.Records != 250 || fstats.Errors != 0 {
+		t.Fatalf("flush stats = %+v", fstats)
+	}
+	if got := s.BatchSizes().Count(); got != 3 {
+		t.Fatalf("batch size samples = %d, want 3", got)
+	}
+	if got := s.FlushLatency().Count(); got != 1 {
+		t.Fatalf("flush latency samples = %d, want 1", got)
+	}
+	if s.DirtyCount() != 0 {
+		t.Fatalf("dirty = %d after flush", s.DirtyCount())
+	}
+	// A second flush with nothing dirty is a no-op.
+	if n, _ := s.FlushDirty(); n != 0 {
+		t.Fatalf("idle flush wrote %d", n)
+	}
+}
+
+func TestShardedFlushFailureRetries(t *testing.T) {
+	fs := newFakeBatchStore()
+	fs.failNext = 1
+	log := wal.NewSlateBatchLog()
+	s := NewSharded(ShardedConfig{Shards: 4, Capacity: 100, Policy: Interval, Store: fs, WAL: log, MaxFlushBatch: 100})
+	for i := 0; i < 5; i++ {
+		s.Put(k("U", fmt.Sprintf("key%d", i)), []byte("v"))
+	}
+	if _, err := s.FlushDirty(); err == nil {
+		t.Fatal("want error from failed batch")
+	}
+	// The failed batch was re-marked dirty; the next flush lands it.
+	if got := s.DirtyCount(); got != 5 {
+		t.Fatalf("dirty after failed flush = %d, want 5", got)
+	}
+	n, err := s.FlushDirty()
+	if err != nil || n != 5 {
+		t.Fatalf("retry flush = %d, %v", n, err)
+	}
+	if len(fs.data) != 5 {
+		t.Fatalf("store rows = %d, want 5", len(fs.data))
+	}
+	if fstats := s.FlushStats(); fstats.Errors != 1 {
+		t.Fatalf("flush errors = %d, want 1", fstats.Errors)
+	}
+	// The failed attempt was aborted from the WAL: only the successful
+	// retry's batch is retained, so a long store outage cannot grow the
+	// log without bound.
+	if _, records, retained := log.Stats(); retained != 1 || records != 5 {
+		t.Fatalf("wal retained=%d records=%d, want 1/5", retained, records)
+	}
+	// And the failed attempt was backed out of the saves count: 5
+	// actual store writes, not 10.
+	if saves := s.Stats().StoreSaves; saves != 5 {
+		t.Fatalf("store saves = %d, want 5 (retry must not double-count)", saves)
+	}
+}
+
+func TestShardedCapacityExact(t *testing.T) {
+	// Capacity that does not divide the shard count must still bound
+	// the total exactly (remainder spread over the first shards).
+	s := NewSharded(ShardedConfig{Shards: 16, Capacity: 20})
+	for i := 0; i < 500; i++ {
+		s.Put(k("U", fmt.Sprintf("key%d", i)), []byte("v"))
+	}
+	total := 0
+	for _, sz := range s.ShardSizes() {
+		total += sz
+	}
+	if total > 20 {
+		t.Fatalf("resident slates = %d, want <= configured capacity 20", total)
+	}
+}
+
+// TestShardedConcurrentRace drives readers, writers, and the flusher
+// concurrently; run under -race it proves the striped locking and the
+// group-commit drain do not race.
+func TestShardedConcurrentRace(t *testing.T) {
+	fs := newFakeBatchStore()
+	s := NewSharded(ShardedConfig{
+		Shards: 8, Capacity: 512, Policy: Interval,
+		Store: fs, WAL: wal.NewSlateBatchLog(), WALCheckpoint: true, MaxFlushBatch: 64,
+	})
+	const workers = 8
+	const opsPerWorker = 2_000
+	var workerWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func(w int) {
+			defer workerWG.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				key := k("U", fmt.Sprintf("key%d", (w*opsPerWorker+i)%300))
+				switch i % 4 {
+				case 0, 1:
+					s.Put(key, []byte(fmt.Sprintf("%d", i)))
+				case 2:
+					s.Get(key)
+				case 3:
+					s.Peek(key)
+				}
+			}
+		}(w)
+	}
+	// Background flusher, as the engines run it, racing the workers.
+	stop := make(chan struct{})
+	var flusherWG sync.WaitGroup
+	flusherWG.Add(1)
+	go func() {
+		defer flusherWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.FlushDirty()
+			}
+		}
+	}()
+	workerWG.Wait()
+	close(stop)
+	flusherWG.Wait()
+	// Final flush drains everything that is still dirty.
+	if _, err := s.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DirtyCount(); got != 0 {
+		t.Fatalf("dirty = %d after final flush", got)
+	}
+	// Every cached slate must match what a reader would see.
+	for _, key := range s.Keys() {
+		if _, ok := s.Peek(key); !ok {
+			t.Fatalf("key %v vanished", key)
+		}
+	}
+}
+
+// TestCrashReplayRestoresFlushedSlates proves the WAL batch records
+// are a faithful copy of everything the group-commit pipeline wrote:
+// replaying the log into an empty store reproduces the flushed state
+// even after the original store is wiped.
+func TestCrashReplayRestoresFlushedSlates(t *testing.T) {
+	fs := newFakeBatchStore()
+	log := wal.NewSlateBatchLog()
+	s := NewSharded(ShardedConfig{
+		Shards: 8, Capacity: 10_000, Policy: Interval,
+		Store: fs, WAL: log, MaxFlushBatch: 32,
+	})
+	// Two flush rounds, with overwrites across rounds.
+	for i := 0; i < 100; i++ {
+		s.Put(k("U", fmt.Sprintf("key%d", i)), []byte(fmt.Sprintf("v1-%d", i)))
+	}
+	if _, err := s.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.Put(k("U", fmt.Sprintf("key%d", i)), []byte(fmt.Sprintf("v2-%d", i)))
+	}
+	if _, err := s.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	// Disaster: the durable store loses everything, and the cache
+	// crashes too.
+	recovered := newFakeStore()
+	s.Crash()
+	// Replay the WAL batches, oldest first, into the fresh store.
+	applied, err := log.Replay(func(r wal.SlateRecord) error {
+		return recovered.Save(Key{Updater: r.Updater, Key: r.Key}, r.Value, r.TTL)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 150 {
+		t.Fatalf("replayed %d records, want 150", applied)
+	}
+	// The recovered store holds the newest flushed value of every key.
+	for i := 0; i < 100; i++ {
+		want := fmt.Sprintf("v1-%d", i)
+		if i < 50 {
+			want = fmt.Sprintf("v2-%d", i)
+		}
+		v, ok, _ := recovered.Load(k("U", fmt.Sprintf("key%d", i)))
+		if !ok || string(v) != want {
+			t.Fatalf("key%d = %q, %v; want %q", i, v, ok, want)
+		}
+	}
+}
+
+// TestShardedAgainstKVCluster runs the group-commit path against the
+// real kvstore cluster end to end: flush via multi-put, then read every
+// slate back through the adapter.
+func TestShardedAgainstKVCluster(t *testing.T) {
+	clu := kvstore.NewCluster(kvstore.ClusterConfig{Nodes: 3, ReplicationFactor: 2})
+	adapter := &KVStore{Cluster: clu, Level: kvstore.Quorum}
+	s := NewSharded(ShardedConfig{Shards: 8, Capacity: 1_000, Policy: Interval, Store: adapter, MaxFlushBatch: 16})
+	for i := 0; i < 64; i++ {
+		s.Put(k("U1", fmt.Sprintf("row%d", i)), []byte(fmt.Sprintf(`{"n":%d}`, i)))
+	}
+	n, err := s.FlushDirty()
+	if err != nil || n != 64 {
+		t.Fatalf("flush = %d, %v", n, err)
+	}
+	// Wipe the cache; every read must come back from the cluster.
+	s.Crash()
+	for i := 0; i < 64; i++ {
+		v, err := s.Get(k("U1", fmt.Sprintf("row%d", i)))
+		if err != nil || string(v) != fmt.Sprintf(`{"n":%d}`, i) {
+			t.Fatalf("row%d = %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestShardedCapacityClamp(t *testing.T) {
+	// More shards than capacity must not inflate the cache.
+	s := NewSharded(ShardedConfig{Shards: 16, Capacity: 2})
+	for i := 0; i < 10; i++ {
+		s.Put(k("U", fmt.Sprintf("key%d", i)), []byte("v"))
+	}
+	if got := s.Len(); got > 2 {
+		t.Fatalf("len = %d, want <= 2", got)
+	}
+}

@@ -218,6 +218,13 @@ type Config struct {
 	// (its disparate caches), per machine under 2.0 (its central
 	// cache).
 	CacheCapacity int
+	// SlateShards is the number of stripes in each slate store (2.0:
+	// per-machine central store, default 16; 1.0: per-worker store,
+	// default 4). Zero keeps the defaults.
+	SlateShards int
+	// FlushBatch bounds the slates per group-commit multi-put when
+	// dirty slates are flushed to the store (default 256).
+	FlushBatch int
 	// FlushPolicy controls slate persistence.
 	FlushPolicy FlushPolicy
 	// FlushEvery drives periodic flushing under FlushInterval.
@@ -308,6 +315,8 @@ func NewEngine(app *App, cfg Config) (Engine, error) {
 			QueuePolicy:         cfg.QueuePolicy,
 			OverflowStream:      cfg.OverflowStream,
 			SlateCachePerWorker: cfg.CacheCapacity,
+			SlateShards:         cfg.SlateShards,
+			FlushBatch:          cfg.FlushBatch,
 			FlushPolicy:         cfg.FlushPolicy,
 			FlushInterval:       cfg.FlushEvery,
 			Store:               storeCluster(cfg.Store),
@@ -327,6 +336,8 @@ func NewEngine(app *App, cfg Config) (Engine, error) {
 			QueuePolicy:       cfg.QueuePolicy,
 			OverflowStream:    cfg.OverflowStream,
 			CacheCapacity:     cfg.CacheCapacity,
+			SlateShards:       cfg.SlateShards,
+			FlushBatch:        cfg.FlushBatch,
 			FlushPolicy:       cfg.FlushPolicy,
 			FlushInterval:     cfg.FlushEvery,
 			Store:             storeCluster(cfg.Store),
