@@ -6,6 +6,11 @@
 //	slatectl -addr 127.0.0.1:8080 status
 //	slatectl -addr 127.0.0.1:8080 slate U1 Walmart
 //	slatectl -addr 127.0.0.1:8080 dump U1
+//	slatectl -addr 127.0.0.1:8080 recovery
+//
+// The recovery command prints the engine's recovery-subsystem status:
+// ring membership, failover and rejoin counts, WAL replay totals, and
+// the latest incident reports.
 package main
 
 import (
@@ -27,6 +32,8 @@ func main() {
 	switch args[0] {
 	case "status":
 		get(fmt.Sprintf("http://%s/status", *addr))
+	case "recovery":
+		get(fmt.Sprintf("http://%s/recovery", *addr))
 	case "slate":
 		if len(args) != 3 {
 			usage()
@@ -58,6 +65,6 @@ func get(u string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: slatectl [-addr host:port] status | slate <updater> <key> | dump <updater>")
+	fmt.Fprintln(os.Stderr, "usage: slatectl [-addr host:port] status | recovery | slate <updater> <key> | dump <updater>")
 	os.Exit(2)
 }

@@ -77,6 +77,28 @@ type EngineConfig struct {
 	FlushEvery  string `json:"flush_every,omitempty"`
 	// SourceThrottle enables wait-and-retry ingestion.
 	SourceThrottle bool `json:"source_throttle,omitempty"`
+	// ReplayLog enables the event replay log (engine 2): failover then
+	// redelivers a dead machine's unacknowledged events.
+	ReplayLog bool `json:"replay_log,omitempty"`
+	// Recovery holds the recovery-subsystem knobs; omit for defaults
+	// (detector, WAL replay, and rejoin warm-up all enabled).
+	Recovery *RecoveryFileConfig `json:"recovery,omitempty"`
+}
+
+// RecoveryFileConfig is the recovery section of a configuration file.
+type RecoveryFileConfig struct {
+	// DisableDetector stops failed sends from being reported to the
+	// master (failures then go unnoticed until an operator reports
+	// them).
+	DisableDetector bool `json:"disable_detector,omitempty"`
+	// DisableWALReplay skips slate group-commit WAL replay on failover.
+	DisableWALReplay bool `json:"disable_wal_replay,omitempty"`
+	// DisableRejoinWarm skips slate-cache warm-up when a machine
+	// rejoins.
+	DisableRejoinWarm bool `json:"disable_rejoin_warm,omitempty"`
+	// WarmLimit bounds the slates pre-loaded per rejoin (default
+	// 10000).
+	WarmLimit int `json:"warm_limit,omitempty"`
 }
 
 // StoreFileConfig is the store section of a configuration file.
@@ -203,6 +225,15 @@ func (c *AppConfig) engineConfig() (Config, error) {
 		CacheCapacity:      e.CacheCapacity,
 		OverflowStream:     e.OverflowStream,
 		SourceThrottle:     e.SourceThrottle,
+		ReplayLog:          e.ReplayLog,
+	}
+	if r := e.Recovery; r != nil {
+		cfg.Recovery = RecoveryConfig{
+			DisableDetector:   r.DisableDetector,
+			DisableWALReplay:  r.DisableWALReplay,
+			DisableRejoinWarm: r.DisableRejoinWarm,
+			WarmLimit:         r.WarmLimit,
+		}
 	}
 	switch e.Version {
 	case 0, 2:

@@ -179,3 +179,29 @@ func TestConfigEngineV1(t *testing.T) {
 	}
 	eng.Stop()
 }
+
+func TestConfigRecoveryKnobs(t *testing.T) {
+	cfg, err := muppet.ParseAppConfig([]byte(`{
+	  "name": "x", "inputs": ["lines"],
+	  "functions": [
+	    {"kind": "map", "name": "M_split", "code": "splitter", "subscribes": ["lines"], "publishes": ["words"]},
+	    {"kind": "update", "name": "U_count", "code": "counter", "subscribes": ["words"]}
+	  ],
+	  "engine": {"machines": 2, "replay_log": true,
+	    "recovery": {"disable_detector": true, "disable_wal_replay": true, "warm_limit": 500}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ecfg, err := cfg.Build(testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ecfg.ReplayLog {
+		t.Fatal("replay_log not mapped")
+	}
+	r := ecfg.Recovery
+	if !r.DisableDetector || !r.DisableWALReplay || r.DisableRejoinWarm || r.WarmLimit != 500 {
+		t.Fatalf("recovery cfg = %+v", r)
+	}
+}

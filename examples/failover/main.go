@@ -1,14 +1,22 @@
-// Command failover demonstrates Muppet's failure story (Section 4.3
-// of the paper) end to end, twice:
+// Command failover demonstrates the unified recovery subsystem end to
+// end — crash, master-coordinated failover, rejoin — twice:
 //
-//  1. Stock Muppet: a machine dies mid-stream; its queued events and
-//     unflushed slates are lost (and logged as lost), the master
-//     broadcasts the failure on the first failed send, keys reroute to
-//     ring successors, and counting resumes from the state persisted
-//     in the replicated slate store.
+//  1. Stock Muppet (Section 4.3 semantics): a machine dies mid-stream
+//     without warning; the first failed send reports it to the master,
+//     whose broadcast drives the failover — the ring reroutes, queued
+//     events are lost (and logged), dirty slates die with the cache —
+//     and counting resumes from the state persisted in the replicated
+//     slate store. Flush batches retained in the slate group-commit
+//     WAL are replayed into the store, so no acknowledged flush is
+//     lost.
 //  2. With the replay-log extension (the §4.3 future-work item): the
-//     same crash, but the dead machine's backlog is redelivered to the
-//     new owners, so no counts are lost.
+//     same organic crash and detection, but the failover redelivers
+//     the dead machine's unacknowledged backlog to the keys' new
+//     owners, so no counts are lost.
+//
+// Both runs finish by rejoining the dead machine: workers restart, the
+// master broadcasts the new ring, and the machine's slate cache is
+// warmed from the backing store before traffic returns to it.
 package main
 
 import (
@@ -62,16 +70,24 @@ func run(n int, victim string, replay bool) {
 			expected++
 		}
 		eng.Ingest(ev)
-		if i == n/2 {
-			if replay {
-				replayed, lostDirty := eng.(muppet.Replayer).CrashMachineAndReplay(victim)
-				fmt.Printf("crashed %s mid-stream: replayed %d backlogged events, %d dirty slates lost\n",
-					victim, replayed, lostDirty)
-			} else {
-				lostQ, lostDirty := eng.CrashMachine(victim)
-				fmt.Printf("crashed %s mid-stream: %d queued events died, %d dirty slates lost\n",
-					victim, lostQ, lostDirty)
+		switch i {
+		case n / 3:
+			// The machine dies without ceremony — no operator cleanup.
+			// The next send to it fails, the detector reports to the
+			// master, and the broadcast drives the full failover:
+			// queues drained, slates crashed, group-commit WAL replayed
+			// into the store, ring rerouted, and (in replay mode) the
+			// backlog redelivered to the new owners.
+			eng.Cluster().Crash(victim)
+			fmt.Printf("killed %s mid-stream; detection is on the next send\n", victim)
+		case 2 * n / 3:
+			// Machine repaired: rejoin the ring with a warmed cache.
+			rep, err := eng.RejoinMachine(victim)
+			if err != nil {
+				log.Fatal(err)
 			}
+			fmt.Printf("rejoined %s: workers restarted=%v, %d slates warmed from the store in %v\n",
+				victim, rep.Restarted, rep.Warmed, rep.Took.Round(1000))
 		}
 	}
 	eng.Drain()
@@ -81,10 +97,15 @@ func run(n int, victim string, replay bool) {
 		counted += muppetapps.Count(eng.Slate("U1", r))
 	}
 	st := eng.Stats()
+	rst := eng.RecoveryStatus()
 	fmt.Printf("recognized checkins streamed: %d; counted in slates: %d; deficit: %d\n",
 		expected, counted, expected-counted)
-	fmt.Printf("failure detected by master: %v (on first failed send)\n",
-		func() bool { _, ok := eng.Cluster().Master().DetectionTime(victim); return ok }())
+	if fo := rst.LastFailover; fo != nil {
+		fmt.Printf("failover of %s: detected=%v queuedLost=%d dirtyLost=%d walRecordsReplayed=%d redelivered=%d\n",
+			fo.Machine, fo.Detected, fo.QueuedLost, fo.DirtyLost, fo.WALRecordsReplayed, fo.Redelivered)
+	}
+	fmt.Printf("recovery: failovers=%d rejoins=%d sendFailuresObserved=%d slatesWarmed=%d\n",
+		rst.Failovers, rst.Rejoins, rst.SendFailures, rst.Warmed)
 	fmt.Printf("lost-event log: total=%d by-reason=%v\n",
 		eng.LostEvents().Total(), eng.LostEvents().ByReason())
 	fmt.Printf("engine stats: processed=%d lostMachineDown=%d failureReports=%d\n",

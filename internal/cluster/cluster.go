@@ -156,10 +156,12 @@ func (c *Cluster) NetworkStats() (sends uint64, simTime time.Duration) {
 type Master struct {
 	c *Cluster
 
-	mu        sync.Mutex
-	failed    map[string]time.Time // machine -> detection time
-	listeners []func(machine string)
-	reports   uint64
+	mu              sync.Mutex
+	failed          map[string]time.Time // machine -> detection time
+	listeners       []func(machine string)
+	rejoinListeners []func(machine string)
+	reports         uint64
+	rejoinReports   uint64
 }
 
 func newMaster(c *Cluster) *Master {
@@ -228,6 +230,37 @@ func (m *Master) Forget(machine string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.failed, machine)
+}
+
+// SubscribeRejoin registers a callback invoked (synchronously)
+// whenever a machine rejoin is broadcast. The recovery subsystem
+// subscribes its ring-restore and cache-warming steps.
+func (m *Master) SubscribeRejoin(fn func(machine string)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejoinListeners = append(m.rejoinListeners, fn)
+}
+
+// ReportRejoin clears the machine's failed state and broadcasts the
+// rejoin to every subscriber — the "new ring" announcement that brings
+// a revived machine back onto the data path.
+func (m *Master) ReportRejoin(machine string) {
+	m.mu.Lock()
+	delete(m.failed, machine)
+	m.rejoinReports++
+	listeners := make([]func(string), len(m.rejoinListeners))
+	copy(listeners, m.rejoinListeners)
+	m.mu.Unlock()
+	for _, fn := range listeners {
+		fn(machine)
+	}
+}
+
+// RejoinReports returns the total rejoin broadcasts made.
+func (m *Master) RejoinReports() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rejoinReports
 }
 
 // PingAll is the MapReduce-style alternative the paper argues against:

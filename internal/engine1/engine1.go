@@ -32,6 +32,7 @@ import (
 	"muppet/internal/hashring"
 	"muppet/internal/kvstore"
 	"muppet/internal/queue"
+	"muppet/internal/recovery"
 	"muppet/internal/slate"
 	"muppet/internal/wal"
 )
@@ -76,6 +77,10 @@ type Config struct {
 	// FlushBatch bounds the records per group-commit multi-put when a
 	// worker flushes dirty slates (default 256).
 	FlushBatch int
+	// Recovery tunes the shared failure-recovery subsystem (detector,
+	// WAL replay on failover, cache warm-up on rejoin). The zero value
+	// enables everything.
+	Recovery recovery.Config
 }
 
 func (c *Config) fill() {
@@ -118,16 +123,20 @@ type emitted struct {
 }
 
 // worker is one conductor/task-processor pair bound to a single
-// function.
+// function. Its queue lives in a queue.Slot: the queue (and channel
+// pair) is replaced when the worker's machine is revived after a
+// crash — the failover drain closed the old queue and its loops
+// exited — with retired queues' stats folded in.
 type worker struct {
 	id      string
 	machine string
 	fn      *core.FunctionSpec
-	q       *queue.Queue[event.Event]
+	q       queue.Slot[event.Event]
 	cache   slate.SlateStore
-	req     chan taskRequest
-	resp    chan taskResponse
 }
+
+func (w *worker) queue() *queue.Queue[event.Event] { return w.q.Queue() }
+func (w *worker) qstats() queue.Stats              { return w.q.Stats() }
 
 // Engine is the Muppet 1.0 runtime for one application.
 type Engine struct {
@@ -139,6 +148,7 @@ type Engine struct {
 	workers       map[string]*worker
 	workerMachine map[string]string
 
+	rec      *recovery.Manager
 	counters *engine.Counters
 	tracker  *engine.Tracker
 	sink     *engine.Sink
@@ -178,10 +188,8 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 				id:      id,
 				machine: machine,
 				fn:      f,
-				q:       queue.New[event.Event](cfg.QueueCapacity, cfg.QueuePolicy),
-				req:     make(chan taskRequest),
-				resp:    make(chan taskResponse),
 			}
+			w.q.Store(queue.New[event.Event](cfg.QueueCapacity, cfg.QueuePolicy))
 			// Even with 1.0's disparate per-worker caches, slates run
 			// through the shared SlateStore interface and flush via the
 			// group-commit (WAL + multi-put) pipeline.
@@ -209,18 +217,18 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 	for _, m := range machines {
 		e.clu.SetHandler(m, e.deliverLocal)
 	}
-	// The master broadcasts machine failures; every worker (here: the
-	// engine's shared rings) removes the machine's workers from its
-	// rings.
-	e.clu.Master().Subscribe(func(machine string) {
-		for wid, wm := range e.workerMachine {
-			if wm != machine {
-				continue
-			}
-			fn := e.workers[wid].fn.Name()
-			e.rings[fn].Disable(wid)
-		}
-	})
+	// The recovery manager subscribes to the master's failure and
+	// rejoin broadcasts and owns the whole crash-to-healthy protocol
+	// (ring updates included); the engine only reports failed sends
+	// through its detector.
+	e.rec = recovery.NewManager(recovery.Deps{
+		Cluster:  e.clu,
+		Adapter:  &recoveryAdapter{e: e},
+		Lost:     e.lost,
+		Counters: e.counters,
+		Tracker:  e.tracker,
+		Store:    e.storeFor(),
+	}, cfg.Recovery)
 	e.start()
 	return e, nil
 }
@@ -234,9 +242,7 @@ func (e *Engine) storeFor() slate.Store {
 
 func (e *Engine) start() {
 	for _, w := range e.workers {
-		e.wg.Add(2)
-		go e.conductorLoop(w)
-		go e.taskProcessorLoop(w)
+		e.startWorker(w)
 		if e.cfg.FlushPolicy == slate.Interval {
 			e.wg.Add(1)
 			go e.flusherLoop(w)
@@ -244,30 +250,52 @@ func (e *Engine) start() {
 	}
 }
 
+// startWorker launches a fresh conductor/task-processor pair over the
+// worker's current queue. It runs at engine start and again when a
+// crashed machine's workers are restarted on revival (the old loops
+// exited when the failover drain closed their queue).
+func (e *Engine) startWorker(w *worker) {
+	req := make(chan taskRequest)
+	resp := make(chan taskResponse)
+	e.wg.Add(2)
+	go e.conductorLoop(w, w.queue(), req, resp)
+	go e.taskProcessorLoop(w, req, resp)
+}
+
 // conductorLoop is the Perl-conductor half of a 1.0 worker: it owns
-// the queue, the slate cache, and all event logistics.
-func (e *Engine) conductorLoop(w *worker) {
+// the queue, the slate cache, and all event logistics. The queue and
+// channel pair are passed explicitly so a machine revival can install
+// fresh ones without racing the retiring loops.
+func (e *Engine) conductorLoop(w *worker, q *queue.Queue[event.Event], req chan taskRequest, resp chan taskResponse) {
 	defer e.wg.Done()
 	for {
-		ev, err := w.q.Get()
+		ev, err := q.Get()
 		if err != nil {
-			close(w.req)
+			close(req)
 			return
 		}
-		req := taskRequest{ev: ev, isUpdate: w.fn.Kind == core.KindUpdate}
-		if req.isUpdate {
-			req.slateIn, _ = w.cache.Get(slate.Key{Updater: w.fn.Name(), Key: ev.Key})
+		// A ring change (failover or rejoin) while the event was queued
+		// may have moved the key to another worker; forward it rather
+		// than break the single-writer property.
+		if e.rings[w.fn.Name()].Lookup(ev.Key) != w.id {
+			e.deliver(w.fn.Name(), ev, false)
+			e.tracker.Dec()
+			continue
+		}
+		r := taskRequest{ev: ev, isUpdate: w.fn.Kind == core.KindUpdate}
+		if r.isUpdate {
+			r.slateIn, _ = w.cache.Get(slate.Key{Updater: w.fn.Name(), Key: ev.Key})
 		}
 		// The 1.0 design pays an IPC hop here: event (and slate) cross
 		// to the task-processor process and back.
-		w.req <- req
-		resp := <-w.resp
-		if resp.replaced {
-			w.cache.Put(slate.Key{Updater: w.fn.Name(), Key: ev.Key}, resp.newSlate)
+		req <- r
+		rsp := <-resp
+		if rsp.replaced {
+			w.cache.Put(slate.Key{Updater: w.fn.Name(), Key: ev.Key}, rsp.newSlate)
 			e.counters.SlateUpdates.Add(1)
 			e.counters.ObserveLatency(ev)
 		}
-		for _, out := range resp.outputs {
+		for _, out := range rsp.outputs {
 			e.route(e.derive(out, ev))
 		}
 		e.counters.Processed.Add(1)
@@ -277,17 +305,17 @@ func (e *Engine) conductorLoop(w *worker) {
 
 // taskProcessorLoop is the JVM half: it only runs the map or update
 // code.
-func (e *Engine) taskProcessorLoop(w *worker) {
+func (e *Engine) taskProcessorLoop(w *worker, req chan taskRequest, resp chan taskResponse) {
 	defer e.wg.Done()
-	for req := range w.req {
-		em := &collectEmitter{app: e.app, function: w.fn.Name(), isUpdate: req.isUpdate}
+	for r := range req {
+		em := &collectEmitter{app: e.app, function: w.fn.Name(), isUpdate: r.isUpdate}
 		switch w.fn.Kind {
 		case core.KindMap:
-			w.fn.Mapper.Map(em, req.ev)
+			w.fn.Mapper.Map(em, r.ev)
 		case core.KindUpdate:
-			w.fn.Updater.Update(em, req.ev, req.slateIn)
+			w.fn.Updater.Update(em, r.ev, r.slateIn)
 		}
-		w.resp <- taskResponse{outputs: em.outputs, newSlate: em.newSlate, replaced: em.replaced, err: em.err}
+		resp <- taskResponse{outputs: em.outputs, newSlate: em.newSlate, replaced: em.replaced, err: em.err}
 	}
 }
 
@@ -362,7 +390,7 @@ func (e *Engine) deliverLocal(workerID string, ev event.Event) error {
 	if w == nil {
 		return fmt.Errorf("engine1: unknown worker %s", workerID)
 	}
-	return w.q.Put(ev)
+	return w.queue().Put(ev)
 }
 
 // route fans an event out to every subscriber of its stream, recording
@@ -398,11 +426,10 @@ func (e *Engine) deliver(fn string, ev event.Event, throttle bool) {
 			return
 		case err == cluster.ErrMachineDown:
 			e.tracker.Dec()
-			// Detect-on-send: report to the master, which broadcasts;
-			// the event itself is lost and logged, not resent
-			// (Section 4.3).
-			e.counters.FailureReports.Add(1)
-			e.clu.Master().ReportFailure(machine)
+			// Detect-on-send: the recovery detector notifies the master,
+			// whose broadcast drives the failover protocol; the event
+			// itself is lost and logged, not resent (Section 4.3).
+			e.rec.Detector().ObserveSendFailure(machine)
 			e.counters.LostMachineDown.Add(1)
 			e.lost.Record(fn, ev, engine.LossMachineDown)
 			return
@@ -429,6 +456,16 @@ func (e *Engine) deliver(fn string, ev event.Event, throttle bool) {
 				e.counters.LostOverflow.Add(1)
 				e.lost.Record(fn, ev, engine.LossOverflow)
 			}
+			return
+		case err == queue.ErrClosed:
+			// The destination queue was closed between the liveness
+			// check and the enqueue — the machine is crashing (or the
+			// engine stopping) under us. Account it like any other
+			// delivery to a dying machine; detection is left to the
+			// next send, which fails with ErrMachineDown.
+			e.tracker.Dec()
+			e.counters.LostMachineDown.Add(1)
+			e.lost.Record(fn, ev, engine.LossMachineDown)
 			return
 		default:
 			e.tracker.Dec()
@@ -473,7 +510,7 @@ func (e *Engine) Stop() {
 	e.tracker.Wait()
 	close(e.flushers)
 	for _, w := range e.workers {
-		w.q.Close()
+		w.queue().Close()
 	}
 	e.wg.Wait()
 	for _, w := range e.workers {
@@ -481,31 +518,211 @@ func (e *Engine) Stop() {
 	}
 }
 
-// CrashMachine simulates a machine failure: the machine stops
-// accepting events and every unflushed slate and queued event on it is
-// lost (Section 4.3). Queued events are counted as lost.
+// CrashMachine simulates a machine failure with the stock §4.3
+// disposition, via the shared recovery subsystem: the machine stops
+// accepting events, every queued event and dirty slate on it is lost
+// (and logged), and flush batches retained in the slate group-commit
+// WAL are replayed into the store. Detection is left to the next
+// failed send.
 func (e *Engine) CrashMachine(machine string) (lostQueued int, lostDirtySlates int) {
-	e.clu.Crash(machine)
-	for wid, wm := range e.workerMachine {
+	rep := e.rec.Crash(machine)
+	return rep.QueuedLost, rep.DirtyLost
+}
+
+// RejoinMachine revives a crashed machine through the recovery
+// subsystem: its workers restart on fresh queues, the master
+// broadcasts the rejoin, the rings re-enable its workers, and their
+// slate caches are warmed from the durable store (unless disabled by
+// Config.Recovery).
+func (e *Engine) RejoinMachine(machine string) (recovery.RejoinReport, error) {
+	return e.rec.Rejoin(machine)
+}
+
+// RecoveryStatus snapshots the recovery subsystem: per-machine
+// liveness and ring membership, failover/rejoin counters, WAL replay
+// totals, and the latest incident reports.
+func (e *Engine) RecoveryStatus() recovery.Status { return e.rec.Status() }
+
+// Recovery exposes the engine's recovery manager (for latency
+// histograms and tests).
+func (e *Engine) Recovery() *recovery.Manager { return e.rec }
+
+// recoveryAdapter is the engine's implementation of the recovery
+// subsystem's engine-facing surface (recovery.Adapter). Muppet 1.0
+// spreads each function's workers across machines, so ring membership
+// is per worker ID on per-function rings.
+type recoveryAdapter struct {
+	e *Engine
+}
+
+func (a *recoveryAdapter) RemoveFromRing(machine string) {
+	for wid, wm := range a.e.workerMachine {
 		if wm != machine {
 			continue
 		}
-		w := e.workers[wid]
-		// The worker's queued events die with the machine; the worker
-		// itself stops.
-		for {
-			ev, ok := w.q.TryGet()
-			if !ok {
-				break
-			}
-			lostQueued++
-			e.lost.Record(w.fn.Name(), ev, engine.LossCrashedQueue)
-			e.tracker.Dec()
-		}
-		w.q.Close()
-		lostDirtySlates += w.cache.Crash()
+		a.e.rings[a.e.workers[wid].fn.Name()].Disable(wid)
 	}
-	return lostQueued, lostDirtySlates
+}
+
+func (a *recoveryAdapter) RestoreToRing(machine string) {
+	for wid, wm := range a.e.workerMachine {
+		if wm != machine {
+			continue
+		}
+		a.e.rings[a.e.workers[wid].fn.Name()].Enable(wid)
+	}
+}
+
+func (a *recoveryAdapter) DrainQueues(machine string, drained func(function string, ev event.Event)) {
+	for wid, wm := range a.e.workerMachine {
+		if wm != machine {
+			continue
+		}
+		w := a.e.workers[wid]
+		// Drain closes the queue atomically, so the worker's loops exit
+		// immediately instead of consuming a backlog a dead machine
+		// could never have processed.
+		for _, ev := range w.queue().Drain() {
+			drained(w.fn.Name(), ev)
+			a.e.tracker.Dec()
+		}
+	}
+}
+
+func (a *recoveryAdapter) CrashSlates(machine string) ([]*wal.SlateBatchLog, int) {
+	var wals []*wal.SlateBatchLog
+	dirtyLost := 0
+	for wid, wm := range a.e.workerMachine {
+		if wm != machine {
+			continue
+		}
+		w := a.e.workers[wid]
+		if s, ok := w.cache.(*slate.Sharded); ok {
+			wals = append(wals, s.WAL())
+		}
+		dirtyLost += w.cache.Crash()
+	}
+	return wals, dirtyLost
+}
+
+// UnackedEvents: Muppet 1.0 keeps no delivery replay log.
+func (a *recoveryAdapter) UnackedEvents(machine string) []engine.Envelope { return nil }
+
+func (a *recoveryAdapter) Redeliver(function string, ev event.Event) {
+	a.e.deliver(function, ev, false)
+}
+
+func (a *recoveryAdapter) RestartWorkers(machine string) {
+	if a.e.stopped.Load() {
+		return
+	}
+	for wid, wm := range a.e.workerMachine {
+		if wm != machine {
+			continue
+		}
+		w := a.e.workers[wid]
+		// Updates mid-process at crash time completed against the
+		// already-crashed cache and re-inserted dead-lineage values;
+		// drop them so they cannot shadow the store once the ring
+		// routes the keys back here.
+		for _, k := range w.cache.Keys() {
+			w.cache.Delete(k)
+		}
+		w.q.Replace(queue.New[event.Event](a.e.cfg.QueueCapacity, a.e.cfg.QueuePolicy))
+		a.e.startWorker(w)
+	}
+}
+
+func (a *recoveryAdapter) FlushSlates() { a.e.FlushSlates() }
+
+func (a *recoveryAdapter) DropMisplacedSlates() {
+	for wid, w := range a.e.workers {
+		ring := a.e.rings[w.fn.Name()]
+		var misplaced []slate.Key
+		for _, k := range w.cache.Keys() {
+			if ring.Lookup(k.Key) != wid {
+				misplaced = append(misplaced, k)
+			}
+		}
+		if len(misplaced) == 0 {
+			continue
+		}
+		// An update that slipped in between the handover flush and the
+		// ring flip may have re-dirtied a moved key; persist it before
+		// the eviction or the count would silently vanish. If the store
+		// is unreachable, keep the entries — a stale-copy hazard beats
+		// dropping dirty data, and the next ring change retries.
+		if _, err := w.cache.FlushDirty(); err != nil {
+			continue
+		}
+		for _, k := range misplaced {
+			w.cache.Delete(k)
+		}
+	}
+}
+
+func (a *recoveryAdapter) WarmSlates(machine string, limit int) int {
+	if a.e.cfg.Store == nil {
+		return 0
+	}
+	// Group the machine's update workers by function so each updater's
+	// column is scanned once, not once per worker.
+	byUpdater := make(map[string][]string)
+	for wid, wm := range a.e.workerMachine {
+		if wm != machine {
+			continue
+		}
+		if w := a.e.workers[wid]; w.fn.Kind == core.KindUpdate {
+			byUpdater[w.fn.Name()] = append(byUpdater[w.fn.Name()], wid)
+		}
+	}
+	// Collect the workers' keys first: the store holds its node lock
+	// across the scan callback, so the load-through reads must happen
+	// after the scan returns. ScanUntil stops at the warm limit rather
+	// than sweeping the whole store.
+	type warmKey struct {
+		wid string
+		k   slate.Key
+	}
+	var keys []warmKey
+	for updater, wids := range byUpdater {
+		if len(keys) >= limit {
+			break
+		}
+		owned := make(map[string]bool, len(wids))
+		for _, wid := range wids {
+			owned[wid] = true
+		}
+		a.e.cfg.Store.ScanUntil(updater, func(key string, _ []byte) bool {
+			if wid := a.e.rings[updater].Lookup(key); owned[wid] {
+				k := slate.Key{Updater: updater, Key: key}
+				if _, ok := a.e.workers[wid].cache.Peek(k); !ok {
+					keys = append(keys, warmKey{wid: wid, k: k})
+				}
+			}
+			return len(keys) < limit
+		})
+	}
+	warmed := 0
+	for _, wk := range keys {
+		// Get loads through from the store and caches the slate clean —
+		// exactly the state a warm cache should be in.
+		if v, err := a.e.workers[wk.wid].cache.Get(wk.k); err == nil && v != nil {
+			warmed++
+		}
+	}
+	return warmed
+}
+
+// RingMembers reports a machine as in the ring when any of its workers
+// is still enabled on its function's ring.
+func (a *recoveryAdapter) RingMembers() map[string]bool {
+	out := make(map[string]bool)
+	for wid, wm := range a.e.workerMachine {
+		enabled := !a.e.rings[a.e.workers[wid].fn.Name()].Disabled(wid)
+		out[wm] = out[wm] || enabled
+	}
+	return out
 }
 
 // Slate returns the current slate for <updater, key>, reading the
@@ -599,7 +816,7 @@ func (e *Engine) WorkerFor(fn, key string) string {
 func (e *Engine) QueueStats() map[string]queue.Stats {
 	out := make(map[string]queue.Stats, len(e.workers))
 	for id, w := range e.workers {
-		out[id] = w.q.Stats()
+		out[id] = w.qstats()
 	}
 	return out
 }
@@ -613,7 +830,7 @@ func (e *Engine) LargestQueues() map[string]int {
 	}
 	for wid, w := range e.workers {
 		m := e.workerMachine[wid]
-		if l := w.q.Len(); l > out[m] {
+		if l := w.queue().Len(); l > out[m] {
 			out[m] = l
 		}
 	}
@@ -628,7 +845,7 @@ func (e *Engine) Updaters() []string { return e.app.Updaters() }
 func (e *Engine) MachineAccepted() map[string]uint64 {
 	out := make(map[string]uint64)
 	for wid, w := range e.workers {
-		out[e.workerMachine[wid]] += w.q.Stats().Accepted
+		out[e.workerMachine[wid]] += w.qstats().Accepted
 	}
 	return out
 }
@@ -659,7 +876,7 @@ func (e *Engine) StoreSaves() uint64 {
 func (e *Engine) MaxQueueDepth() int {
 	max := 0
 	for _, w := range e.workers {
-		if d := w.q.Stats().MaxDepth; d > max {
+		if d := w.qstats().MaxDepth; d > max {
 			max = d
 		}
 	}
@@ -671,7 +888,7 @@ func (e *Engine) MaxQueueDepth() int {
 func (e *Engine) AcceptedPerQueue() []uint64 {
 	var out []uint64
 	for _, w := range e.workers {
-		out = append(out, w.q.Stats().Accepted)
+		out = append(out, w.qstats().Accepted)
 	}
 	return out
 }

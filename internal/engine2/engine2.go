@@ -30,6 +30,7 @@ import (
 	"muppet/internal/hashring"
 	"muppet/internal/kvstore"
 	"muppet/internal/queue"
+	"muppet/internal/recovery"
 	"muppet/internal/slate"
 	"muppet/internal/wal"
 )
@@ -83,6 +84,10 @@ type Config struct {
 	// FlushBatch bounds the records per group-commit multi-put when
 	// the background flusher drains dirty slates (default 256).
 	FlushBatch int
+	// Recovery tunes the shared failure-recovery subsystem (detector,
+	// WAL replay on failover, cache warm-up on rejoin). The zero value
+	// enables everything.
+	Recovery recovery.Config
 }
 
 func (c *Config) fill() {
@@ -112,11 +117,17 @@ type fk struct {
 	key string
 }
 
-// thread is one worker thread with its queue.
+// thread is one worker thread slot. Its queue lives in a queue.Slot:
+// it is replaced when the machine is revived after a crash (the old
+// queue was closed by the failover drain), with retired queues' stats
+// folded in.
 type thread struct {
 	idx int
-	q   *queue.Queue[engine.Envelope]
+	q   queue.Slot[engine.Envelope]
 }
+
+func (t *thread) queue() *queue.Queue[engine.Envelope] { return t.q.Queue() }
+func (t *thread) stats() queue.Stats                   { return t.q.Stats() }
 
 // slateLock serializes updates to one slate and tracks how many
 // workers hold or wait for it (the contention the paper bounds at 2).
@@ -169,6 +180,7 @@ type Engine struct {
 
 	ring     *hashring.Ring // machines
 	machines map[string]*machine
+	rec      *recovery.Manager
 
 	counters *engine.Counters
 	tracker  *engine.Tracker
@@ -228,10 +240,9 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 			TTLFor:        app.TTLFor,
 		})
 		for i := 0; i < cfg.ThreadsPerMachine; i++ {
-			m.threads = append(m.threads, &thread{
-				idx: i,
-				q:   queue.New[engine.Envelope](cfg.QueueCapacity, cfg.QueuePolicy),
-			})
+			th := &thread{idx: i}
+			th.q.Store(queue.New[engine.Envelope](cfg.QueueCapacity, cfg.QueuePolicy))
+			m.threads = append(m.threads, th)
 		}
 		e.machines[name] = m
 		name := name
@@ -239,18 +250,35 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 			return e.dispatchLocal(e.machines[name], worker, ev)
 		})
 	}
-	e.clu.Master().Subscribe(func(machine string) {
-		e.ring.Disable(machine)
-	})
+	// The recovery manager subscribes to the master's failure and
+	// rejoin broadcasts and owns the whole crash-to-healthy protocol;
+	// the engine only reports failed sends through its detector.
+	e.rec = recovery.NewManager(recovery.Deps{
+		Cluster:   e.clu,
+		Adapter:   &recoveryAdapter{e: e},
+		Lost:      e.lost,
+		Counters:  e.counters,
+		Tracker:   e.tracker,
+		Store:     e.slateStore(),
+		Redeliver: cfg.ReplayLog,
+	}, cfg.Recovery)
 	e.start()
 	return e, nil
+}
+
+// slateStore returns the durable slate adapter, nil without a store.
+func (e *Engine) slateStore() slate.Store {
+	if e.cfg.Store == nil {
+		return nil
+	}
+	return &slate.KVStore{Cluster: e.cfg.Store, Level: e.cfg.StoreLevel}
 }
 
 func (e *Engine) start() {
 	for _, m := range e.machines {
 		for _, th := range m.threads {
 			e.wg.Add(1)
-			go e.threadLoop(m, th)
+			go e.threadLoop(m, th, th.queue())
 		}
 		if e.cfg.FlushPolicy == slate.Interval {
 			e.wg.Add(1)
@@ -298,7 +326,7 @@ func (e *Engine) dispatchLocal(m *machine, function string, ev event.Event) erro
 		case onS:
 			// The secondary thread is processing this key: follow it.
 			target = s
-		case spill(m.threads[p].q.Len(), m.threads[s].q.Len(), e.cfg.SecondarySpillFactor):
+		case spill(m.threads[p].queue().Len(), m.threads[s].queue().Len(), e.cfg.SecondarySpillFactor):
 			// Neither thread is on this key and the primary is heavily
 			// loaded by other events: balance onto the secondary.
 			target = s
@@ -310,7 +338,7 @@ func (e *Engine) dispatchLocal(m *machine, function string, ev event.Event) erro
 		// soon as it finishes, whatever the interleaving.
 		env.WalSeq = m.log.Append(env)
 	}
-	err := m.threads[target].q.Put(env)
+	err := m.threads[target].queue().Put(env)
 	if err != nil && m.log != nil {
 		// The delivery was rejected; it is accounted by the overflow
 		// path, not the replay log.
@@ -359,13 +387,27 @@ func hashString(s string) uint64 {
 
 // threadLoop is one worker thread: take the next event from the
 // queue, run the map or update function, update slates, send outputs,
-// repeat.
-func (e *Engine) threadLoop(m *machine, th *thread) {
+// repeat. The queue is passed explicitly because a machine revival
+// installs a fresh queue (and a fresh loop) after a crash closed the
+// old one.
+func (e *Engine) threadLoop(m *machine, th *thread, q *queue.Queue[engine.Envelope]) {
 	defer e.wg.Done()
 	for {
-		env, err := th.q.Get()
+		env, err := q.Get()
 		if err != nil {
 			return
+		}
+		// A ring change (failover or rejoin) while the envelope was
+		// queued — or while it was being routed — may have moved the
+		// key: forward it to the current owner rather than break the
+		// single-writer property.
+		if e.ring.LookupRoute(env.Func, env.Ev.Key) != m.name {
+			if m.log != nil && env.WalSeq != 0 {
+				m.log.Ack(env.WalSeq) // handled here by forwarding
+			}
+			e.deliver(env.Func, env.Ev, false)
+			e.tracker.Dec()
+			continue
 		}
 		k := fk{fn: env.Func, key: env.Ev.Key}
 		m.markRunning(k, th.idx, +1)
@@ -515,8 +557,10 @@ func (e *Engine) deliver(fn string, ev event.Event, throttle bool) {
 			return
 		case err == cluster.ErrMachineDown:
 			e.tracker.Dec()
-			e.counters.FailureReports.Add(1)
-			e.clu.Master().ReportFailure(machineName)
+			// Detect-on-send: the recovery detector notifies the master,
+			// whose broadcast drives the failover protocol. The event
+			// itself is lost and logged, not resent (Section 4.3).
+			e.rec.Detector().ObserveSendFailure(machineName)
 			e.counters.LostMachineDown.Add(1)
 			e.lost.Record(fn, ev, engine.LossMachineDown)
 			return
@@ -541,6 +585,16 @@ func (e *Engine) deliver(fn string, ev event.Event, throttle bool) {
 				e.counters.LostOverflow.Add(1)
 				e.lost.Record(fn, ev, engine.LossOverflow)
 			}
+			return
+		case err == queue.ErrClosed:
+			// The destination queue was closed between the liveness
+			// check and the enqueue — the machine is crashing (or the
+			// engine stopping) under us. Account it like any other
+			// delivery to a dying machine; detection is left to the
+			// next send, which fails with ErrMachineDown.
+			e.tracker.Dec()
+			e.counters.LostMachineDown.Add(1)
+			e.lost.Record(fn, ev, engine.LossMachineDown)
 			return
 		default:
 			e.tracker.Dec()
@@ -584,7 +638,7 @@ func (e *Engine) Stop() {
 	close(e.done)
 	for _, m := range e.machines {
 		for _, th := range m.threads {
-			th.q.Close()
+			th.queue().Close()
 		}
 	}
 	e.wg.Wait()
@@ -593,73 +647,190 @@ func (e *Engine) Stop() {
 	}
 }
 
-// CrashMachine simulates a machine failure: queued events and
-// unflushed slates on the machine are lost (the stock §4.3 behavior).
+// CrashMachine simulates a machine failure with the stock §4.3
+// disposition, via the shared recovery subsystem: queued events and
+// unflushed slates on the machine are lost (and logged), the replay
+// log is discarded, and flush batches retained in the slate
+// group-commit WAL are replayed into the store. Detection is left to
+// the next failed send.
 func (e *Engine) CrashMachine(name string) (lostQueued, lostDirtySlates int) {
-	m := e.crash(name)
-	if m == nil {
+	if e.machines[name] == nil {
 		return 0, 0
 	}
-	for _, th := range m.threads {
-		for {
-			env, ok := th.q.TryGet()
-			if !ok {
-				break
-			}
-			lostQueued++
-			e.lost.Record(env.Func, env.Ev, engine.LossCrashedQueue)
-			e.tracker.Dec()
-		}
-		th.q.Close()
-	}
-	if m.log != nil {
-		m.log.Unacked() // discard; replay not requested
-	}
-	lostDirtySlates = m.cache.Crash()
-	return lostQueued, lostDirtySlates
+	rep := e.rec.Crash(name)
+	return rep.QueuedLost, rep.DirtyLost
 }
 
-// CrashMachineAndReplay crashes a machine and then redelivers its
-// unacknowledged deliveries from the replay log to the keys' new
-// owners — the replay capability the paper names as future work
-// (§4.3). Replay is at-least-once: deliveries that were mid-process at
-// crash time are applied again. It panics if ReplayLog is not
-// configured. Unflushed slates are still lost (the slate store, not
-// the event log, is their durability).
+// CrashMachineAndReplay crashes a machine and drives the full
+// master-coordinated failover through the recovery subsystem,
+// redelivering the machine's unacknowledged deliveries from the replay
+// log to the keys' new owners — the replay capability the paper names
+// as future work (§4.3). Replay is at-least-once: deliveries that were
+// mid-process at crash time are applied again. It panics if ReplayLog
+// is not configured. Unflushed slates are still lost (the slate store,
+// not the event log, is their durability), but WAL-retained flush
+// batches are restored before the new owners read the store.
 func (e *Engine) CrashMachineAndReplay(name string) (replayed, lostDirtySlates int) {
-	m := e.crash(name)
+	m := e.machines[name]
 	if m == nil {
 		return 0, 0
 	}
 	if m.log == nil {
 		panic("engine2: CrashMachineAndReplay requires Config.ReplayLog")
 	}
-	for _, th := range m.threads {
-		for {
-			if _, ok := th.q.TryGet(); !ok {
-				break
-			}
-			// Queued events stay in the log; redelivered below.
-			e.tracker.Dec()
-		}
-		th.q.Close()
-	}
-	lostDirtySlates = m.cache.Crash()
-	// Remove the machine from the ring before redelivery so replayed
-	// events route to live owners (an operator-driven failure report).
-	e.counters.FailureReports.Add(1)
-	e.clu.Master().ReportFailure(name)
-	for _, env := range m.log.Unacked() {
-		e.deliver(env.Func, env.Ev, false)
-		replayed++
-	}
-	return replayed, lostDirtySlates
+	rep := e.rec.CrashAndFailover(name)
+	return rep.Redelivered, rep.DirtyLost
 }
 
-func (e *Engine) crash(name string) *machine {
-	e.clu.Crash(name)
-	return e.machines[name]
+// RejoinMachine revives a crashed machine through the recovery
+// subsystem: worker threads restart on fresh queues, the master
+// broadcasts the rejoin, the ring re-enables the machine, and its
+// central slate cache is warmed from the durable store (unless
+// disabled by Config.Recovery).
+func (e *Engine) RejoinMachine(name string) (recovery.RejoinReport, error) {
+	return e.rec.Rejoin(name)
 }
+
+// RecoveryStatus snapshots the recovery subsystem: per-machine
+// liveness and ring membership, failover/rejoin counters, WAL replay
+// totals, and the latest incident reports.
+func (e *Engine) RecoveryStatus() recovery.Status { return e.rec.Status() }
+
+// Recovery exposes the engine's recovery manager (for latency
+// histograms and tests).
+func (e *Engine) Recovery() *recovery.Manager { return e.rec }
+
+// recoveryAdapter is the engine's implementation of the recovery
+// subsystem's engine-facing surface (recovery.Adapter).
+type recoveryAdapter struct {
+	e *Engine
+}
+
+func (a *recoveryAdapter) RemoveFromRing(machine string) { a.e.ring.Disable(machine) }
+func (a *recoveryAdapter) RestoreToRing(machine string)  { a.e.ring.Enable(machine) }
+
+func (a *recoveryAdapter) DrainQueues(machine string, drained func(function string, ev event.Event)) {
+	m := a.e.machines[machine]
+	if m == nil {
+		return
+	}
+	for _, th := range m.threads {
+		// Drain closes the queue atomically, so the machine's thread
+		// loops exit immediately instead of consuming a backlog a dead
+		// machine could never have processed.
+		for _, env := range th.queue().Drain() {
+			drained(env.Func, env.Ev)
+			a.e.tracker.Dec()
+		}
+	}
+}
+
+func (a *recoveryAdapter) CrashSlates(machine string) ([]*wal.SlateBatchLog, int) {
+	m := a.e.machines[machine]
+	if m == nil {
+		return nil, 0
+	}
+	var wals []*wal.SlateBatchLog
+	if s, ok := m.cache.(*slate.Sharded); ok {
+		wals = append(wals, s.WAL())
+	}
+	return wals, m.cache.Crash()
+}
+
+func (a *recoveryAdapter) UnackedEvents(machine string) []engine.Envelope {
+	m := a.e.machines[machine]
+	if m == nil || m.log == nil {
+		return nil
+	}
+	return m.log.Unacked()
+}
+
+func (a *recoveryAdapter) Redeliver(function string, ev event.Event) {
+	a.e.deliver(function, ev, false)
+}
+
+func (a *recoveryAdapter) RestartWorkers(machine string) {
+	m := a.e.machines[machine]
+	if m == nil || a.e.stopped.Load() {
+		return
+	}
+	// Updates that were mid-process when the machine died completed
+	// against the already-crashed cache and re-inserted their (now
+	// dead-lineage) values; drop them so they cannot shadow the store
+	// once the ring routes the keys back here.
+	for _, k := range m.cache.Keys() {
+		m.cache.Delete(k)
+	}
+	for _, th := range m.threads {
+		th.q.Replace(queue.New[engine.Envelope](a.e.cfg.QueueCapacity, a.e.cfg.QueuePolicy))
+		a.e.wg.Add(1)
+		go a.e.threadLoop(m, th, th.queue())
+	}
+}
+
+func (a *recoveryAdapter) FlushSlates() { a.e.FlushSlates() }
+
+func (a *recoveryAdapter) DropMisplacedSlates() {
+	for name, m := range a.e.machines {
+		var misplaced []slate.Key
+		for _, k := range m.cache.Keys() {
+			if a.e.ring.LookupRoute(k.Updater, k.Key) != name {
+				misplaced = append(misplaced, k)
+			}
+		}
+		if len(misplaced) == 0 {
+			continue
+		}
+		// An update that slipped in between the handover flush and the
+		// ring flip may have re-dirtied a moved key; persist it before
+		// the eviction or the count would silently vanish. If the store
+		// is unreachable, keep the entries — a stale-copy hazard beats
+		// dropping dirty data, and the next ring change retries.
+		if _, err := m.cache.FlushDirty(); err != nil {
+			continue
+		}
+		for _, k := range misplaced {
+			m.cache.Delete(k)
+		}
+	}
+}
+
+func (a *recoveryAdapter) WarmSlates(machine string, limit int) int {
+	m := a.e.machines[machine]
+	if m == nil || a.e.cfg.Store == nil {
+		return 0
+	}
+	// Collect the machine's keys first: the store holds its node lock
+	// across the scan callback, so the load-through reads must happen
+	// after the scan returns. ScanUntil stops at the warm limit rather
+	// than sweeping the whole store.
+	var keys []slate.Key
+	for _, updater := range a.e.app.Updaters() {
+		if len(keys) >= limit {
+			break
+		}
+		a.e.cfg.Store.ScanUntil(updater, func(key string, _ []byte) bool {
+			if a.e.ring.LookupRoute(updater, key) == machine {
+				k := slate.Key{Updater: updater, Key: key}
+				if _, ok := m.cache.Peek(k); !ok {
+					keys = append(keys, k)
+				}
+			}
+			return len(keys) < limit
+		})
+	}
+	warmed := 0
+	for _, k := range keys {
+		// Get loads through from the store and caches the slate clean —
+		// exactly the state a warm cache should be in.
+		if v, err := m.cache.Get(k); err == nil && v != nil {
+			warmed++
+		}
+	}
+	return warmed
+}
+
+func (a *recoveryAdapter) RingMembers() map[string]bool { return a.e.ring.Members() }
 
 // MachineFor reports which machine owns <key, fn> on the current
 // ring.
@@ -790,7 +961,7 @@ func (e *Engine) QueueStats() map[string]queue.Stats {
 	out := make(map[string]queue.Stats)
 	for name, m := range e.machines {
 		for _, th := range m.threads {
-			out[fmt.Sprintf("%s/%d", name, th.idx)] = th.q.Stats()
+			out[fmt.Sprintf("%s/%d", name, th.idx)] = th.stats()
 		}
 	}
 	return out
@@ -803,7 +974,7 @@ func (e *Engine) MachineAccepted() map[string]uint64 {
 	for name, m := range e.machines {
 		var total uint64
 		for _, th := range m.threads {
-			total += th.q.Stats().Accepted
+			total += th.stats().Accepted
 		}
 		out[name] = total
 	}
@@ -828,7 +999,7 @@ func (e *Engine) MaxQueueDepth() int {
 	max := 0
 	for _, m := range e.machines {
 		for _, th := range m.threads {
-			if d := th.q.Stats().MaxDepth; d > max {
+			if d := th.stats().MaxDepth; d > max {
 				max = d
 			}
 		}
@@ -842,7 +1013,7 @@ func (e *Engine) AcceptedPerQueue() []uint64 {
 	var out []uint64
 	for _, m := range e.machines {
 		for _, th := range m.threads {
-			out = append(out, th.q.Stats().Accepted)
+			out = append(out, th.stats().Accepted)
 		}
 	}
 	return out
@@ -856,7 +1027,7 @@ func (e *Engine) LargestQueues() map[string]int {
 	for name, m := range e.machines {
 		max := 0
 		for _, th := range m.threads {
-			if l := th.q.Len(); l > max {
+			if l := th.queue().Len(); l > max {
 				max = l
 			}
 		}

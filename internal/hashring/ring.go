@@ -174,6 +174,18 @@ func (r *Ring) LookupN(key string, n int) []string {
 	return out
 }
 
+// Members reports every node on the ring and whether it is currently
+// enabled — the ring-membership view recovery status endpoints expose.
+func (r *Ring) Members() map[string]bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]bool, len(r.nodes))
+	for n := range r.nodes {
+		out[n] = !r.disabled[n]
+	}
+	return out
+}
+
 // Nodes returns the live (enabled) node names in sorted order.
 func (r *Ring) Nodes() []string {
 	r.mu.RLock()

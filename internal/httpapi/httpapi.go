@@ -15,6 +15,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"strings"
+
+	"muppet/internal/recovery"
 )
 
 // SlateReader is the engine-side surface the HTTP service needs. Both
@@ -42,10 +44,19 @@ type BulkReader interface {
 	StoredSlates(updater string) map[string][]byte
 }
 
+// RecoveryReporter is implemented by engines running the unified
+// recovery subsystem; when available, GET /recovery serves its status
+// (ring membership, failover and rejoin counts, WAL replay totals, and
+// the latest incident reports) so operators can observe failover.
+type RecoveryReporter interface {
+	RecoveryStatus() recovery.Status
+}
+
 // Handler returns the HTTP handler serving slate fetches and status.
 //
 //	GET /slate/{updater}/{key} -> 200 slate bytes | 404
 //	GET /status                -> 200 JSON {queues, updaters}
+//	GET /recovery              -> 200 JSON recovery.Status | 501
 func Handler(r SlateReader) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/slate/", func(w http.ResponseWriter, req *http.Request) {
@@ -85,6 +96,15 @@ func Handler(r SlateReader) http.Handler {
 		// slate blobs JSON-safe.
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(dump)
+	})
+	mux.HandleFunc("/recovery", func(w http.ResponseWriter, req *http.Request) {
+		rr, ok := r.(RecoveryReporter)
+		if !ok {
+			http.Error(w, "recovery status not supported", http.StatusNotImplemented)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rr.RecoveryStatus())
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
 		st := statusReply{Queues: r.LargestQueues()}

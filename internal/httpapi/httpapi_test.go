@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"muppet/internal/recovery"
 )
 
 type fakeEngine struct {
@@ -105,5 +107,58 @@ func TestStatusEndpoint(t *testing.T) {
 	}
 	if len(st.Updaters) != 2 {
 		t.Fatalf("updaters = %v", st.Updaters)
+	}
+}
+
+// recoveryEngine adds the RecoveryReporter surface to the fake.
+type recoveryEngine struct {
+	fakeEngine
+	status recovery.Status
+}
+
+func (r *recoveryEngine) RecoveryStatus() recovery.Status { return r.status }
+
+func TestRecoveryStatusServed(t *testing.T) {
+	f := &recoveryEngine{status: recovery.Status{
+		Machines: []recovery.MachineStatus{
+			{Name: "machine-00", Alive: true, InRing: true},
+			{Name: "machine-01", Alive: false, InRing: false, Failed: true},
+		},
+		DetectorEnabled: true,
+		Failovers:       1,
+		WALRecords:      3,
+	}}
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/recovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got recovery.Status
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Failovers != 1 || got.WALRecords != 3 || len(got.Machines) != 2 {
+		t.Fatalf("decoded status = %+v", got)
+	}
+	if !got.Machines[1].Failed || got.Machines[1].Alive {
+		t.Fatalf("machine view = %+v", got.Machines[1])
+	}
+}
+
+func TestRecoveryStatusNotSupported(t *testing.T) {
+	srv, _ := newServer()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/recovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", resp.StatusCode)
 	}
 }

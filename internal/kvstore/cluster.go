@@ -373,13 +373,28 @@ func (c *Cluster) TotalStats() NodeStats {
 // a debugging/bulk-export aid mirroring the paper's "large-volume row
 // reads from the durable key-value store").
 func (c *Cluster) Scan(column string, fn func(key string, value []byte)) {
+	c.ScanUntil(column, func(k string, v []byte) bool {
+		fn(k, v)
+		return true
+	})
+}
+
+// ScanUntil is Scan with early termination: it stops (across all
+// nodes) as soon as fn returns false.
+func (c *Cluster) ScanUntil(column string, fn func(key string, value []byte) bool) {
 	seen := make(map[string]bool)
+	more := true
 	for _, name := range c.Nodes() {
-		c.nodes[name].Scan(column, func(k string, v []byte) {
-			if !seen[k] {
-				seen[k] = true
-				fn(k, v)
+		if !more {
+			return
+		}
+		c.nodes[name].ScanUntil(column, func(k string, v []byte) bool {
+			if seen[k] {
+				return true
 			}
+			seen[k] = true
+			more = fn(k, v)
+			return more
 		})
 	}
 }

@@ -424,6 +424,16 @@ func (n *Node) Stats() NodeStats {
 // the given column (the bulk slate-read path of Section 5). Iteration
 // order is unspecified.
 func (n *Node) Scan(column string, fn func(key string, value []byte)) {
+	n.ScanUntil(column, func(k string, v []byte) bool {
+		fn(k, v)
+		return true
+	})
+}
+
+// ScanUntil is Scan with early termination: it stops as soon as fn
+// returns false. The rejoin cache-warming path uses it to stop at its
+// warm limit instead of sweeping the whole store.
+func (n *Node) ScanUntil(column string, fn func(key string, value []byte) bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.down {
@@ -446,7 +456,9 @@ func (n *Node) Scan(column string, fn func(key string, value []byte)) {
 		}
 		k, col := splitRowKey(rk)
 		if col == column {
-			fn(k, r.Value)
+			if !fn(k, r.Value) {
+				return
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ package queue
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // OverflowPolicy selects what happens when an event is offered to a
@@ -58,6 +59,20 @@ type Stats struct {
 	Diverted uint64
 	Blocked  uint64 // Put calls that had to wait under the Block policy
 	MaxDepth int
+}
+
+// Add accumulates o into s; MaxDepth keeps the maximum. Engines use it
+// to fold a retired queue's counters (a queue replaced when a crashed
+// machine's workers restart) into the successor's view.
+func (s *Stats) Add(o Stats) {
+	s.Offered += o.Offered
+	s.Accepted += o.Accepted
+	s.Dropped += o.Dropped
+	s.Diverted += o.Diverted
+	s.Blocked += o.Blocked
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
 }
 
 // Queue is a bounded FIFO, safe for concurrent producers and
@@ -167,6 +182,29 @@ func (q *Queue[T]) TryGet() (T, bool) {
 	return e, true
 }
 
+// Drain atomically closes the queue and removes every buffered
+// element, returning them in FIFO order. Consumers get ErrClosed
+// immediately — they cannot race the drain for the remaining elements.
+// The recovery subsystem uses it to kill a crashed machine's queues:
+// the machine's worker loops exit at once instead of consuming a
+// backlog a dead machine could never have processed.
+func (q *Queue[T]) Drain() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	var zero T
+	out := make([]T, 0, q.count)
+	for q.count > 0 {
+		out = append(out, q.buf[q.head])
+		q.buf[q.head] = zero
+		q.head = (q.head + 1) % q.capacity
+		q.count--
+	}
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	return out
+}
+
 // Close marks the queue closed. Blocked producers fail with ErrClosed;
 // consumers drain remaining elements and then receive ErrClosed.
 func (q *Queue[T]) Close() {
@@ -199,3 +237,41 @@ func (q *Queue[T]) Stats() Stats {
 
 // Policy returns the queue's overflow policy.
 func (q *Queue[T]) Policy() OverflowPolicy { return q.policy }
+
+// Slot holds a queue that can be atomically replaced. The engines give
+// every worker a Slot: when a crashed machine's workers restart, the
+// recovery subsystem installs a fresh queue (the old one was closed by
+// the failover drain), and the retired queue's lifetime counters fold
+// into the slot so stats survive the replacement. Queue() is safe for
+// concurrent use; Replace must not race another Replace.
+type Slot[T any] struct {
+	q atomic.Pointer[Queue[T]]
+
+	mu      sync.Mutex
+	retired Stats
+}
+
+// Store installs the initial queue without retiring anything.
+func (s *Slot[T]) Store(q *Queue[T]) { s.q.Store(q) }
+
+// Queue returns the current queue.
+func (s *Slot[T]) Queue() *Queue[T] { return s.q.Load() }
+
+// Replace retires the current queue's stats and installs q.
+func (s *Slot[T]) Replace(q *Queue[T]) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old := s.q.Load(); old != nil {
+		s.retired.Add(old.Stats())
+	}
+	s.q.Store(q)
+}
+
+// Stats merges the live queue's counters with those of retired queues.
+func (s *Slot[T]) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.retired
+	st.Add(s.q.Load().Stats())
+	return st
+}

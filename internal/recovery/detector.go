@@ -1,0 +1,51 @@
+package recovery
+
+import (
+	"sync/atomic"
+
+	"muppet/internal/cluster"
+	"muppet/internal/engine"
+)
+
+// Detector is the failure detector of Section 4.3: Muppet detects
+// failures on the data path, when a send to a machine fails, rather
+// than by periodic pings. Engines call ObserveSendFailure from their
+// delivery loops on every cluster.ErrMachineDown; the detector
+// forwards the first observation of each machine to the master, whose
+// broadcast triggers the failover protocol.
+type Detector struct {
+	master   *cluster.Master
+	counters *engine.Counters
+	disabled bool
+
+	observed atomic.Uint64
+	detected atomic.Uint64
+}
+
+// ObserveSendFailure records one failed send to the machine and, unless
+// the detector is disabled, reports it to the master. The master
+// absorbs duplicate reports; only the first triggers the failure
+// broadcast.
+func (d *Detector) ObserveSendFailure(machine string) {
+	d.observed.Add(1)
+	if d.disabled {
+		return
+	}
+	if d.counters != nil {
+		d.counters.FailureReports.Add(1)
+	}
+	if d.master.ReportFailure(machine) {
+		d.detected.Add(1)
+	}
+}
+
+// Enabled reports whether failed sends are forwarded to the master.
+func (d *Detector) Enabled() bool { return !d.disabled }
+
+// Observed returns the number of failed sends seen, including
+// duplicates for already-known failures.
+func (d *Detector) Observed() uint64 { return d.observed.Load() }
+
+// Detected returns the number of first reports — failures this
+// detector was the first to notify the master about.
+func (d *Detector) Detected() uint64 { return d.detected.Load() }

@@ -1,0 +1,557 @@
+// Package recovery owns Muppet's crash-to-healthy lifecycle
+// (Section 4.3 of the paper) for both execution engines: failure
+// detection on failed sends, the master-coordinated failover protocol
+// (ring update, slate group-commit WAL replay, redelivery of
+// unacknowledged events, loss accounting), and machine revival —
+// rejoining the ring and warming the rejoined shard's slate cache from
+// the durable store.
+//
+// The paper's protocol is: a worker that fails to contact a machine
+// reports it to the master; the master broadcasts the failure to every
+// worker; each worker removes the machine from its hash ring, so the
+// dead machine's keys move to ring successors. This package adds the
+// two recovery capabilities the paper leaves open — replaying the
+// slate group-commit WAL so in-flight flush batches reach the
+// key-value store before the keys' new owners read them, and
+// redelivering unacknowledged events from the per-machine replay log —
+// plus the rejoin path the stock system lacks entirely.
+//
+// Both engines delegate their crash paths here through a small Adapter
+// interface, so the ordering guarantees (cleanup and WAL replay before
+// the ring reroutes, ring reroute before redelivery) are enforced in
+// exactly one place.
+package recovery
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muppet/internal/cluster"
+	"muppet/internal/engine"
+	"muppet/internal/event"
+	"muppet/internal/metrics"
+	"muppet/internal/slate"
+	"muppet/internal/wal"
+)
+
+// Config tunes the recovery subsystem. The zero value enables
+// everything: detect-on-send, WAL replay on failover, and cache
+// warm-up on rejoin.
+type Config struct {
+	// DisableDetector stops failed sends from being reported to the
+	// master. Machine failures then go unnoticed until an operator (or
+	// a PingAll sweep) reports them — the MapReduce-style baseline the
+	// paper argues against.
+	DisableDetector bool
+	// DisableWALReplay skips replaying the slate group-commit WAL
+	// during failover, restoring the stock §4.3 behavior in which a
+	// flush batch in flight at crash time is lost.
+	DisableWALReplay bool
+	// DisableRejoinWarm skips pre-loading a rejoined machine's slate
+	// cache from the durable store; the cache then refills on demand.
+	DisableRejoinWarm bool
+	// WarmLimit bounds the slates pre-loaded per rejoin (default
+	// 10,000).
+	WarmLimit int
+}
+
+func (c *Config) fill() {
+	if c.WarmLimit <= 0 {
+		c.WarmLimit = 10_000
+	}
+}
+
+// Adapter is the engine-side surface the manager drives. Each engine
+// implements it once; the manager owns the protocol ordering.
+type Adapter interface {
+	// RemoveFromRing takes the machine's workers off the engine's hash
+	// ring(s) so keys reroute to ring successors.
+	RemoveFromRing(machine string)
+	// RestoreToRing re-enables the machine's workers on the ring(s).
+	RestoreToRing(machine string)
+	// DrainQueues empties and closes every event queue on the machine,
+	// calling drained for each removed event with its destination
+	// function. The adapter retires the events from the engine's
+	// in-flight tracker; the manager decides whether they are lost or
+	// left to the replay log.
+	DrainQueues(machine string, drained func(function string, ev event.Event))
+	// CrashSlates drops the machine's slate caches without flushing,
+	// returning the group-commit batch logs retained at crash time
+	// (for WAL replay) and the number of dirty slates lost.
+	CrashSlates(machine string) (wals []*wal.SlateBatchLog, dirtyLost int)
+	// UnackedEvents drains the machine's delivery replay log, returning
+	// every unacknowledged delivery; engines without a replay log
+	// return nil.
+	UnackedEvents(machine string) []engine.Envelope
+	// Redeliver routes an event to the current ring owner of
+	// (function, key).
+	Redeliver(function string, ev event.Event)
+	// RestartWorkers recreates the machine's queues and worker
+	// goroutines after revival, discarding any slate-cache residue the
+	// machine's final in-flight updates re-inserted after the crash
+	// cleanup (dead-lineage values that must not shadow the store).
+	RestartWorkers(machine string)
+	// FlushSlates persists every dirty cached slate cluster-wide. The
+	// rejoin protocol calls it before the ring flips back, so the
+	// interim owners' unflushed updates are durable before the revived
+	// machine re-reads its keys from the store.
+	FlushSlates()
+	// DropMisplacedSlates evicts, on every machine, cached slates whose
+	// keys the machine no longer owns on the current ring. Run after a
+	// ring change so a stale copy can never shadow the store if the key
+	// later returns.
+	DropMisplacedSlates()
+	// WarmSlates pre-loads up to limit slates owned by the machine from
+	// the durable store, returning how many were loaded.
+	WarmSlates(machine string, limit int) int
+	// RingMembers reports, per machine, whether it is currently enabled
+	// on the engine's ring(s).
+	RingMembers() map[string]bool
+}
+
+// Deps are the engine-provided collaborators of a Manager.
+type Deps struct {
+	// Cluster is the simulated machine cluster (and its master).
+	Cluster *cluster.Cluster
+	// Adapter is the engine's recovery surface.
+	Adapter Adapter
+	// Lost receives the precise loss accounting of every failover.
+	Lost *engine.LostLog
+	// Counters are the engine's lifetime counters (FailureReports).
+	Counters *engine.Counters
+	// Tracker is the engine's in-flight tracker; the manager holds it
+	// open while a failover is pending so Drain cannot pass between a
+	// queue drain and the redelivery of its events.
+	Tracker *engine.Tracker
+	// Store is the durable slate store WAL batches are replayed into
+	// and caches are warmed from; nil disables both.
+	Store slate.Store
+	// Redeliver reports whether the engine keeps a delivery replay log:
+	// if so, failover redelivers a dead machine's unacknowledged events
+	// instead of recording them lost.
+	Redeliver bool
+}
+
+// incident is the per-machine recovery state between crash and rejoin.
+type incident struct {
+	cleaned    bool // cleanup claimed (queues drained, slates crashed, WAL replayed)
+	cleanDone  bool // cleanup finished
+	failedOver bool // failover claimed (ring update + redelivery)
+	done       bool // failover finished
+	report     Report
+}
+
+// Manager runs the recovery protocol for one engine. All methods are
+// safe for concurrent use; failovers for distinct machines are
+// serialized through a pending queue so a redelivery that hits another
+// dead machine cannot deadlock the subsystem.
+type Manager struct {
+	cfg  Config
+	deps Deps
+	det  *Detector
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	incidents map[string]*incident
+	pending   []string
+	running   bool
+	rejoining map[string]bool
+	rejoined  map[string]*RejoinReport
+	lastFail  *Report
+	lastJoin  *RejoinReport
+
+	failovers   atomic.Uint64
+	rejoins     atomic.Uint64
+	queuedLost  atomic.Uint64
+	dirtyLost   atomic.Uint64
+	walBatches  atomic.Uint64
+	walRecords  atomic.Uint64
+	walErrors   atomic.Uint64
+	redelivered atomic.Uint64
+	warmed      atomic.Uint64
+
+	failoverLatency *metrics.Histogram
+	rejoinLatency   *metrics.Histogram
+}
+
+// NewManager builds a manager, its failure detector, and subscribes to
+// the master's failure and rejoin broadcasts.
+func NewManager(deps Deps, cfg Config) *Manager {
+	cfg.fill()
+	m := &Manager{
+		cfg:             cfg,
+		deps:            deps,
+		incidents:       make(map[string]*incident),
+		rejoining:       make(map[string]bool),
+		rejoined:        make(map[string]*RejoinReport),
+		failoverLatency: metrics.NewHistogram(0),
+		rejoinLatency:   metrics.NewHistogram(0),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.det = &Detector{
+		master:   deps.Cluster.Master(),
+		counters: deps.Counters,
+		disabled: cfg.DisableDetector,
+	}
+	deps.Cluster.Master().Subscribe(m.onFailure)
+	deps.Cluster.Master().SubscribeRejoin(m.onRejoin)
+	return m
+}
+
+// Detector returns the manager's failure detector; engines call its
+// ObserveSendFailure from their delivery paths.
+func (m *Manager) Detector() *Detector { return m.det }
+
+// Crash is the stock §4.3 operator kill: the machine stops accepting
+// events, its queued events and dirty slates are lost (and logged),
+// its delivery replay log is discarded — but flush batches retained in
+// the slate group-commit WAL are replayed into the store, so no
+// acknowledged flush is lost. The master is not notified; detection is
+// left to the next failed send, exactly as in the paper.
+func (m *Manager) Crash(machine string) Report {
+	claimed := m.claimCleanup(machine)
+	m.deps.Cluster.Crash(machine)
+	if !claimed {
+		return m.waitCleanup(machine)
+	}
+	return m.doCleanup(machine, true)
+}
+
+// CrashAndFailover kills the machine and immediately drives the full
+// master-coordinated failover: cleanup and WAL replay first, then an
+// operator failure report to the master, whose broadcast removes the
+// machine from the ring and — when the engine keeps a replay log —
+// redelivers its unacknowledged events to the keys' new owners. It
+// returns once the failover has completed.
+func (m *Manager) CrashAndFailover(machine string) Report {
+	claimed := m.claimCleanup(machine)
+	m.deps.Cluster.Crash(machine)
+	if claimed {
+		m.doCleanup(machine, !m.deps.Redeliver)
+	} else {
+		m.waitCleanup(machine)
+	}
+	if m.deps.Counters != nil {
+		m.deps.Counters.FailureReports.Add(1)
+	}
+	m.deps.Cluster.Master().ReportFailure(machine)
+	return m.waitFailover(machine)
+}
+
+// Rejoin revives a crashed machine and re-integrates it: workers
+// restart on fresh queues, the master broadcasts the rejoin (the "new
+// ring" announcement), the ring re-enables the machine, and — unless
+// disabled — its slate cache is warmed from the durable store for the
+// keys it now owns again.
+func (m *Manager) Rejoin(machine string) (RejoinReport, error) {
+	mach := m.deps.Cluster.Machine(machine)
+	if mach == nil {
+		return RejoinReport{}, fmt.Errorf("recovery: unknown machine %s", machine)
+	}
+	if mach.Alive() {
+		return RejoinReport{}, fmt.Errorf("recovery: machine %s is not down", machine)
+	}
+	m.mu.Lock()
+	// A detection-driven failover for this machine may still be in
+	// flight; let it finish, or its queue drain would close the fresh
+	// queues the restart below installs.
+	inc := m.incidents[machine]
+	for inc != nil && inc.failedOver && !inc.done {
+		m.cond.Wait()
+		inc = m.incidents[machine]
+	}
+	// Shield the rejoin window: a failure report racing the revival
+	// (a send that failed just before Revive landed) must not start a
+	// failover for a machine that is coming back.
+	m.rejoining[machine] = true
+	restart := inc != nil && inc.cleaned
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.rejoining, machine)
+		m.mu.Unlock()
+	}()
+	// Quiesce before touching caches or the ring: in-flight events —
+	// including any update that was mid-process on the dying machine —
+	// must finish first, so the residue purge below cannot race a
+	// straggler's cache re-insert, and the keys' interim owners stop
+	// writing before ownership moves back (two concurrent writers would
+	// silently lose the interim owner's tail of updates). The machine
+	// is still down here, so deliveries racing the rejoin keep failing
+	// as machine-down — the §4.3 pre-detection disposition.
+	if m.deps.Tracker != nil {
+		m.deps.Tracker.Wait()
+	}
+	if restart {
+		// The crash cleanup closed the machine's queues and its worker
+		// goroutines exited; bring them back (dropping the crashed
+		// cache's dead-lineage residue) before traffic returns.
+		m.deps.Adapter.RestartWorkers(machine)
+	}
+	// Revive only once the workers can accept traffic again: an alive
+	// machine with still-closed queues would swallow every delivery
+	// routed to it.
+	m.deps.Cluster.Revive(machine)
+	// Make the interim owners' state durable before the handover: under
+	// Interval/OnEvict flushing their latest updates may exist only as
+	// dirty cache entries, which the revived machine's store reads
+	// would otherwise miss.
+	if m.deps.Store != nil {
+		m.deps.Adapter.FlushSlates()
+	}
+	m.deps.Cluster.Master().ReportRejoin(machine)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rep := RejoinReport{Machine: machine}
+	if r := m.rejoined[machine]; r != nil {
+		rep = *r
+	}
+	rep.Restarted = restart
+	return rep, nil
+}
+
+// claimCleanup marks the machine's cleanup as owned by the caller,
+// returning false if another failover already owns it.
+func (m *Manager) claimCleanup(machine string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inc := m.incidentLocked(machine)
+	if inc.cleaned {
+		return false
+	}
+	inc.cleaned = true
+	return true
+}
+
+// waitCleanup blocks until the cleanup owner finishes and returns its
+// report.
+func (m *Manager) waitCleanup(machine string) Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inc := m.incidentLocked(machine)
+	for !inc.cleanDone {
+		m.cond.Wait()
+	}
+	return inc.report
+}
+
+// waitFailover blocks until the machine's failover (ring update and
+// redelivery) completes and returns the final report.
+func (m *Manager) waitFailover(machine string) Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inc := m.incidentLocked(machine)
+	for !inc.done {
+		m.cond.Wait()
+	}
+	return inc.report
+}
+
+// incidentLocked returns (creating if needed) the machine's incident.
+// Caller holds m.mu.
+func (m *Manager) incidentLocked(machine string) *incident {
+	inc := m.incidents[machine]
+	if inc == nil {
+		inc = &incident{}
+		m.incidents[machine] = inc
+	}
+	return inc
+}
+
+// doCleanup runs the local half of recovery after claimCleanup: drain
+// the dead machine's queues, crash its slate caches, and replay the
+// retained group-commit WAL batches into the store. With discard set,
+// queued events are recorded lost (LossCrashedQueue) and the delivery
+// replay log is dropped — the stock §4.3 disposition; otherwise both
+// are left to the failover's redelivery step.
+func (m *Manager) doCleanup(machine string, discard bool) Report {
+	start := time.Now()
+	rep := Report{Machine: machine, At: start}
+	m.deps.Adapter.DrainQueues(machine, func(function string, ev event.Event) {
+		if !discard {
+			return // the event stays in the replay log; failover redelivers it
+		}
+		rep.QueuedLost++
+		if m.deps.Lost != nil {
+			m.deps.Lost.Record(function, ev, engine.LossCrashedQueue)
+		}
+	})
+	if discard {
+		m.deps.Adapter.UnackedEvents(machine) // the replay log dies with the machine
+	}
+	wals, dirtyLost := m.deps.Adapter.CrashSlates(machine)
+	rep.DirtyLost = dirtyLost
+	if !m.cfg.DisableWALReplay && m.deps.Store != nil {
+		rep.WALBatchesReplayed, rep.WALRecordsReplayed, rep.WALReplayErrors = m.replayWALs(wals)
+	}
+	rep.Took = time.Since(start)
+	m.queuedLost.Add(uint64(rep.QueuedLost))
+	m.dirtyLost.Add(uint64(dirtyLost))
+	m.mu.Lock()
+	inc := m.incidentLocked(machine)
+	inc.report = rep
+	inc.cleanDone = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	return rep
+}
+
+// replayWALs writes every retained group-commit batch into the durable
+// store, oldest first, so a flush batch that was in flight at crash
+// time lands before the keys' new owners read them. Successfully
+// replayed logs are truncated (their contents are now durable); a
+// failed replay keeps its log for a later retry and is surfaced
+// through the errors count, so an operator can tell a clean
+// empty-WAL failover from one that could not restore in-flight
+// batches.
+func (m *Manager) replayWALs(wals []*wal.SlateBatchLog) (batches, records, errors int) {
+	for _, l := range wals {
+		if l == nil {
+			continue
+		}
+		_, _, retained := l.Stats()
+		if retained == 0 {
+			continue
+		}
+		applied, err := l.Replay(func(r wal.SlateRecord) error {
+			return m.deps.Store.Save(slate.Key{Updater: r.Updater, Key: r.Key}, r.Value, r.TTL)
+		})
+		records += applied
+		if err == nil {
+			batches += retained
+			l.Truncate()
+		} else {
+			errors++
+		}
+	}
+	m.walBatches.Add(uint64(batches))
+	m.walRecords.Add(uint64(records))
+	m.walErrors.Add(uint64(errors))
+	return batches, records, errors
+}
+
+// onFailure is the master failure-broadcast handler: it queues the
+// machine for failover and runs the queue unless another goroutine
+// already is. Queuing (rather than recursing) lets a redelivery that
+// hits a second dead machine schedule that machine's failover without
+// deadlocking, and the tracker hold keeps Drain blocked until every
+// pending failover — including its redeliveries — has completed.
+func (m *Manager) onFailure(machine string) {
+	if mach := m.deps.Cluster.Machine(machine); mach != nil && mach.Alive() {
+		// Stale report: the send failed before a rejoin revived the
+		// machine, but the reporter only reached the master afterwards.
+		// Tearing down a healthy machine would strand it (RejoinMachine
+		// refuses alive machines), so drop the report — and clear the
+		// master's failed mark so a future real failure is not absorbed
+		// as a duplicate.
+		m.deps.Cluster.Master().Forget(machine)
+		return
+	}
+	m.mu.Lock()
+	if m.rejoining[machine] {
+		// The machine is being revived; a report from a send that
+		// failed just before Revive must not tear down the fresh
+		// workers. If it truly dies again, the next failed send after
+		// the rejoin (which Forgets the old failure at the master)
+		// re-triggers detection.
+		m.mu.Unlock()
+		return
+	}
+	inc := m.incidentLocked(machine)
+	if inc.failedOver {
+		m.mu.Unlock()
+		return
+	}
+	inc.failedOver = true
+	m.pending = append(m.pending, machine)
+	if m.deps.Tracker != nil {
+		m.deps.Tracker.Inc()
+	}
+	if m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.running = true
+	m.mu.Unlock()
+	for {
+		m.mu.Lock()
+		if len(m.pending) == 0 {
+			m.running = false
+			m.mu.Unlock()
+			return
+		}
+		next := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		m.failover(next)
+		if m.deps.Tracker != nil {
+			m.deps.Tracker.Dec()
+		}
+	}
+}
+
+// failover runs the cluster half of recovery: ensure the local cleanup
+// (and its WAL replay) has finished, remove the machine from the ring
+// so keys reroute, then redeliver its unacknowledged events to the new
+// owners.
+func (m *Manager) failover(machine string) {
+	start := time.Now()
+	if m.claimCleanup(machine) {
+		m.doCleanup(machine, !m.deps.Redeliver)
+	} else {
+		m.waitCleanup(machine)
+	}
+	m.deps.Adapter.RemoveFromRing(machine)
+	redelivered := 0
+	if m.deps.Redeliver {
+		for _, env := range m.deps.Adapter.UnackedEvents(machine) {
+			m.deps.Adapter.Redeliver(env.Func, env.Ev)
+			redelivered++
+		}
+		m.redelivered.Add(uint64(redelivered))
+	}
+	m.failovers.Add(1)
+	m.failoverLatency.Observe(time.Since(start))
+	m.mu.Lock()
+	inc := m.incidentLocked(machine)
+	inc.report.Redelivered += redelivered
+	inc.report.Detected = true
+	inc.done = true
+	cp := inc.report
+	m.lastFail = &cp
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// onRejoin is the master rejoin-broadcast handler: restore the machine
+// to the ring, evict the interim owners' now-misplaced cache entries
+// (a stale copy must never shadow the store if the key fails back to
+// them later), then warm the machine's cache for the keys it owns
+// again.
+func (m *Manager) onRejoin(machine string) {
+	start := time.Now()
+	m.deps.Adapter.RestoreToRing(machine)
+	m.deps.Adapter.DropMisplacedSlates()
+	warmedN := 0
+	if !m.cfg.DisableRejoinWarm && m.deps.Store != nil {
+		warmedN = m.deps.Adapter.WarmSlates(machine, m.cfg.WarmLimit)
+	}
+	m.warmed.Add(uint64(warmedN))
+	m.rejoins.Add(1)
+	took := time.Since(start)
+	m.rejoinLatency.Observe(took)
+	rep := &RejoinReport{Machine: machine, Warmed: warmedN, Took: took, At: time.Now()}
+	m.mu.Lock()
+	delete(m.incidents, machine)
+	m.rejoined[machine] = rep
+	m.lastJoin = rep
+	m.mu.Unlock()
+}
+
+// FailoverLatency is the histogram of failover wall-clock durations.
+func (m *Manager) FailoverLatency() *metrics.Histogram { return m.failoverLatency }
+
+// RejoinLatency is the histogram of rejoin wall-clock durations.
+func (m *Manager) RejoinLatency() *metrics.Histogram { return m.rejoinLatency }

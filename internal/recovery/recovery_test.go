@@ -1,0 +1,590 @@
+package recovery
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"muppet/internal/cluster"
+	"muppet/internal/engine"
+	"muppet/internal/event"
+	"muppet/internal/slate"
+	"muppet/internal/wal"
+)
+
+// fakeStore is a map-backed slate.Store.
+type fakeStore struct {
+	mu        sync.Mutex
+	failSaves bool
+	data      map[slate.Key][]byte
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{data: make(map[slate.Key][]byte)} }
+
+func (s *fakeStore) Load(k slate.Key) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[k]
+	return v, ok, nil
+}
+
+func (s *fakeStore) Save(k slate.Key, value []byte, _ time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failSaves {
+		return errors.New("fakeStore: store unavailable")
+	}
+	s.data[k] = append([]byte(nil), value...)
+	return nil
+}
+
+func (s *fakeStore) get(k slate.Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[k]
+	return v, ok
+}
+
+// fakeAdapter is a scriptable engine stand-in.
+type fakeAdapter struct {
+	mu          sync.Mutex
+	ring        map[string]bool
+	queued      map[string][]engine.Envelope
+	unacked     map[string][]engine.Envelope
+	wals        map[string][]*wal.SlateBatchLog
+	dirty       map[string]int
+	drains      map[string]int
+	redelivered []engine.Envelope
+	restarted   []string
+	flushes     int
+	drops       int
+	warm        map[string]int // machine -> slates "warmed" per call
+	// redeliverHook, when set, runs on every Redeliver (to simulate a
+	// redelivery hitting another dead machine).
+	redeliverHook func(function string, ev event.Event)
+}
+
+func newFakeAdapter(machines ...string) *fakeAdapter {
+	a := &fakeAdapter{
+		ring:    make(map[string]bool),
+		queued:  make(map[string][]engine.Envelope),
+		unacked: make(map[string][]engine.Envelope),
+		wals:    make(map[string][]*wal.SlateBatchLog),
+		dirty:   make(map[string]int),
+		drains:  make(map[string]int),
+		warm:    make(map[string]int),
+	}
+	for _, m := range machines {
+		a.ring[m] = true
+	}
+	return a
+}
+
+func (a *fakeAdapter) RemoveFromRing(machine string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ring[machine] = false
+}
+
+func (a *fakeAdapter) RestoreToRing(machine string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ring[machine] = true
+}
+
+func (a *fakeAdapter) DrainQueues(machine string, drained func(string, event.Event)) {
+	a.mu.Lock()
+	q := a.queued[machine]
+	a.queued[machine] = nil
+	a.drains[machine]++
+	a.mu.Unlock()
+	for _, env := range q {
+		drained(env.Func, env.Ev)
+	}
+}
+
+func (a *fakeAdapter) CrashSlates(machine string) ([]*wal.SlateBatchLog, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d := a.dirty[machine]
+	a.dirty[machine] = 0
+	return a.wals[machine], d
+}
+
+func (a *fakeAdapter) UnackedEvents(machine string) []engine.Envelope {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	u := a.unacked[machine]
+	a.unacked[machine] = nil
+	return u
+}
+
+func (a *fakeAdapter) Redeliver(function string, ev event.Event) {
+	a.mu.Lock()
+	a.redelivered = append(a.redelivered, engine.Envelope{Func: function, Ev: ev})
+	hook := a.redeliverHook
+	a.mu.Unlock()
+	if hook != nil {
+		hook(function, ev)
+	}
+}
+
+func (a *fakeAdapter) RestartWorkers(machine string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.restarted = append(a.restarted, machine)
+}
+
+func (a *fakeAdapter) FlushSlates() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.flushes++
+}
+
+func (a *fakeAdapter) DropMisplacedSlates() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.drops++
+}
+
+func (a *fakeAdapter) WarmSlates(machine string, limit int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.warm[machine]
+	if n > limit {
+		n = limit
+	}
+	return n
+}
+
+func (a *fakeAdapter) RingMembers() map[string]bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]bool, len(a.ring))
+	for k, v := range a.ring {
+		out[k] = v
+	}
+	return out
+}
+
+func (a *fakeAdapter) inRing(machine string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ring[machine]
+}
+
+func (a *fakeAdapter) drainCount(machine string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.drains[machine]
+}
+
+func (a *fakeAdapter) redeliveredCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.redelivered)
+}
+
+func env(fn, key string) engine.Envelope {
+	return engine.Envelope{Func: fn, Ev: event.Event{Stream: "S1", Key: key}}
+}
+
+func harness(redeliver bool, cfg Config) (*Manager, *fakeAdapter, *fakeStore, *cluster.Cluster, *engine.LostLog) {
+	clu := cluster.New(cluster.Config{Machines: 3})
+	ad := newFakeAdapter(clu.MachineNames()...)
+	store := newFakeStore()
+	lost := engine.NewLostLog(0)
+	m := NewManager(Deps{
+		Cluster:   clu,
+		Adapter:   ad,
+		Lost:      lost,
+		Counters:  engine.NewCounters(),
+		Tracker:   engine.NewTracker(),
+		Store:     store,
+		Redeliver: redeliver,
+	}, cfg)
+	return m, ad, store, clu, lost
+}
+
+func TestStockCrashLosesQueuedAndReplaysWAL(t *testing.T) {
+	m, ad, store, clu, lost := harness(false, Config{})
+	const victim = "machine-01"
+	ad.queued[victim] = []engine.Envelope{env("U", "a"), env("U", "b")}
+	ad.dirty[victim] = 5
+	log := wal.NewSlateBatchLog()
+	log.AppendBatch([]wal.SlateRecord{
+		{Updater: "U", Key: "flushed-1", Value: []byte("v1")},
+		{Updater: "U", Key: "flushed-2", Value: []byte("v2")},
+	})
+	ad.wals[victim] = []*wal.SlateBatchLog{log}
+
+	rep := m.Crash(victim)
+	if rep.QueuedLost != 2 || rep.DirtyLost != 5 {
+		t.Fatalf("report = %+v, want 2 queued / 5 dirty lost", rep)
+	}
+	if rep.WALBatchesReplayed != 1 || rep.WALRecordsReplayed != 2 {
+		t.Fatalf("WAL replay = %d batches / %d records, want 1/2", rep.WALBatchesReplayed, rep.WALRecordsReplayed)
+	}
+	if v, ok := store.get(slate.Key{Updater: "U", Key: "flushed-1"}); !ok || string(v) != "v1" {
+		t.Fatalf("flushed-1 not restored into store: %q %v", v, ok)
+	}
+	if _, _, retained := log.Stats(); retained != 0 {
+		t.Fatalf("WAL not truncated after replay: %d batches retained", retained)
+	}
+	// Stock crash: the master is NOT notified, and the ring unchanged.
+	if got := clu.Master().FailedMachines(); len(got) != 0 {
+		t.Fatalf("master learned of stock crash: %v", got)
+	}
+	if !ad.inRing(victim) {
+		t.Fatal("stock crash removed machine from ring before detection")
+	}
+	if lost.Total() != 2 {
+		t.Fatalf("lost log total = %d, want 2", lost.Total())
+	}
+	for _, e := range lost.Recent() {
+		if e.Reason != engine.LossCrashedQueue {
+			t.Fatalf("loss reason = %v, want crashed-queue", e.Reason)
+		}
+	}
+}
+
+func TestDetectOnSendDrivesFailover(t *testing.T) {
+	m, ad, _, clu, _ := harness(false, Config{})
+	const victim = "machine-02"
+	ad.queued[victim] = []engine.Envelope{env("U", "x")}
+	clu.Crash(victim)
+
+	m.Detector().ObserveSendFailure(victim)
+
+	if got := clu.Master().FailedMachines(); len(got) != 1 || got[0] != victim {
+		t.Fatalf("master failed set = %v", got)
+	}
+	if ad.inRing(victim) {
+		t.Fatal("failover did not remove machine from ring")
+	}
+	if ad.drainCount(victim) != 1 {
+		t.Fatalf("queues drained %d times, want 1", ad.drainCount(victim))
+	}
+	st := m.Status()
+	if st.Failovers != 1 || st.QueuedLost != 1 {
+		t.Fatalf("status = %+v, want 1 failover / 1 queued lost", st)
+	}
+	if st.LastFailover == nil || st.LastFailover.Machine != victim || !st.LastFailover.Detected {
+		t.Fatalf("last failover = %+v", st.LastFailover)
+	}
+	if m.Detector().Observed() != 1 || m.Detector().Detected() != 1 {
+		t.Fatalf("detector counts = %d/%d", m.Detector().Observed(), m.Detector().Detected())
+	}
+}
+
+func TestDetectorDisabled(t *testing.T) {
+	m, ad, _, clu, _ := harness(false, Config{DisableDetector: true})
+	const victim = "machine-00"
+	clu.Crash(victim)
+	m.Detector().ObserveSendFailure(victim)
+	if got := clu.Master().FailedMachines(); len(got) != 0 {
+		t.Fatalf("disabled detector reported to master: %v", got)
+	}
+	if !ad.inRing(victim) {
+		t.Fatal("ring changed with detector disabled")
+	}
+	// A PingAll sweep (the operator fallback) still drives failover.
+	clu.Master().PingAll()
+	if ad.inRing(victim) {
+		t.Fatal("PingAll did not drive failover")
+	}
+}
+
+func TestCrashAndFailoverRedelivers(t *testing.T) {
+	m, ad, _, _, lost := harness(true, Config{})
+	const victim = "machine-01"
+	ad.queued[victim] = []engine.Envelope{env("U", "q1")}
+	ad.unacked[victim] = []engine.Envelope{env("U", "q1"), env("U", "p1")}
+
+	rep := m.CrashAndFailover(victim)
+	if rep.QueuedLost != 0 {
+		t.Fatalf("queued events recorded lost despite replay log: %d", rep.QueuedLost)
+	}
+	if rep.Redelivered != 2 {
+		t.Fatalf("redelivered = %d, want 2", rep.Redelivered)
+	}
+	if !rep.Detected {
+		t.Fatal("CrashAndFailover did not complete the failover")
+	}
+	if ad.inRing(victim) {
+		t.Fatal("machine still in ring after failover")
+	}
+	if lost.Total() != 0 {
+		t.Fatalf("lost log total = %d, want 0", lost.Total())
+	}
+	if got := ad.redeliveredCount(); got != 2 {
+		t.Fatalf("adapter saw %d redeliveries, want 2", got)
+	}
+}
+
+func TestFailoverIdempotent(t *testing.T) {
+	m, ad, _, _, _ := harness(false, Config{})
+	const victim = "machine-00"
+	ad.queued[victim] = []engine.Envelope{env("U", "a")}
+
+	rep1 := m.Crash(victim)
+	// Detection after an operator crash must not redo the cleanup.
+	m.Detector().ObserveSendFailure(victim)
+	m.Detector().ObserveSendFailure(victim)
+	rep2 := m.Crash(victim)
+
+	if ad.drainCount(victim) != 1 {
+		t.Fatalf("queues drained %d times, want 1", ad.drainCount(victim))
+	}
+	if rep1.QueuedLost != 1 || rep2.QueuedLost != 1 {
+		t.Fatalf("reports disagree: %+v vs %+v", rep1, rep2)
+	}
+	if st := m.Status(); st.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", st.Failovers)
+	}
+}
+
+func TestRejoinRestartsWarmsAndRestoresRing(t *testing.T) {
+	m, ad, _, clu, _ := harness(false, Config{})
+	const victim = "machine-02"
+	ad.warm[victim] = 7
+	m.Crash(victim)
+	m.Detector().ObserveSendFailure(victim)
+	if ad.inRing(victim) {
+		t.Fatal("setup: machine still in ring")
+	}
+
+	rep, err := m.Rejoin(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Restarted {
+		t.Fatal("workers not restarted after a cleaned crash")
+	}
+	if rep.Warmed != 7 {
+		t.Fatalf("warmed = %d, want 7", rep.Warmed)
+	}
+	if ad.flushes != 1 {
+		t.Fatalf("interim owners flushed %d times before handover, want 1", ad.flushes)
+	}
+	if ad.drops != 1 {
+		t.Fatalf("misplaced-slate eviction ran %d times, want 1", ad.drops)
+	}
+	if !ad.inRing(victim) {
+		t.Fatal("machine not restored to ring")
+	}
+	if !clu.Machine(victim).Alive() {
+		t.Fatal("machine not revived")
+	}
+	if got := clu.Master().FailedMachines(); len(got) != 0 {
+		t.Fatalf("master still thinks %v failed", got)
+	}
+	st := m.Status()
+	if st.Rejoins != 1 || st.Warmed != 7 || st.LastRejoin == nil || st.LastRejoin.Machine != victim {
+		t.Fatalf("status after rejoin = %+v", st)
+	}
+
+	// Rejoining an alive machine and an unknown machine both fail.
+	if _, err := m.Rejoin(victim); err == nil {
+		t.Fatal("rejoin of alive machine succeeded")
+	}
+	if _, err := m.Rejoin("machine-99"); err == nil {
+		t.Fatal("rejoin of unknown machine succeeded")
+	}
+
+	// A second crash after rejoin is a fresh incident.
+	ad.queued[victim] = []engine.Envelope{env("U", "b")}
+	rep2 := m.Crash(victim)
+	if rep2.QueuedLost != 1 {
+		t.Fatalf("second crash report = %+v", rep2)
+	}
+	if ad.drainCount(victim) != 2 {
+		t.Fatalf("drain count = %d, want 2", ad.drainCount(victim))
+	}
+}
+
+func TestRejoinWarmDisabled(t *testing.T) {
+	m, ad, _, _, _ := harness(false, Config{DisableRejoinWarm: true})
+	const victim = "machine-00"
+	ad.warm[victim] = 9
+	m.Crash(victim)
+	rep, err := m.Rejoin(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Warmed != 0 {
+		t.Fatalf("warmed = %d with warm-up disabled", rep.Warmed)
+	}
+}
+
+// TestWALReplayErrorSurfacedAndLogKept: a store outage during replay
+// must be visible to operators (not look like an empty WAL) and must
+// keep the log so a later failover can retry.
+func TestWALReplayErrorSurfaced(t *testing.T) {
+	m, ad, store, _, _ := harness(false, Config{})
+	const victim = "machine-00"
+	log := wal.NewSlateBatchLog()
+	log.AppendBatch([]wal.SlateRecord{{Updater: "U", Key: "k", Value: []byte("v")}})
+	ad.wals[victim] = []*wal.SlateBatchLog{log}
+	store.mu.Lock()
+	store.failSaves = true
+	store.mu.Unlock()
+
+	rep := m.Crash(victim)
+	if rep.WALReplayErrors != 1 || rep.WALBatchesReplayed != 0 {
+		t.Fatalf("report = %+v, want 1 replay error / 0 batches", rep)
+	}
+	if _, _, retained := log.Stats(); retained != 1 {
+		t.Fatalf("failed replay truncated the log: %d retained", retained)
+	}
+	if st := m.Status(); st.WALErrors != 1 {
+		t.Fatalf("status WAL errors = %d, want 1", st.WALErrors)
+	}
+}
+
+// TestStaleFailureReportAfterRejoinIgnored: a send that failed before
+// a rejoin but was reported after it must not tear down the healthy
+// machine — and must not poison the master so a future real failure
+// goes undetected.
+func TestStaleFailureReportAfterRejoinIgnored(t *testing.T) {
+	m, ad, _, clu, _ := harness(false, Config{})
+	const victim = "machine-01"
+	m.Crash(victim)
+	m.Detector().ObserveSendFailure(victim)
+	if _, err := m.Rejoin(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !ad.inRing(victim) || !clu.Machine(victim).Alive() {
+		t.Fatal("setup: machine not healthy after rejoin")
+	}
+
+	// The stale report arrives now, after the rejoin Forgot the
+	// original failure.
+	m.Detector().ObserveSendFailure(victim)
+	if !ad.inRing(victim) {
+		t.Fatal("stale report removed a healthy machine from the ring")
+	}
+	if ad.drainCount(victim) != 1 {
+		t.Fatalf("stale report re-drained queues: %d drains", ad.drainCount(victim))
+	}
+	if got := clu.Master().FailedMachines(); len(got) != 0 {
+		t.Fatalf("master still lists %v failed after stale report", got)
+	}
+
+	// A real second failure is still detected and handled.
+	clu.Crash(victim)
+	m.Detector().ObserveSendFailure(victim)
+	if ad.inRing(victim) {
+		t.Fatal("real second failure not failed over")
+	}
+	if ad.drainCount(victim) != 2 {
+		t.Fatalf("second failure did not drain: %d drains", ad.drainCount(victim))
+	}
+}
+
+func TestWALReplayDisabled(t *testing.T) {
+	m, ad, store, _, _ := harness(false, Config{DisableWALReplay: true})
+	const victim = "machine-00"
+	log := wal.NewSlateBatchLog()
+	log.AppendBatch([]wal.SlateRecord{{Updater: "U", Key: "k", Value: []byte("v")}})
+	ad.wals[victim] = []*wal.SlateBatchLog{log}
+	rep := m.Crash(victim)
+	if rep.WALRecordsReplayed != 0 {
+		t.Fatalf("WAL replayed despite being disabled: %+v", rep)
+	}
+	if _, ok := store.get(slate.Key{Updater: "U", Key: "k"}); ok {
+		t.Fatal("record reached store with replay disabled")
+	}
+}
+
+// TestNestedFailureDuringRedelivery simulates a redelivery that hits a
+// second dead machine: the nested failure must schedule that machine's
+// failover without deadlocking the manager.
+func TestNestedFailureDuringRedelivery(t *testing.T) {
+	m, ad, _, clu, _ := harness(true, Config{})
+	const first, second = "machine-00", "machine-01"
+	ad.unacked[first] = []engine.Envelope{env("U", "k1")}
+	clu.Crash(second)
+	ad.redeliverHook = func(string, event.Event) {
+		// The redelivered event lands on another dead machine.
+		m.Detector().ObserveSendFailure(second)
+	}
+
+	done := make(chan Report, 1)
+	go func() { done <- m.CrashAndFailover(first) }()
+	select {
+	case rep := <-done:
+		if rep.Redelivered != 1 {
+			t.Fatalf("redelivered = %d, want 1", rep.Redelivered)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("nested failure deadlocked the manager")
+	}
+	// The nested machine's failover completed too (it may have been
+	// queued behind the first).
+	deadline := time.Now().Add(2 * time.Second)
+	for ad.inRing(second) {
+		if time.Now().After(deadline) {
+			t.Fatal("second machine never failed over")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := m.Status(); st.Failovers != 2 {
+		t.Fatalf("failovers = %d, want 2", st.Failovers)
+	}
+}
+
+func TestConcurrentDetectionSingleFailover(t *testing.T) {
+	m, ad, _, clu, _ := harness(false, Config{})
+	const victim = "machine-01"
+	ad.queued[victim] = []engine.Envelope{env("U", "a"), env("U", "b"), env("U", "c")}
+	clu.Crash(victim)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Detector().ObserveSendFailure(victim)
+		}()
+	}
+	wg.Wait()
+	// The tracker hold guarantees the failover has fully completed once
+	// in-flight work drains.
+	m.deps.Tracker.Wait()
+	if ad.drainCount(victim) != 1 {
+		t.Fatalf("queues drained %d times, want 1", ad.drainCount(victim))
+	}
+	st := m.Status()
+	if st.Failovers != 1 || st.QueuedLost != 3 {
+		t.Fatalf("status = failovers %d queuedLost %d, want 1/3", st.Failovers, st.QueuedLost)
+	}
+}
+
+func TestStatusMachinesView(t *testing.T) {
+	m, _, _, clu, _ := harness(false, Config{})
+	m.Crash("machine-01")
+	m.Detector().ObserveSendFailure("machine-01")
+	st := m.Status()
+	if len(st.Machines) != 3 {
+		t.Fatalf("machines = %d, want 3", len(st.Machines))
+	}
+	byName := make(map[string]MachineStatus)
+	for _, ms := range st.Machines {
+		byName[ms.Name] = ms
+	}
+	v := byName["machine-01"]
+	if v.Alive || v.InRing || !v.Failed {
+		t.Fatalf("victim status = %+v", v)
+	}
+	h := byName["machine-00"]
+	if !h.Alive || !h.InRing || h.Failed {
+		t.Fatalf("healthy status = %+v", h)
+	}
+	if !st.DetectorEnabled || !st.WALReplay {
+		t.Fatalf("feature flags wrong: %+v", st)
+	}
+	if got := clu.Master().FailedMachines(); len(got) != 1 {
+		t.Fatalf("master failed set = %v", got)
+	}
+}

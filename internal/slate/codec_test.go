@@ -1,0 +1,32 @@
+package slate
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDecompressTruncated covers the half-written-value corner: a
+// deflate stream cut off mid-way must error, not return partial slate
+// bytes as if they were the whole value.
+func TestDecompressTruncated(t *testing.T) {
+	stored := Compress(bytes.Repeat([]byte("abcdefgh"), 1000))
+	if _, err := Decompress(stored[:len(stored)/2]); err == nil {
+		t.Fatal("decompress of truncated stream succeeded")
+	}
+}
+
+// TestCompressBinaryRoundTrip pins the codec on non-text slates
+// (arbitrary byte values, including 0x00 and 0xff).
+func TestCompressBinaryRoundTrip(t *testing.T) {
+	raw := make([]byte, 256)
+	for i := range raw {
+		raw[i] = byte(i)
+	}
+	got, err := Decompress(Compress(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("binary round trip mismatch")
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"muppet/internal/kvstore"
 	"muppet/internal/metrics"
 	"muppet/internal/queue"
+	"muppet/internal/recovery"
 	"muppet/internal/slate"
 	"muppet/internal/storage"
 )
@@ -245,9 +246,30 @@ type Config struct {
 	// the capability the paper lists as future work in Section 4.3.
 	// With it, CrashAndReplay redelivers a dead machine's queued and
 	// in-flight events to the keys' new owners with at-least-once
-	// semantics.
+	// semantics — and so does the master-driven failover triggered by
+	// detect-on-send.
 	ReplayLog bool
+	// Recovery tunes the unified recovery subsystem shared by both
+	// engines: detect-on-send failure reporting, slate group-commit WAL
+	// replay during failover, and slate-cache warm-up when a machine
+	// rejoins. The zero value enables all three.
+	Recovery RecoveryConfig
 }
+
+// RecoveryConfig holds the recovery subsystem's knobs: DisableDetector,
+// DisableWALReplay, DisableRejoinWarm, and WarmLimit.
+type RecoveryConfig = recovery.Config
+
+// RecoveryStatus is the recovery subsystem's operator view: ring
+// membership, failover and rejoin counts, WAL replay totals, and the
+// latest incident reports. Served over HTTP at GET /recovery.
+type RecoveryStatus = recovery.Status
+
+// FailoverReport summarizes one machine failure's recovery.
+type FailoverReport = recovery.Report
+
+// RejoinReport summarizes one machine revival.
+type RejoinReport = recovery.RejoinReport
 
 // Replayer is implemented by engines that support the replay-log
 // extension (Muppet 2.0 with Config.ReplayLog set).
@@ -281,8 +303,16 @@ type Engine interface {
 	// injection.
 	Cluster() *cluster.Cluster
 	// CrashMachine kills a machine, returning how many queued events
-	// and dirty slates died with it.
+	// and dirty slates died with it. Flush batches retained in the
+	// slate group-commit WAL are replayed into the store (unless
+	// disabled via Config.Recovery), so no acknowledged flush is lost.
 	CrashMachine(machine string) (lostQueued, lostDirtySlates int)
+	// RejoinMachine revives a crashed machine: its workers restart, the
+	// master broadcasts the rejoin, the ring re-enables it, and its
+	// slate cache is warmed from the durable store.
+	RejoinMachine(machine string) (RejoinReport, error)
+	// RecoveryStatus snapshots the recovery subsystem.
+	RecoveryStatus() RecoveryStatus
 	// LargestQueues reports the deepest queue per machine.
 	LargestQueues() map[string]int
 	// Updaters lists the application's update functions.
@@ -323,6 +353,7 @@ func NewEngine(app *App, cfg Config) (Engine, error) {
 			StoreLevel:          cfg.StoreLevel,
 			SourceThrottle:      cfg.SourceThrottle,
 			SendLatency:         cfg.SendLatency,
+			Recovery:            cfg.Recovery,
 		})
 		if err != nil {
 			return nil, err
@@ -346,6 +377,7 @@ func NewEngine(app *App, cfg Config) (Engine, error) {
 			SendLatency:       cfg.SendLatency,
 			DisableDualQueue:  cfg.DisableDualQueue,
 			ReplayLog:         cfg.ReplayLog,
+			Recovery:          cfg.Recovery,
 		})
 		if err != nil {
 			return nil, err
@@ -375,6 +407,7 @@ func (r slateReader) Slate(updater, key string) []byte { return r.e.Slate(update
 func (r slateReader) LargestQueues() map[string]int    { return r.e.LargestQueues() }
 func (r slateReader) Updaters() []string               { return r.e.Updaters() }
 func (r slateReader) FlushSlates()                     { r.e.FlushSlates() }
+func (r slateReader) RecoveryStatus() recovery.Status  { return r.e.RecoveryStatus() }
 func (r slateReader) StoredSlates(updater string) map[string][]byte {
 	return r.e.StoredSlates(updater)
 }
