@@ -174,6 +174,14 @@ func BenchmarkE18Replay(b *testing.B) {
 	}
 }
 
+func BenchmarkE19BatchedIngress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E19BatchedIngress(benchScale)
+		reportCell(b, t, 0, 3, "per-event-events/s")
+		reportCell(b, t, 1, 3, "batched-events/s")
+	}
+}
+
 // BenchmarkIngestPath measures the raw per-event cost of the full
 // MapUpdate pipeline (map -> route -> update -> slate write) on the
 // retailer application, the number the E01 throughput derives from.

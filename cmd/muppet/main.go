@@ -1,16 +1,18 @@
 // Command muppet runs one of the paper's applications on a simulated
-// Muppet cluster, streams a synthetic workload through it, serves the
-// slate-fetch HTTP API while running, and prints engine statistics on
-// exit.
+// Muppet cluster, pumps a synthetic workload through the batched
+// streaming-ingress API, serves the slate-fetch and POST /ingest HTTP
+// API while running, and prints engine statistics on exit.
 //
 // Usage:
 //
 //	muppet -app retailer -events 100000 -machines 4 -engine 2 -http :8080
+//	muppet -app retailer -rate 50000 -batch 512       # paced source
 //
 // Applications: retailer, hottopics, reputation, topurls, httphits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -39,6 +41,8 @@ func main() {
 		httpAddr = flag.String("http", "", "serve the slate-fetch API on this address while running (e.g. 127.0.0.1:8080)")
 		seed     = flag.Int64("seed", 2012, "workload seed")
 		linger   = flag.Duration("linger", 0, "keep serving HTTP for this long after the stream ends")
+		rate     = flag.Float64("rate", 0, "pace the source to this many events/s (0 = unthrottled)")
+		batch    = flag.Int("batch", 256, "events per IngestBatch call")
 	)
 	flag.Parse()
 
@@ -81,24 +85,38 @@ func main() {
 		fmt.Printf("slate API: http://%s/slate/{updater}/{key}  |  http://%s/status\n", ln.Addr(), ln.Addr())
 	}
 
+	// The workload is a pull Source pumped through the batched ingress
+	// API: deliveries are grouped per destination machine, so ring
+	// sends and queue locks are paid once per batch.
 	gen := muppetapps.NewGenerator(muppetapps.GenConfig{Seed: *seed, URLFraction: 0.3})
+	var src muppet.Source
+	switch *appName {
+	case "retailer":
+		src = muppetapps.CheckinSource(gen, "S1")
+	case "httphits":
+		i := 0
+		src = muppet.SourceFunc(func() (muppet.Event, bool) {
+			ev := httpHitEvent(gen, i)
+			i++
+			return ev, true
+		})
+	default:
+		src = muppetapps.TweetSource(gen, "S1")
+	}
+	src = muppet.RateLimit(muppet.Take(src, *events), *rate)
+
 	start := time.Now()
-	for i := 0; i < *events; i++ {
-		switch *appName {
-		case "retailer":
-			eng.Ingest(gen.Checkin("S1"))
-		case "httphits":
-			eng.Ingest(httpHitEvent(gen, i))
-		default:
-			eng.Ingest(gen.Tweet("S1"))
-		}
+	pstats, err := muppet.Pump(context.Background(), eng, src, *batch)
+	if err != nil {
+		log.Fatal(err)
 	}
 	eng.Drain()
 	elapsed := time.Since(start)
 
-	fmt.Printf("app=%s engine=%d machines=%d: %d events in %v (%.0f events/s, %.1fM/day equivalent)\n",
-		*appName, *engineV, *machines, *events, elapsed.Round(time.Millisecond),
-		float64(*events)/elapsed.Seconds(), float64(*events)/elapsed.Seconds()*86400/1e6)
+	fmt.Printf("app=%s engine=%d machines=%d: %d events (%d accepted, %d batches, %d dropped) in %v (%.0f events/s, %.1fM/day equivalent)\n",
+		*appName, *engineV, *machines, pstats.Events, pstats.Accepted, pstats.Batches, pstats.Dropped,
+		elapsed.Round(time.Millisecond),
+		float64(pstats.Events)/elapsed.Seconds(), float64(pstats.Events)/elapsed.Seconds()*86400/1e6)
 	fmt.Printf("latency: %s\n", muppet.LatencySummary(eng))
 	s := eng.Stats()
 	fmt.Printf("stats: processed=%d emitted=%d slateUpdates=%d lostOverflow=%d contention<=%d\n",

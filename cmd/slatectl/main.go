@@ -1,5 +1,6 @@
 // Command slatectl fetches live slates and status from a running
-// Muppet engine's HTTP API (Section 4.4 of the paper).
+// Muppet engine's HTTP API (Section 4.4 of the paper), and feeds
+// event batches into it through the streaming ingress endpoint.
 //
 // Usage:
 //
@@ -7,13 +8,22 @@
 //	slatectl -addr 127.0.0.1:8080 slate U1 Walmart
 //	slatectl -addr 127.0.0.1:8080 dump U1
 //	slatectl -addr 127.0.0.1:8080 recovery
+//	slatectl -addr 127.0.0.1:8080 -batch 500 ingest < events.json
 //
 // The recovery command prints the engine's recovery-subsystem status:
 // ring membership, failover and rejoin counts, WAL replay totals, and
 // the latest incident reports.
+//
+// The ingest command reads JSON events from stdin — either one JSON
+// array or a stream of objects, each {"stream","ts","key","value"} —
+// and posts them to POST /ingest in batches, printing the per-batch
+// accounting and a final total.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +34,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "engine HTTP address")
+	batch := flag.Int("batch", 500, "events per POST /ingest request")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -44,9 +55,151 @@ func main() {
 			usage()
 		}
 		get(fmt.Sprintf("http://%s/slates/%s", *addr, url.PathEscape(args[1])))
+	case "ingest":
+		if len(args) != 1 {
+			usage()
+		}
+		ingest(fmt.Sprintf("http://%s/ingest", *addr), os.Stdin, *batch)
 	default:
 		usage()
 	}
+}
+
+// jsonEvent mirrors httpapi.IngestEvent.
+type jsonEvent struct {
+	Stream string `json:"stream"`
+	TS     int64  `json:"ts,omitempty"`
+	Key    string `json:"key"`
+	Value  string `json:"value,omitempty"`
+}
+
+// ingestReply mirrors httpapi.IngestReply.
+type ingestReply struct {
+	Events   int            `json:"events"`
+	Accepted int            `json:"accepted"`
+	Dropped  int            `json:"dropped,omitempty"`
+	Reasons  map[string]int `json:"reasons,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// ingest reads events from r (a JSON array or a stream of objects) and
+// posts them in batches.
+func ingest(u string, r io.Reader, batchSize int) {
+	if batchSize <= 0 {
+		batchSize = 500
+	}
+	next, err := eventReader(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var total ingestReply
+	batches := 0
+	for {
+		batch := make([]jsonEvent, 0, batchSize)
+		for len(batch) < batchSize {
+			ev, ok, err := next()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if !ok {
+				break
+			}
+			batch = append(batch, ev)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		reply, err := postBatch(u, batch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		batches++
+		total.Events += reply.Events
+		total.Accepted += reply.Accepted
+		total.Dropped += reply.Dropped
+		for k, v := range reply.Reasons {
+			if total.Reasons == nil {
+				total.Reasons = make(map[string]int)
+			}
+			total.Reasons[k] += v
+		}
+	}
+	out, _ := json.Marshal(total)
+	fmt.Printf("%d batches: %s\n", batches, out)
+}
+
+// eventReader yields events from either one JSON array or a
+// whitespace-separated stream of JSON objects, decided by peeking the
+// first non-space byte.
+func eventReader(r io.Reader) (func() (jsonEvent, bool, error), error) {
+	br := bufio.NewReader(r)
+	var first byte
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			return func() (jsonEvent, bool, error) { return jsonEvent{}, false, nil }, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		first = b
+		br.UnreadByte()
+		break
+	}
+	dec := json.NewDecoder(br)
+	if first == '[' {
+		var evs []jsonEvent
+		if err := dec.Decode(&evs); err != nil {
+			return nil, fmt.Errorf("slatectl: bad event array: %w", err)
+		}
+		return func() (jsonEvent, bool, error) {
+			if len(evs) == 0 {
+				return jsonEvent{}, false, nil
+			}
+			ev := evs[0]
+			evs = evs[1:]
+			return ev, true, nil
+		}, nil
+	}
+	return func() (jsonEvent, bool, error) {
+		var ev jsonEvent
+		err := dec.Decode(&ev)
+		if err == io.EOF {
+			return jsonEvent{}, false, nil
+		}
+		if err != nil {
+			return jsonEvent{}, false, fmt.Errorf("slatectl: bad event object: %w", err)
+		}
+		return ev, true, nil
+	}, nil
+}
+
+// postBatch posts one event batch and decodes the reply.
+func postBatch(u string, batch []jsonEvent) (ingestReply, error) {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return ingestReply{}, err
+	}
+	resp, err := http.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return ingestReply{}, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var reply ingestReply
+	if err := json.Unmarshal(data, &reply); err != nil {
+		return ingestReply{}, fmt.Errorf("%s: %s", resp.Status, data)
+	}
+	if reply.Error != "" {
+		return reply, fmt.Errorf("ingest failed: %s", reply.Error)
+	}
+	return reply, nil
 }
 
 func get(u string) {
@@ -65,6 +218,6 @@ func get(u string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: slatectl [-addr host:port] status | recovery | slate <updater> <key> | dump <updater>")
+	fmt.Fprintln(os.Stderr, "usage: slatectl [-addr host:port] [-batch n] status | recovery | slate <updater> <key> | dump <updater> | ingest")
 	os.Exit(2)
 }

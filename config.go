@@ -68,6 +68,9 @@ type EngineConfig struct {
 	ThreadsPerMachine  int `json:"threads_per_machine,omitempty"`
 	QueueCapacity      int `json:"queue_capacity,omitempty"`
 	CacheCapacity      int `json:"cache_capacity,omitempty"`
+	// OutputCapacity bounds the events retained per output stream for
+	// Output() polling; zero retains everything.
+	OutputCapacity int `json:"output_capacity,omitempty"`
 	// QueuePolicy is "drop", "divert" or "block".
 	QueuePolicy    string `json:"queue_policy,omitempty"`
 	OverflowStream string `json:"overflow_stream,omitempty"`
@@ -223,6 +226,7 @@ func (c *AppConfig) engineConfig() (Config, error) {
 		ThreadsPerMachine:  e.ThreadsPerMachine,
 		QueueCapacity:      e.QueueCapacity,
 		CacheCapacity:      e.CacheCapacity,
+		OutputCapacity:     e.OutputCapacity,
 		OverflowStream:     e.OverflowStream,
 		SourceThrottle:     e.SourceThrottle,
 		ReplayLog:          e.ReplayLog,

@@ -1,6 +1,7 @@
 package muppet_test
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -99,4 +100,47 @@ func ExampleNewStore() {
 	eng2.Drain()
 	fmt.Println(string(eng2.Slate("U", "k")))
 	// Output: 3
+}
+
+// ExamplePump shows the streaming ingress/egress surface: a rate-free
+// Source pumped through the engine in batches, with a live
+// subscription consuming the output stream as it is produced.
+func ExamplePump() {
+	relay := muppet.MapFunc{FName: "M_relay", Fn: func(emit muppet.Emitter, in muppet.Event) {
+		emit.Publish("S2", in.Key, in.Value)
+	}}
+	app := muppet.NewApp("stream").
+		Input("S1").
+		Output("S2").
+		AddMap(relay, []string{"S1"}, []string{"S2"})
+
+	eng, err := muppet.NewEngine(app, muppet.Config{Machines: 2, OutputCapacity: 1024})
+	if err != nil {
+		panic(err)
+	}
+
+	sub := eng.Subscribe("S2", 1024)
+	received := make(chan int)
+	go func() {
+		n := 0
+		for range sub.C() {
+			n++
+		}
+		received <- n
+	}()
+
+	i := 0
+	src := muppet.Take(muppet.SourceFunc(func() (muppet.Event, bool) {
+		i++
+		return muppet.Event{Stream: "S1", TS: muppet.Timestamp(i), Key: strconv.Itoa(i)}, true
+	}), 500)
+	stats, err := muppet.Pump(context.Background(), eng, src, 128)
+	if err != nil {
+		panic(err)
+	}
+	eng.Stop() // drains, then closes subscription channels
+
+	fmt.Printf("pumped %d events in %d batches, accepted %d, subscriber saw %d\n",
+		stats.Events, stats.Batches, stats.Accepted, <-received)
+	// Output: pumped 500 events in 4 batches, accepted 500, subscriber saw 500
 }

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -62,14 +63,19 @@ func run(n int, victim string, replay bool) {
 	defer eng.Stop()
 
 	gen := muppetapps.NewGenerator(muppetapps.GenConfig{Seed: 2012, RetailerFraction: 1})
-	expected := 0
+	expected, reported := 0, 0
 	for i := 0; i < n; i++ {
 		ev := gen.Checkin("S1")
 		c, _ := muppetapps.ParseCheckin(ev.Value)
 		if _, ok := muppetapps.CanonicalRetailer(c.Venue); ok {
 			expected++
 		}
-		eng.Ingest(ev)
+		// The context-aware ingress reports deliveries the machine
+		// failure drops — losses the legacy fire-and-forget Ingest
+		// only counted internally.
+		if err := eng.IngestCtx(context.Background(), ev); err != nil {
+			reported++
+		}
 		switch i {
 		case n / 3:
 			// The machine dies without ceremony — no operator cleanup.
@@ -100,6 +106,7 @@ func run(n int, victim string, replay bool) {
 	rst := eng.RecoveryStatus()
 	fmt.Printf("recognized checkins streamed: %d; counted in slates: %d; deficit: %d\n",
 		expected, counted, expected-counted)
+	fmt.Printf("ingress errors reported to the source: %d\n", reported)
 	if fo := rst.LastFailover; fo != nil {
 		fmt.Printf("failover of %s: detected=%v queuedLost=%d dirtyLost=%d walRecordsReplayed=%d redelivered=%d\n",
 			fo.Machine, fo.Detected, fo.QueuedLost, fo.DirtyLost, fo.WALRecordsReplayed, fo.Redelivered)

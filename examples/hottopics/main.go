@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +32,19 @@ func main() {
 	}
 	defer eng.Stop()
 
+	// Egress is a live subscription: verdict events arrive on a
+	// bounded channel as the detector fires, instead of buffering
+	// forever for a post-hoc Output() poll.
+	sub := eng.Subscribe("S4", 1024)
+	live := make(chan map[string]bool)
+	go func() {
+		verdicts := make(map[string]bool)
+		for ev := range sub.C() {
+			verdicts[ev.Key] = true
+		}
+		live <- verdicts
+	}()
+
 	gen := muppetapps.NewGenerator(muppetapps.GenConfig{
 		Seed:            7,
 		EventsPerSecond: 10, // 600 tweets per stream minute
@@ -39,12 +53,13 @@ func main() {
 		HotToMinute:     *burstMin + 2,
 		HotBoost:        25,
 	})
-	for i := 0; i < *tweets; i++ {
-		eng.Ingest(gen.Tweet("S1"))
+	src := muppet.Take(muppetapps.TweetSource(gen, "S1"), *tweets)
+	if _, err := muppet.Pump(context.Background(), eng, src, 256); err != nil {
+		log.Fatal(err)
 	}
-	eng.Drain()
+	eng.Stop() // drains, then closes the subscription channel
 
-	verdicts := muppetapps.HotVerdicts(eng.Output("S4"))
+	verdicts := <-live
 	keys := make([]string, 0, len(verdicts))
 	for k := range verdicts {
 		keys = append(keys, k)
@@ -52,6 +67,8 @@ func main() {
 	sort.Strings(keys)
 	fmt.Printf("streamed %d tweets (%d stream minutes); planted burst: topic %q at minute %d\n",
 		*tweets, *tweets/600, *hot, *burstMin)
+	fmt.Printf("(%d verdict events delivered live, %d dropped by the slow-subscriber bound)\n",
+		len(verdicts), sub.Dropped())
 	fmt.Println("hot <topic, minute> verdicts on S4:")
 	for _, k := range keys {
 		fmt.Printf("  %s\n", k)

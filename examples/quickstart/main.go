@@ -1,11 +1,13 @@
 // Command quickstart is the smallest complete MapUpdate application:
 // live counters of HTTP requests per site section (one of the paper's
 // motivating applications), defined inline, run on the Muppet 2.0
-// engine, and queried both directly and through the slate-fetch HTTP
-// service of Section 4.4.
+// engine, fed through the batched streaming-ingress API (in-process
+// and over POST /ingest), and queried both directly and through the
+// slate-fetch HTTP service of Section 4.4.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"log"
@@ -48,23 +50,48 @@ func main() {
 		AddMap(sectionize, []string{"requests"}, []string{"hits"}).
 		AddUpdate(count, []string{"hits"}, nil, 0)
 
-	eng, err := muppet.NewEngine(app, muppet.Config{Machines: 2, ThreadsPerMachine: 2})
+	eng, err := muppet.NewEngine(app, muppet.Config{
+		Machines:          2,
+		ThreadsPerMachine: 2,
+		// Bound the legacy Output() ring; live consumers subscribe.
+		OutputCapacity: 1024,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Stop()
 
-	// Stream some synthetic request-log events through the engine.
+	// Stream synthetic request-log events through the batched ingress
+	// API: one IngestBatch per 256 events, with acceptance reported
+	// back instead of silently dropping on overflow.
 	paths := []string{"/products/1", "/products/2", "/cart", "/", "/products/3", "/cart/checkout", "/search?q=tv"}
+	batch := make([]muppet.Event, 0, 256)
+	ingested := 0
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		n, err := eng.IngestBatch(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ingested += n
+		batch = batch[:0]
+	}
 	for i := 0; i < 700; i++ {
-		eng.Ingest(muppet.Event{
+		batch = append(batch, muppet.Event{
 			Stream: "requests",
 			TS:     muppet.Timestamp(i + 1),
 			Key:    strconv.Itoa(i),
 			Value:  []byte(paths[i%len(paths)]),
 		})
+		if len(batch) == cap(batch) {
+			flush()
+		}
 	}
+	flush()
 	eng.Drain()
+	fmt.Printf("ingested %d events through IngestBatch\n", ingested)
 
 	// Read the live slates directly...
 	fmt.Println("requests per section (direct slate reads):")
@@ -94,6 +121,18 @@ func main() {
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	fmt.Printf("HTTP GET /slate/U_count/products -> %s\n", body)
+
+	// ...and ingest over HTTP too: POST /ingest takes a JSON batch and
+	// returns the acceptance accounting (slatectl ingest speaks this).
+	post, err := http.Post("http://"+ln.Addr().String()+"/ingest", "application/json",
+		bytes.NewReader([]byte(`[{"stream":"requests","ts":701,"key":"x","value":"/cart"}]`)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reply, _ := io.ReadAll(post.Body)
+	post.Body.Close()
+	eng.Drain()
+	fmt.Printf("HTTP POST /ingest -> %s", reply)
 
 	fmt.Printf("end-to-end latency: %s\n", muppet.LatencySummary(eng))
 }

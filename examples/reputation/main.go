@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,8 +37,9 @@ func main() {
 	gen := muppetapps.NewGenerator(muppetapps.GenConfig{
 		Seed: 99, Users: *users, RetweetFraction: 0.3,
 	})
-	for i := 0; i < *tweets; i++ {
-		eng.Ingest(gen.Tweet("S1"))
+	src := muppet.Take(muppetapps.TweetSource(gen, "S1"), *tweets)
+	if _, err := muppet.Pump(context.Background(), eng, src, 256); err != nil {
+		log.Fatal(err)
 	}
 	eng.Drain()
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,8 +34,9 @@ func main() {
 	gen := muppetapps.NewGenerator(muppetapps.GenConfig{
 		Seed: 4, URLFraction: 0.4, URLs: 2000,
 	})
-	for i := 0; i < *tweets; i++ {
-		eng.Ingest(gen.Tweet("S1"))
+	src := muppet.Take(muppetapps.TweetSource(gen, "S1"), *tweets)
+	if _, err := muppet.Pump(context.Background(), eng, src, 256); err != nil {
+		log.Fatal(err)
 	}
 	eng.Drain()
 

@@ -394,3 +394,52 @@ func busiestShare(eng muppet.Engine) float64 {
 	}
 	return 0
 }
+
+// E19BatchedIngress measures the streaming-ingress redesign on the
+// engine 2.0 hot path: the same workload fed one fire-and-forget
+// Ingest at a time versus through IngestBatch, which groups each
+// batch's deliveries per destination machine so the cluster send and
+// the destination queue lock are paid per batch rather than per event.
+func E19BatchedIngress(s Scale) Table {
+	t := Table{
+		ID:     "E19",
+		Title:  "per-event vs batched ingress, retailer-count application (Muppet 2.0)",
+		Claim:  "streaming ingest/egress contracts — batching, backpressure, bounded buffering — are the make-or-break surface of stream systems (Cambridge report)",
+		Header: []string{"ingress", "events", "elapsed", "events/s", "speedup"},
+	}
+	n := s.N(200_000)
+	base := 0.0
+	for _, mode := range []struct {
+		name    string
+		batched bool
+	}{
+		{"Ingest (per event)", false},
+		{"IngestBatch (256)", true},
+	} {
+		eng, err := muppet.NewEngine(muppetapps.RetailerApp(), muppet.Config{
+			Machines:      8,
+			QueueCapacity: 1 << 16,
+		})
+		if err != nil {
+			panic(err)
+		}
+		events := checkins(19, n)
+		var elapsed time.Duration
+		if mode.batched {
+			elapsed = ingest(eng, events)
+		} else {
+			elapsed = ingestPerEvent(eng, events)
+		}
+		eng.Stop()
+		r := rate(n, elapsed)
+		speedup := "1.00x"
+		if base == 0 {
+			base = r
+		} else if base > 0 {
+			speedup = fmt.Sprintf("%.2fx", r/base)
+		}
+		t.Add(mode.name, n, elapsed, r, speedup)
+	}
+	t.Note("go test -bench . ./internal/ingress/ measures the same comparison as a microbenchmark (BENCH_ingress.json in CI)")
+	return t
+}

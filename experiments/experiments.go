@@ -18,6 +18,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -146,12 +147,25 @@ func Registry() []struct {
 		{"E16", E16VsMicroBatch},
 		{"E17", E17SlateSize},
 		{"E18", E18Replay},
+		{"E19", E19BatchedIngress},
 	}
 }
 
-// ingest pumps events through an engine and returns the elapsed wall
-// time after draining.
+// ingest pumps events through an engine over the batched ingress API
+// (256-event batches, the production path) and returns the elapsed
+// wall time after draining.
 func ingest(e muppet.Engine, events []muppet.Event) time.Duration {
+	start := time.Now()
+	if _, err := muppet.Pump(context.Background(), e, muppet.EventsSource(events), 256); err != nil {
+		panic(err)
+	}
+	e.Drain()
+	return time.Since(start)
+}
+
+// ingestPerEvent pumps events one Ingest call at a time — the legacy
+// fire-and-forget path E19 compares against.
+func ingestPerEvent(e muppet.Engine, events []muppet.Event) time.Duration {
 	start := time.Now()
 	for _, ev := range events {
 		e.Ingest(ev)

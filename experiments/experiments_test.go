@@ -33,8 +33,8 @@ func atoi(t *testing.T, s string) float64 {
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(reg))
+	if len(reg) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(reg))
 	}
 	for i, r := range reg {
 		want := "E" + pad2(i+1)

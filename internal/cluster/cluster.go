@@ -35,11 +35,36 @@ var ErrNoHandler = errors.New("cluster: no delivery handler registered")
 // a machine. It returns an error if the local queue rejects the event.
 type Handler func(worker string, e event.Event) error
 
+// Delivery is one event addressed to a named worker, carried in a
+// batch send. Tag is an opaque caller-side index (the engines use it
+// to map per-delivery failures back to the source event of a batch).
+type Delivery struct {
+	Worker string
+	Ev     event.Event
+	Tag    int
+}
+
+// BatchHandler delivers a whole batch addressed to one machine. The
+// returned slice is parallel to the input: nil means accepted, a
+// non-nil error (typically queue.ErrOverflow or queue.ErrClosed) means
+// that delivery was rejected. A nil slice means everything was
+// accepted.
+type BatchHandler func(ds []Delivery) []error
+
+// BatchReject is one rejected delivery of a batch send.
+type BatchReject struct {
+	// Index is the position in the batch passed to SendBatch.
+	Index int
+	// Err is the local rejection cause.
+	Err error
+}
+
 // Machine is one simulated host.
 type Machine struct {
-	name    string
-	alive   atomic.Bool
-	handler atomic.Value // Handler
+	name         string
+	alive        atomic.Bool
+	handler      atomic.Value // Handler
+	batchHandler atomic.Value // BatchHandler
 }
 
 // Name returns the machine name.
@@ -105,6 +130,64 @@ func (c *Cluster) SetHandler(machine string, h Handler) {
 	if m := c.machines[machine]; m != nil {
 		m.handler.Store(h)
 	}
+}
+
+// SetBatchHandler registers the batch delivery handler for a machine;
+// the engines install one that groups a batch onto local worker queues
+// with a single lock acquisition per queue.
+func (c *Cluster) SetBatchHandler(machine string, h BatchHandler) {
+	if m := c.machines[machine]; m != nil {
+		m.batchHandler.Store(h)
+	}
+}
+
+// SendBatch delivers a batch of events to the destination machine in
+// one network exchange: a single liveness check and a single hop's
+// latency charge, however many deliveries the batch carries — the
+// amortization a per-event Send cannot offer. It fails the whole batch
+// with ErrMachineDown if the destination is crashed; otherwise it
+// returns the accepted count plus the individually rejected deliveries
+// (full or closed local queues). Machines without a registered
+// BatchHandler fall back to per-delivery Handler calls.
+func (c *Cluster) SendBatch(machine string, ds []Delivery) (accepted int, rejects []BatchReject, err error) {
+	m := c.machines[machine]
+	if m == nil {
+		return 0, nil, fmt.Errorf("cluster: unknown machine %s", machine)
+	}
+	if len(ds) == 0 {
+		return 0, nil, nil
+	}
+	c.sends.Add(1)
+	c.netTime.Add(int64(c.cfg.SendLatency))
+	if !m.alive.Load() {
+		return 0, nil, ErrMachineDown
+	}
+	if bh, _ := m.batchHandler.Load().(BatchHandler); bh != nil {
+		errs := bh(ds)
+		if errs == nil {
+			return len(ds), nil, nil
+		}
+		for i, e := range errs {
+			if e == nil {
+				accepted++
+			} else {
+				rejects = append(rejects, BatchReject{Index: i, Err: e})
+			}
+		}
+		return accepted, rejects, nil
+	}
+	h, _ := m.handler.Load().(Handler)
+	if h == nil {
+		return 0, nil, ErrNoHandler
+	}
+	for i, d := range ds {
+		if e := h(d.Worker, d.Ev); e != nil {
+			rejects = append(rejects, BatchReject{Index: i, Err: e})
+		} else {
+			accepted++
+		}
+	}
+	return accepted, rejects, nil
 }
 
 // Send delivers an event to the named worker on the destination

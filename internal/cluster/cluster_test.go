@@ -169,3 +169,66 @@ func TestConcurrentSendsAndCrash(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+func TestSendBatchFallsBackToPerDeliveryHandler(t *testing.T) {
+	c := New(Config{Machines: 1})
+	var got []string
+	c.SetHandler("machine-00", func(worker string, e event.Event) error {
+		got = append(got, worker+":"+e.Key)
+		return nil
+	})
+	accepted, rejects, err := c.SendBatch("machine-00", []Delivery{
+		{Worker: "f", Ev: event.Event{Key: "a"}},
+		{Worker: "g", Ev: event.Event{Key: "b"}},
+	})
+	if err != nil || accepted != 2 || len(rejects) != 0 {
+		t.Fatalf("SendBatch = %d, %v, %v", accepted, rejects, err)
+	}
+	if len(got) != 2 || got[0] != "f:a" || got[1] != "g:b" {
+		t.Fatalf("deliveries = %v", got)
+	}
+}
+
+func TestSendBatchUsesBatchHandlerAndReportsRejects(t *testing.T) {
+	c := New(Config{Machines: 1})
+	boom := errors.New("full")
+	c.SetBatchHandler("machine-00", func(ds []Delivery) []error {
+		errs := make([]error, len(ds))
+		errs[1] = boom
+		return errs
+	})
+	accepted, rejects, err := c.SendBatch("machine-00", []Delivery{
+		{Worker: "f", Ev: event.Event{Key: "a"}},
+		{Worker: "f", Ev: event.Event{Key: "b"}},
+		{Worker: "f", Ev: event.Event{Key: "c"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 2 || len(rejects) != 1 || rejects[0].Index != 1 || rejects[0].Err != boom {
+		t.Fatalf("accepted=%d rejects=%v", accepted, rejects)
+	}
+}
+
+func TestSendBatchToCrashedMachineFailsWhole(t *testing.T) {
+	c := New(Config{Machines: 1})
+	c.SetHandler("machine-00", func(string, event.Event) error { return nil })
+	c.Crash("machine-00")
+	_, _, err := c.SendBatch("machine-00", []Delivery{{Worker: "f"}})
+	if err != ErrMachineDown {
+		t.Fatalf("err = %v, want ErrMachineDown", err)
+	}
+}
+
+func TestSendBatchChargesOneHop(t *testing.T) {
+	c := New(Config{Machines: 1, SendLatency: time.Millisecond})
+	c.SetHandler("machine-00", func(string, event.Event) error { return nil })
+	ds := make([]Delivery, 64)
+	if _, _, err := c.SendBatch("machine-00", ds); err != nil {
+		t.Fatal(err)
+	}
+	sends, simTime := c.NetworkStats()
+	if sends != 1 || simTime != time.Millisecond {
+		t.Fatalf("sends=%d simTime=%v — batch should cost one hop", sends, simTime)
+	}
+}

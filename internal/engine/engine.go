@@ -1,12 +1,12 @@
 // Package engine holds infrastructure shared by the Muppet 1.0 and 2.0
 // execution engines: the envelope type carried on worker queues, the
 // quiescence tracker used to drain an application, lifetime statistics,
-// and the thread-safe sink that records events on declared output
-// streams.
+// the log of lost deliveries, and the egress sink (bounded output
+// rings, channel subscriptions, pluggable handlers) that records
+// events published on declared output streams.
 package engine
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +50,21 @@ func NewTracker() *Tracker {
 func (t *Tracker) Inc() {
 	t.mu.Lock()
 	t.count++
+	t.mu.Unlock()
+}
+
+// Add registers n in-flight events (n may be negative to retire a
+// batch's failures) under one lock acquisition; the batched ingress
+// path uses it instead of n Inc calls.
+func (t *Tracker) Add(n int) {
+	if n == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.count += int64(n)
+	if t.count <= 0 {
+		t.cond.Broadcast()
+	}
 	t.mu.Unlock()
 }
 
@@ -113,6 +128,10 @@ type Stats struct {
 	// updating the same slate concurrently. Muppet 1.0 guarantees 1;
 	// Muppet 2.0 allows at most 2 (Section 4.5).
 	MaxSlateContention int32
+	// OutputDropped counts output-stream events overwritten out of a
+	// capped output ring (Config.OutputCapacity) before anyone read
+	// them. Zero when the ring is unbounded.
+	OutputDropped uint64
 }
 
 // Counters is the live, atomic version of Stats that engines mutate.
@@ -169,51 +188,4 @@ func (c *Counters) Snapshot() Stats {
 		FailureReports:     c.FailureReports.Load(),
 		MaxSlateContention: c.MaxContention.Load(),
 	}
-}
-
-// Sink records events published on declared output streams.
-type Sink struct {
-	mu     sync.Mutex
-	events map[string][]event.Event
-}
-
-// NewSink returns an empty sink.
-func NewSink() *Sink {
-	return &Sink{events: make(map[string][]event.Event)}
-}
-
-// Record appends an event to its stream's output log.
-func (s *Sink) Record(e event.Event) {
-	s.mu.Lock()
-	s.events[e.Stream] = append(s.events[e.Stream], e)
-	s.mu.Unlock()
-}
-
-// Events returns the recorded events for a stream in arrival order.
-func (s *Sink) Events(stream string) []event.Event {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]event.Event, len(s.events[stream]))
-	copy(out, s.events[stream])
-	return out
-}
-
-// Count returns the number of recorded events for a stream.
-func (s *Sink) Count(stream string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.events[stream])
-}
-
-// Streams returns the streams with at least one recorded event,
-// sorted.
-func (s *Sink) Streams() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []string
-	for k := range s.events {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }

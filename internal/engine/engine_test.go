@@ -102,7 +102,7 @@ func TestObserveLatency(t *testing.T) {
 }
 
 func TestSinkRecordsPerStream(t *testing.T) {
-	s := NewSink()
+	s := NewSink(0)
 	s.Record(event.Event{Stream: "S4", Key: "a"})
 	s.Record(event.Event{Stream: "S4", Key: "b"})
 	s.Record(event.Event{Stream: "S5", Key: "c"})
@@ -120,7 +120,7 @@ func TestSinkRecordsPerStream(t *testing.T) {
 }
 
 func TestSinkEventsReturnsCopy(t *testing.T) {
-	s := NewSink()
+	s := NewSink(0)
 	s.Record(event.Event{Stream: "S", Key: "a"})
 	evs := s.Events("S")
 	evs[0].Key = "mutated"

@@ -23,6 +23,15 @@ const (
 	// LossNoRoute: no live worker owned the key (every candidate
 	// machine down).
 	LossNoRoute
+	// LossStopped: the event was offered to an engine that had already
+	// been stopped. Before the streaming-ingress redesign these drops
+	// were entirely silent.
+	LossStopped
+	// LossBatchPartial: the delivery was rejected out of a batched
+	// ingest (IngestBatch) whose remainder was accepted — the
+	// batch-partial failure case, kept distinct from per-event
+	// overflow so operators can attribute losses to the batched path.
+	LossBatchPartial
 )
 
 // String names the reason.
@@ -36,6 +45,10 @@ func (r LossReason) String() string {
 		return "crashed-queue"
 	case LossNoRoute:
 		return "no-route"
+	case LossStopped:
+		return "engine-stopped"
+	case LossBatchPartial:
+		return "batch-partial"
 	default:
 		return "unknown"
 	}
@@ -60,6 +73,7 @@ type LostLog struct {
 	buf   []LostEvent
 	head  int
 	count uint64
+	byWhy map[LossReason]uint64
 	cap   int
 }
 
@@ -69,7 +83,11 @@ func NewLostLog(capacity int) *LostLog {
 	if capacity <= 0 {
 		capacity = 10_000
 	}
-	return &LostLog{buf: make([]LostEvent, 0, capacity), cap: capacity}
+	return &LostLog{
+		buf:   make([]LostEvent, 0, capacity),
+		byWhy: make(map[LossReason]uint64),
+		cap:   capacity,
+	}
 }
 
 // Record logs one abandoned delivery.
@@ -77,6 +95,7 @@ func (l *LostLog) Record(fn string, ev event.Event, reason LossReason) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.count++
+	l.byWhy[reason]++
 	e := LostEvent{Func: fn, Ev: ev, Reason: reason}
 	if len(l.buf) < l.cap {
 		l.buf = append(l.buf, e)
@@ -109,6 +128,20 @@ func (l *LostLog) ByReason() map[string]int {
 	out := make(map[string]int)
 	for _, e := range l.Recent() {
 		out[e.Reason.String()]++
+	}
+	return out
+}
+
+// Totals reports every loss ever recorded per reason, including
+// entries that have rotated out of the buffer — the accounting the
+// streaming-ingress contract promises: no drop without a counted
+// reason.
+func (l *LostLog) Totals() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.byWhy))
+	for r, n := range l.byWhy {
+		out[r.String()] = n
 	}
 	return out
 }

@@ -1,0 +1,258 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"muppet/internal/event"
+)
+
+// OutputHandler consumes events published on a declared output stream
+// as they are recorded — the pluggable egress of the streaming API.
+// Handlers run synchronously on the recording goroutine (a worker
+// thread), so they must be fast and must not call back into the
+// engine; hand slow work to a Subscription instead, whose bounded
+// channel sheds load rather than stalling workers.
+//
+// With more than one worker thread, a handler may be invoked
+// CONCURRENTLY from multiple goroutines, and the invocation order
+// across threads is unspecified (the retained ring and Subscription
+// channels, which are ordered under the sink lock, are the ordered
+// views). Handlers must therefore be safe for concurrent use.
+type OutputHandler interface {
+	HandleOutput(ev event.Event)
+}
+
+// OutputHandlerFunc adapts a function literal to OutputHandler.
+type OutputHandlerFunc func(ev event.Event)
+
+// HandleOutput implements OutputHandler.
+func (f OutputHandlerFunc) HandleOutput(ev event.Event) { f(ev) }
+
+// Subscription is a live feed of one output stream. Events arrive on
+// C in publication order. The channel buffer is bounded: when the
+// subscriber falls behind, new events are dropped for that subscriber
+// (and counted via Dropped) rather than blocking the engine's worker
+// threads — the bounded-buffer egress contract.
+type Subscription struct {
+	sink    *Sink
+	stream  string
+	ch      chan event.Event
+	dropped atomic.Uint64
+	closed  bool // guarded by sink.mu
+}
+
+// C returns the subscription's event channel. It is closed when the
+// subscription is cancelled or the engine's sink shuts down.
+func (s *Subscription) C() <-chan event.Event { return s.ch }
+
+// Stream returns the subscribed stream name.
+func (s *Subscription) Stream() string { return s.stream }
+
+// Dropped reports how many events this subscriber missed because its
+// channel buffer was full.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Cancel detaches the subscription and closes its channel. It is
+// idempotent and safe to call concurrently with Record.
+func (s *Subscription) Cancel() {
+	s.sink.mu.Lock()
+	defer s.sink.mu.Unlock()
+	s.cancelLocked()
+}
+
+func (s *Subscription) cancelLocked() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	st := s.sink.streams[s.stream]
+	if st != nil {
+		for i, sub := range st.subs {
+			if sub == s {
+				st.subs = append(st.subs[:i], st.subs[i+1:]...)
+				break
+			}
+		}
+	}
+	close(s.ch)
+}
+
+// sinkStream is one output stream's egress state: a ring of retained
+// events for Output()/Events() polling, live subscriptions, and
+// attached handlers.
+type sinkStream struct {
+	ring     []event.Event
+	head     int // oldest element when the ring has wrapped
+	recorded uint64
+	subs     []*Subscription
+	handlers []OutputHandler
+}
+
+// Sink records events published on declared output streams and fans
+// them out to subscribers and handlers. Retention is a per-stream ring
+// bounded by the configured capacity (unbounded when capacity <= 0,
+// the pre-redesign behavior); overwritten events are counted, not
+// silently forgotten.
+type Sink struct {
+	mu       sync.Mutex
+	capacity int
+	streams  map[string]*sinkStream
+	dropped  uint64
+	closed   bool
+}
+
+// NewSink returns an empty sink retaining at most capacity events per
+// stream; capacity <= 0 retains everything.
+func NewSink(capacity int) *Sink {
+	return &Sink{capacity: capacity, streams: make(map[string]*sinkStream)}
+}
+
+func (s *Sink) stream(name string) *sinkStream {
+	st := s.streams[name]
+	if st == nil {
+		st = &sinkStream{}
+		s.streams[name] = st
+	}
+	return st
+}
+
+// Record appends an event to its stream's ring and delivers it to
+// every subscriber (non-blocking) and handler (synchronous).
+func (s *Sink) Record(e event.Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	st := s.stream(e.Stream)
+	st.recorded++
+	if s.capacity > 0 && len(st.ring) == s.capacity {
+		st.ring[st.head] = e
+		st.head = (st.head + 1) % s.capacity
+		s.dropped++
+	} else {
+		st.ring = append(st.ring, e)
+	}
+	for _, sub := range st.subs {
+		select {
+		case sub.ch <- e:
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+	// Handlers run outside the lock: they are user code and may take
+	// their time without serializing other streams' egress.
+	handlers := st.handlers
+	s.mu.Unlock()
+	for _, h := range handlers {
+		h.HandleOutput(e)
+	}
+}
+
+// Events returns the retained events for a stream in arrival order —
+// the newest Capacity events when the ring is bounded.
+func (s *Sink) Events(stream string) []event.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.streams[stream]
+	if st == nil {
+		return []event.Event{}
+	}
+	out := make([]event.Event, 0, len(st.ring))
+	out = append(out, st.ring[st.head:]...)
+	out = append(out, st.ring[:st.head]...)
+	return out
+}
+
+// Count returns the number of retained events for a stream.
+func (s *Sink) Count(stream string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.streams[stream]
+	if st == nil {
+		return 0
+	}
+	return len(st.ring)
+}
+
+// Recorded returns the lifetime number of events recorded on a stream,
+// including any that were overwritten out of a bounded ring.
+func (s *Sink) Recorded(stream string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.streams[stream]
+	if st == nil {
+		return 0
+	}
+	return st.recorded
+}
+
+// Streams returns the streams with at least one recorded event,
+// sorted.
+func (s *Sink) Streams() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k, st := range s.streams {
+		if st.recorded > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dropped reports how many events were overwritten out of bounded
+// rings across all streams.
+func (s *Sink) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Subscribe attaches a live feed to a stream. buf bounds the
+// subscriber's channel (default 256 when <= 0). Events recorded after
+// the call arrive on the subscription's channel in publication order;
+// a full buffer drops (and counts) rather than blocking the engine.
+func (s *Sink) Subscribe(stream string, buf int) *Subscription {
+	if buf <= 0 {
+		buf = 256
+	}
+	sub := &Subscription{sink: s, stream: stream, ch: make(chan event.Event, buf)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		sub.closed = true
+		close(sub.ch)
+		return sub
+	}
+	s.stream(stream).subs = append(s.stream(stream).subs, sub)
+	return sub
+}
+
+// Attach registers a synchronous handler for a stream's events.
+func (s *Sink) Attach(stream string, h OutputHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stream(stream)
+	st.handlers = append(st.handlers, h)
+}
+
+// Close cancels every subscription (closing their channels so range
+// loops terminate) and makes further Records no-ops. Engines call it
+// on Stop.
+func (s *Sink) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, st := range s.streams {
+		for _, sub := range append([]*Subscription(nil), st.subs...) {
+			sub.cancelLocked()
+		}
+	}
+}

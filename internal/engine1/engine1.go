@@ -20,6 +20,7 @@
 package engine1
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,7 @@ import (
 	"muppet/internal/engine"
 	"muppet/internal/event"
 	"muppet/internal/hashring"
+	"muppet/internal/ingress"
 	"muppet/internal/kvstore"
 	"muppet/internal/queue"
 	"muppet/internal/recovery"
@@ -77,6 +79,11 @@ type Config struct {
 	// FlushBatch bounds the records per group-commit multi-put when a
 	// worker flushes dirty slates (default 256).
 	FlushBatch int
+	// OutputCapacity bounds the events retained per declared output
+	// stream (a ring keeping the newest; overwrites are counted in
+	// Stats.OutputDropped). Zero or negative retains everything, the
+	// pre-redesign behavior.
+	OutputCapacity int
 	// Recovery tunes the shared failure-recovery subsystem (detector,
 	// WAL replay on failover, cache warm-up on rejoin). The zero value
 	// enables everything.
@@ -149,6 +156,7 @@ type Engine struct {
 	workerMachine map[string]string
 
 	rec      *recovery.Manager
+	ing      *ingress.Driver
 	counters *engine.Counters
 	tracker  *engine.Tracker
 	sink     *engine.Sink
@@ -174,7 +182,7 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		workerMachine: make(map[string]string),
 		counters:      engine.NewCounters(),
 		tracker:       engine.NewTracker(),
-		sink:          engine.NewSink(),
+		sink:          engine.NewSink(cfg.OutputCapacity),
 		lost:          engine.NewLostLog(0),
 		flushers:      make(chan struct{}),
 	}
@@ -216,6 +224,7 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 	}
 	for _, m := range machines {
 		e.clu.SetHandler(m, e.deliverLocal)
+		e.clu.SetBatchHandler(m, e.deliverLocalBatch)
 	}
 	// The recovery manager subscribes to the master's failure and
 	// rejoin broadcasts and owns the whole crash-to-healthy protocol
@@ -229,6 +238,16 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		Tracker:  e.tracker,
 		Store:    e.storeFor(),
 	}, cfg.Recovery)
+	e.ing = &ingress.Driver{
+		Ops:            ingressOps{e: e},
+		Counters:       e.counters,
+		Tracker:        e.tracker,
+		Lost:           e.lost,
+		Machines:       cfg.Machines,
+		Policy:         cfg.QueuePolicy,
+		OverflowStream: cfg.OverflowStream,
+		SourceThrottle: cfg.SourceThrottle,
+	}
 	e.start()
 	return e, nil
 }
@@ -393,6 +412,41 @@ func (e *Engine) deliverLocal(workerID string, ev event.Event) error {
 	return w.queue().Put(ev)
 }
 
+// deliverLocalBatch places a machine-addressed batch on the local
+// worker queues, one PutBatch — one lock acquisition — per worker. The
+// returned slice is parallel to ds; nil entries were accepted.
+func (e *Engine) deliverLocalBatch(ds []cluster.Delivery) []error {
+	byWorker := make(map[string][]int, 4)
+	for i := range ds {
+		byWorker[ds[i].Worker] = append(byWorker[ds[i].Worker], i)
+	}
+	var errs []error
+	for wid, idxs := range byWorker {
+		w := e.workers[wid]
+		var n int
+		var err error
+		if w == nil {
+			err = fmt.Errorf("engine1: unknown worker %s", wid)
+		} else {
+			evs := make([]event.Event, len(idxs))
+			for j, i := range idxs {
+				evs[j] = ds[i].Ev
+			}
+			n, err = w.queue().PutBatch(evs)
+		}
+		if err == nil {
+			continue
+		}
+		if errs == nil {
+			errs = make([]error, len(ds))
+		}
+		for _, i := range idxs[n:] {
+			errs[i] = err
+		}
+	}
+	return errs
+}
+
 // route fans an event out to every subscriber of its stream, recording
 // it first if the stream is a declared output.
 func (e *Engine) route(ev event.Event) {
@@ -408,6 +462,10 @@ func (e *Engine) route(ev event.Event) {
 // failure and overflow semantics of Section 4.3.
 func (e *Engine) deliver(fn string, ev event.Event, throttle bool) {
 	if e.stopped.Load() {
+		// Deliveries offered to a stopped engine used to vanish without
+		// a trace; the streaming-ingress contract is that every drop is
+		// logged with its reason.
+		e.lost.Record(fn, ev, engine.LossStopped)
 		return
 	}
 	for {
@@ -498,6 +556,93 @@ func (e *Engine) Ingest(ev event.Event) {
 	}
 }
 
+// IngestBatch feeds a batch of external input events into the
+// application through the shared ingress driver, amortizing the
+// per-event ingress costs per destination-machine group (one cluster
+// exchange, and one queue lock per worker, however many deliveries the
+// group carries). It returns the number of events whose every
+// subscriber delivery was accepted; when deliveries were dropped, the
+// error is a *ingress.BatchError tallying the losses by reason (each
+// also recorded in LostEvents). A batch containing a non-input stream
+// is rejected whole with *ingress.NotInputError before any side
+// effects.
+func (e *Engine) IngestBatch(evs []event.Event) (int, error) {
+	return e.ing.IngestBatch(evs)
+}
+
+// IngestCtx ingests one event, reporting backpressure and overflow
+// instead of silently dropping: while the destination queue is full
+// the call retries until the context is done, then fails with an error
+// wrapping ingress.ErrBackpressure.
+func (e *Engine) IngestCtx(ctx context.Context, ev event.Event) error {
+	return e.ing.IngestCtx(ctx, ev)
+}
+
+// ingressOps adapts the engine to the shared ingress driver. Muppet
+// 1.0 routes <function, key> on the function's own ring to a worker
+// ID, and groups by that worker's machine.
+type ingressOps struct {
+	e *Engine
+}
+
+func (o ingressOps) Stopped() bool                      { return o.e.stopped.Load() }
+func (o ingressOps) IsInput(stream string) bool         { return o.e.app.IsInput(stream) }
+func (o ingressOps) IsOutput(stream string) bool        { return o.e.app.IsOutput(stream) }
+func (o ingressOps) Subscribers(stream string) []string { return o.e.app.Subscribers(stream) }
+func (o ingressOps) NextSeq() uint64                    { return o.e.seq.Add(1) }
+func (o ingressOps) RecordOutput(ev event.Event)        { o.e.sink.Record(ev) }
+func (o ingressOps) FuncOf(worker string) string {
+	if w := o.e.workers[worker]; w != nil {
+		return w.fn.Name()
+	}
+	return worker
+}
+func (o ingressOps) Route(fn, key string) (string, string) {
+	ring := o.e.rings[fn]
+	if ring == nil {
+		return "", ""
+	}
+	wid := ring.Lookup(key)
+	if wid == "" {
+		return "", ""
+	}
+	return o.e.workerMachine[wid], wid
+}
+func (o ingressOps) SendBatch(machine string, ds []cluster.Delivery) (int, []cluster.BatchReject, error) {
+	return o.e.clu.SendBatch(machine, ds)
+}
+func (o ingressOps) Send(machine, worker string, ev event.Event) error {
+	return o.e.clu.Send(machine, worker, ev)
+}
+func (o ingressOps) ObserveSendFailure(machine string) {
+	o.e.rec.Detector().ObserveSendFailure(machine)
+}
+func (o ingressOps) Reroute(ev event.Event) { o.e.route(ev) }
+
+// Subscribe attaches a live feed to a declared output stream: events
+// arrive on the subscription's channel in publication order, and a
+// slow subscriber's full buffer drops (and counts) rather than
+// blocking workers. buf <= 0 selects the default buffer (256). Like
+// Ingest on a non-input stream, subscribing to a stream the
+// application does not declare as an output panics — the feed would
+// never fire.
+func (e *Engine) Subscribe(stream string, buf int) *engine.Subscription {
+	if !e.app.IsOutput(stream) {
+		panic(fmt.Sprintf("engine1: Subscribe on non-output stream %s", stream))
+	}
+	return e.sink.Subscribe(stream, buf)
+}
+
+// AttachOutput registers a synchronous handler for a declared output
+// stream's events — the pluggable egress sink. It panics if the
+// stream is not a declared output.
+func (e *Engine) AttachOutput(stream string, h engine.OutputHandler) {
+	if !e.app.IsOutput(stream) {
+		panic(fmt.Sprintf("engine1: AttachOutput on non-output stream %s", stream))
+	}
+	e.sink.Attach(stream, h)
+}
+
 // Drain blocks until every accepted event has been fully processed.
 func (e *Engine) Drain() { e.tracker.Wait() }
 
@@ -516,6 +661,9 @@ func (e *Engine) Stop() {
 	for _, w := range e.workers {
 		w.cache.FlushDirty()
 	}
+	// Close the egress sink last: subscriber channels close only after
+	// every in-flight event has been recorded.
+	e.sink.Close()
 }
 
 // CrashMachine simulates a machine failure with the stock §4.3
@@ -794,7 +942,11 @@ func (e *Engine) Output(stream string) []event.Event { return e.sink.Events(stre
 func (e *Engine) LostEvents() *engine.LostLog { return e.lost }
 
 // Stats snapshots the engine counters.
-func (e *Engine) Stats() engine.Stats { return e.counters.Snapshot() }
+func (e *Engine) Stats() engine.Stats {
+	s := e.counters.Snapshot()
+	s.OutputDropped = e.sink.Dropped()
+	return s
+}
 
 // Counters exposes the live counters (for latency percentiles).
 func (e *Engine) Counters() *engine.Counters { return e.counters }

@@ -1,0 +1,150 @@
+package engine1
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"muppet/internal/core"
+	"muppet/internal/event"
+	"muppet/internal/ingress"
+	"muppet/internal/queue"
+)
+
+func TestIngestBatchMatchesPerEventResults(t *testing.T) {
+	per, err := New(counterApp(), Config{Machines: 3, WorkersPerFunction: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer per.Stop()
+	bat, err := New(counterApp(), Config{Machines: 3, WorkersPerFunction: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bat.Stop()
+
+	retailers := []string{"walmart", "bestbuy", "target"}
+	var evs []event.Event
+	for i := 0; i < 300; i++ {
+		evs = append(evs, checkin(i+1, retailers[i%len(retailers)]))
+	}
+	for _, ev := range evs {
+		per.Ingest(ev)
+	}
+	for i := 0; i < len(evs); i += 64 {
+		end := i + 64
+		if end > len(evs) {
+			end = len(evs)
+		}
+		if n, err := bat.IngestBatch(evs[i:end]); err != nil || n != end-i {
+			t.Fatalf("batch: n=%d err=%v", n, err)
+		}
+	}
+	per.Drain()
+	bat.Drain()
+	for _, r := range retailers {
+		if p, b := string(per.Slate("U1", r)), string(bat.Slate("U1", r)); p != b {
+			t.Fatalf("%s: per-event=%q batched=%q", r, p, b)
+		}
+	}
+}
+
+func TestIngestBatchOverflowDropLandsInLostLog(t *testing.T) {
+	slow := core.UpdateFunc{FName: "U", Fn: func(emit core.Emitter, in event.Event, sl []byte) {
+		time.Sleep(200 * time.Microsecond)
+		n := 0
+		if sl != nil {
+			n, _ = strconv.Atoi(string(sl))
+		}
+		emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
+	}}
+	app := core.NewApp("slow").Input("S1").AddUpdate(slow, []string{"S1"}, nil, 0)
+	e, err := New(app, Config{
+		Machines: 1, WorkersPerFunction: 1,
+		QueueCapacity: 8, QueuePolicy: queue.Drop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+	evs := make([]event.Event, 400)
+	for i := range evs {
+		evs[i] = event.Event{Stream: "S1", TS: event.Timestamp(i + 1), Key: "hot"}
+	}
+	accepted, ierr := e.IngestBatch(evs)
+	e.Drain()
+	var be *ingress.BatchError
+	if !errors.As(ierr, &be) {
+		t.Fatalf("err = %v, want *BatchError (accepted=%d)", ierr, accepted)
+	}
+	if be.Reasons["batch-partial"] == 0 {
+		t.Fatalf("reasons = %v", be.Reasons)
+	}
+	if e.LostEvents().Totals()["batch-partial"] != uint64(be.Dropped) {
+		t.Fatalf("lost log totals = %v, want batch-partial=%d", e.LostEvents().Totals(), be.Dropped)
+	}
+}
+
+func TestIngestCtxBlocksUntilAcceptedOrExpired(t *testing.T) {
+	slow := core.UpdateFunc{FName: "U", Fn: func(emit core.Emitter, in event.Event, sl []byte) {
+		time.Sleep(200 * time.Microsecond)
+		n := 0
+		if sl != nil {
+			n, _ = strconv.Atoi(string(sl))
+		}
+		emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
+	}}
+	app := core.NewApp("slow").Input("S1").AddUpdate(slow, []string{"S1"}, nil, 0)
+	e, err := New(app, Config{
+		Machines: 1, WorkersPerFunction: 1,
+		QueueCapacity: 4, QueuePolicy: queue.Drop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	n := 100
+	for i := 0; i < n; i++ {
+		if err := e.IngestCtx(ctx, event.Event{Stream: "S1", TS: event.Timestamp(i + 1), Key: "hot"}); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+	}
+	e.Drain()
+	if got, _ := strconv.Atoi(string(e.Slate("U", "hot"))); got != n {
+		t.Fatalf("count = %d, want %d", got, n)
+	}
+}
+
+func TestSubscribeAndBoundedOutput(t *testing.T) {
+	m := core.MapFunc{FName: "M", Fn: func(emit core.Emitter, in event.Event) {
+		emit.Publish("S2", in.Key, nil)
+	}}
+	app := core.NewApp("out").Input("S1").Output("S2").AddMap(m, []string{"S1"}, []string{"S2"})
+	e, err := New(app, Config{Machines: 2, OutputCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := e.Subscribe("S2", 1024)
+	n := 60
+	for i := 0; i < n; i++ {
+		e.Ingest(event.Event{Stream: "S1", TS: event.Timestamp(i + 1), Key: "k"})
+	}
+	e.Stop()
+	live := 0
+	for range sub.C() {
+		live++
+	}
+	if live != n {
+		t.Fatalf("subscription saw %d, want %d", live, n)
+	}
+	if got := len(e.Output("S2")); got != 8 {
+		t.Fatalf("bounded Output retains %d, want 8", got)
+	}
+	if st := e.Stats(); st.OutputDropped != uint64(n-8) {
+		t.Fatalf("OutputDropped = %d, want %d", st.OutputDropped, n-8)
+	}
+}

@@ -18,6 +18,7 @@
 package engine2
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 	"muppet/internal/engine"
 	"muppet/internal/event"
 	"muppet/internal/hashring"
+	"muppet/internal/ingress"
 	"muppet/internal/kvstore"
 	"muppet/internal/queue"
 	"muppet/internal/recovery"
@@ -84,6 +86,11 @@ type Config struct {
 	// FlushBatch bounds the records per group-commit multi-put when
 	// the background flusher drains dirty slates (default 256).
 	FlushBatch int
+	// OutputCapacity bounds the events retained per declared output
+	// stream (a ring keeping the newest; overwrites are counted in
+	// Stats.OutputDropped). Zero or negative retains everything, the
+	// pre-redesign behavior.
+	OutputCapacity int
 	// Recovery tunes the shared failure-recovery subsystem (detector,
 	// WAL replay on failover, cache warm-up on rejoin). The zero value
 	// enables everything.
@@ -155,6 +162,47 @@ type machine struct {
 
 	// log is the replay log, nil unless Config.ReplayLog is set.
 	log *wal.Log
+
+	// scratchPool recycles batch-dispatch scratch space so a steady
+	// batched-ingest loop allocates nothing per batch.
+	scratchPool sync.Pool
+}
+
+// dispatchScratch is one batch dispatch's working memory: thread
+// targets per delivery, per-thread counts and cached queue depths, and
+// per-thread envelope staging buffers.
+type dispatchScratch struct {
+	targets []int32
+	counts  []int
+	lens    []int
+	envs    [][]engine.Envelope
+	idxs    [][]int
+}
+
+func (m *machine) scratch() *dispatchScratch {
+	sc, _ := m.scratchPool.Get().(*dispatchScratch)
+	if sc == nil {
+		sc = &dispatchScratch{
+			counts: make([]int, len(m.threads)),
+			lens:   make([]int, len(m.threads)),
+			envs:   make([][]engine.Envelope, len(m.threads)),
+			idxs:   make([][]int, len(m.threads)),
+		}
+	}
+	for i := range sc.counts {
+		sc.counts[i] = 0
+		sc.lens[i] = -1
+	}
+	return sc
+}
+
+func (m *machine) release(sc *dispatchScratch) {
+	sc.targets = sc.targets[:0]
+	for i := range sc.envs {
+		sc.envs[i] = sc.envs[i][:0]
+		sc.idxs[i] = sc.idxs[i][:0]
+	}
+	m.scratchPool.Put(sc)
 }
 
 func (m *machine) markRunning(k fk, idx int, delta int) {
@@ -181,6 +229,7 @@ type Engine struct {
 	ring     *hashring.Ring // machines
 	machines map[string]*machine
 	rec      *recovery.Manager
+	ing      *ingress.Driver
 
 	counters *engine.Counters
 	tracker  *engine.Tracker
@@ -205,7 +254,7 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		machines: make(map[string]*machine),
 		counters: engine.NewCounters(),
 		tracker:  engine.NewTracker(),
-		sink:     engine.NewSink(),
+		sink:     engine.NewSink(cfg.OutputCapacity),
 		lost:     engine.NewLostLog(0),
 		done:     make(chan struct{}),
 	}
@@ -249,6 +298,9 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		e.clu.SetHandler(name, func(worker string, ev event.Event) error {
 			return e.dispatchLocal(e.machines[name], worker, ev)
 		})
+		e.clu.SetBatchHandler(name, func(ds []cluster.Delivery) []error {
+			return e.dispatchLocalBatch(e.machines[name], ds)
+		})
 	}
 	// The recovery manager subscribes to the master's failure and
 	// rejoin broadcasts and owns the whole crash-to-healthy protocol;
@@ -262,6 +314,16 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		Store:     e.slateStore(),
 		Redeliver: cfg.ReplayLog,
 	}, cfg.Recovery)
+	e.ing = &ingress.Driver{
+		Ops:            ingressOps{e: e},
+		Counters:       e.counters,
+		Tracker:        e.tracker,
+		Lost:           e.lost,
+		Machines:       len(e.machines),
+		Policy:         cfg.QueuePolicy,
+		OverflowStream: cfg.OverflowStream,
+		SourceThrottle: cfg.SourceThrottle,
+	}
 	e.start()
 	return e, nil
 }
@@ -304,34 +366,45 @@ func (e *Engine) flusherLoop(m *machine) {
 	}
 }
 
-// dispatchLocal implements the 2.0 queue-selection rule on the
-// receiving machine. The worker argument carries the destination
+// selectThread implements the 2.0 queue-selection rule: follow the
+// thread already processing this (function, key) if any, otherwise the
+// primary unless it is heavily loaded and the secondary is free to
+// take the spill. lenOf reports a thread queue's depth; the per-event
+// path reads the live queue, the batch path substitutes a cached view
+// so a batch pays the queue-length locks once, not per delivery.
+func (e *Engine) selectThread(m *machine, k fk, lenOf func(int) int) int {
+	p, s := e.candidates(m, k)
+	if e.cfg.DisableDualQueue || s == p {
+		return p
+	}
+	m.runningMu.Lock()
+	holders := m.running[k]
+	_, onP := holders[p]
+	_, onS := holders[s]
+	m.runningMu.Unlock()
+	switch {
+	case onP:
+		// The primary thread is processing this key right now:
+		// follow it.
+		return p
+	case onS:
+		// The secondary thread is processing this key: follow it.
+		return s
+	case spill(lenOf(p), lenOf(s), e.cfg.SecondarySpillFactor):
+		// Neither thread is on this key and the primary is heavily
+		// loaded by other events: balance onto the secondary.
+		return s
+	}
+	return p
+}
+
+// dispatchLocal places one delivery on the selected thread queue on
+// the receiving machine. The worker argument carries the destination
 // function name.
 func (e *Engine) dispatchLocal(m *machine, function string, ev event.Event) error {
-	k := fk{fn: function, key: ev.Key}
-	p, s := e.candidates(m, k)
-
-	target := p
-	if !e.cfg.DisableDualQueue && s != p {
-		m.runningMu.Lock()
-		holders := m.running[k]
-		_, onP := holders[p]
-		_, onS := holders[s]
-		m.runningMu.Unlock()
-		switch {
-		case onP:
-			// The primary thread is processing this key right now:
-			// follow it.
-			target = p
-		case onS:
-			// The secondary thread is processing this key: follow it.
-			target = s
-		case spill(m.threads[p].queue().Len(), m.threads[s].queue().Len(), e.cfg.SecondarySpillFactor):
-			// Neither thread is on this key and the primary is heavily
-			// loaded by other events: balance onto the secondary.
-			target = s
-		}
-	}
+	target := e.selectThread(m, fk{fn: function, key: ev.Key}, func(i int) int {
+		return m.threads[i].queue().Len()
+	})
 	env := engine.Envelope{Func: function, Ev: ev}
 	if m.log != nil {
 		// Log before enqueueing so the consumer can acknowledge as
@@ -347,6 +420,72 @@ func (e *Engine) dispatchLocal(m *machine, function string, ev event.Event) erro
 	return err
 }
 
+// dispatchLocalBatch places a whole machine-addressed batch on the
+// local thread queues: queue selection runs per delivery (the dual-
+// queue rule is per key) against a once-per-batch snapshot of queue
+// depths, and the enqueue itself is one PutBatch — one lock
+// acquisition — per target thread. The returned slice is parallel to
+// ds; nil entries were accepted.
+func (e *Engine) dispatchLocalBatch(m *machine, ds []cluster.Delivery) []error {
+	sc := m.scratch()
+	defer m.release(sc)
+	// Queue depths are sampled lazily once and advanced as the batch
+	// assigns, instead of taking two queue locks per delivery; the
+	// spill heuristic only needs a consistent relative view.
+	lenOf := func(i int) int {
+		if sc.lens[i] < 0 {
+			sc.lens[i] = m.threads[i].queue().Len()
+		}
+		return sc.lens[i]
+	}
+	// Pass 1: select a thread per delivery; count per-thread loads so
+	// pass 2 can fill exact-size envelope batches (no append-growth
+	// copies of the envelope structs).
+	for i := range ds {
+		t := e.selectThread(m, fk{fn: ds[i].Worker, key: ds[i].Ev.Key}, lenOf)
+		sc.targets = append(sc.targets, int32(t))
+		sc.counts[t]++
+		sc.lens[t]++
+	}
+	for t, n := range sc.counts {
+		if n > 0 && cap(sc.envs[t]) < n {
+			sc.envs[t] = make([]engine.Envelope, 0, n)
+			sc.idxs[t] = make([]int, 0, n)
+		}
+	}
+	for i := range ds {
+		t := sc.targets[i]
+		env := engine.Envelope{Func: ds[i].Worker, Ev: ds[i].Ev}
+		if m.log != nil {
+			env.WalSeq = m.log.Append(env)
+		}
+		sc.envs[t] = append(sc.envs[t], env)
+		sc.idxs[t] = append(sc.idxs[t], i)
+	}
+	var errs []error
+	for t, envs := range sc.envs {
+		if len(envs) == 0 {
+			continue
+		}
+		accepted, err := m.threads[t].queue().PutBatch(envs)
+		if err == nil {
+			continue
+		}
+		if errs == nil {
+			errs = make([]error, len(ds))
+		}
+		for _, i := range sc.idxs[t][accepted:] {
+			errs[i] = err
+		}
+		if m.log != nil {
+			for _, env := range envs[accepted:] {
+				m.log.Ack(env.WalSeq)
+			}
+		}
+	}
+	return errs
+}
+
 // spill reports whether the primary queue is so much longer than the
 // secondary that the event should be placed on the secondary.
 func spill(primaryLen, secondaryLen, factor int) bool {
@@ -354,35 +493,23 @@ func spill(primaryLen, secondaryLen, factor int) bool {
 }
 
 // candidates returns the primary and secondary thread indexes for a
-// (function, key) pair, using two independent hashes.
+// (function, key) pair, using two independent hashes. The pair is
+// hashed without concatenating it (hashring.HashPair): this runs once
+// per delivery on the dispatch hot path, and the concatenation's
+// allocation was pure overhead.
 func (e *Engine) candidates(m *machine, k fk) (int, int) {
 	n := len(m.threads)
 	if n == 1 {
 		return 0, 0
 	}
-	h1 := hashString(k.fn + "\x00" + k.key)
-	h2 := hashString(k.key + "\x01" + k.fn)
+	h1 := hashring.HashPair(k.fn, 0x00, k.key)
+	h2 := hashring.HashPair(k.key, 0x01, k.fn)
 	p := int(h1 % uint64(n))
 	s := int(h2 % uint64(n))
 	if s == p {
 		s = (p + 1) % n
 	}
 	return p, s
-}
-
-func hashString(s string) uint64 {
-	// FNV-1a with a splitmix64 finalizer.
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	h ^= h >> 31
-	return h
 }
 
 // threadLoop is one worker thread: take the next event from the
@@ -540,6 +667,10 @@ func (e *Engine) route(ev event.Event) {
 // the overflow and failure semantics.
 func (e *Engine) deliver(fn string, ev event.Event, throttle bool) {
 	if e.stopped.Load() {
+		// Deliveries offered to a stopped engine used to vanish without
+		// a trace; the streaming-ingress contract is that every drop is
+		// logged with its reason.
+		e.lost.Record(fn, ev, engine.LossStopped)
 		return
 	}
 	for {
@@ -625,6 +756,79 @@ func (e *Engine) Ingest(ev event.Event) {
 	}
 }
 
+// IngestBatch feeds a batch of external input events into the
+// application through the shared ingress driver, amortizing the
+// per-event ingress costs (fan-out resolution, cluster sends, queue
+// locks) per destination-machine group. It returns the number of
+// events whose every subscriber delivery was accepted; when deliveries
+// were dropped, the error is a *ingress.BatchError tallying the losses
+// by reason (each also recorded in LostEvents). A batch containing a
+// non-input stream is rejected whole with *ingress.NotInputError
+// before any side effects.
+func (e *Engine) IngestBatch(evs []event.Event) (int, error) {
+	return e.ing.IngestBatch(evs)
+}
+
+// IngestCtx ingests one event, reporting backpressure and overflow
+// instead of silently dropping: while the destination queue is full
+// the call retries until the context is done, then fails with an error
+// wrapping ingress.ErrBackpressure.
+func (e *Engine) IngestCtx(ctx context.Context, ev event.Event) error {
+	return e.ing.IngestCtx(ctx, ev)
+}
+
+// ingressOps adapts the engine to the shared ingress driver: one ring
+// routes <function, key> to a machine, and the worker address on that
+// machine is the function name itself.
+type ingressOps struct {
+	e *Engine
+}
+
+func (o ingressOps) Stopped() bool                      { return o.e.stopped.Load() }
+func (o ingressOps) IsInput(stream string) bool         { return o.e.app.IsInput(stream) }
+func (o ingressOps) IsOutput(stream string) bool        { return o.e.app.IsOutput(stream) }
+func (o ingressOps) Subscribers(stream string) []string { return o.e.app.Subscribers(stream) }
+func (o ingressOps) NextSeq() uint64                    { return o.e.seq.Add(1) }
+func (o ingressOps) RecordOutput(ev event.Event)        { o.e.sink.Record(ev) }
+func (o ingressOps) FuncOf(worker string) string        { return worker }
+func (o ingressOps) Route(fn, key string) (string, string) {
+	return o.e.ring.LookupRoute(fn, key), fn
+}
+func (o ingressOps) SendBatch(machine string, ds []cluster.Delivery) (int, []cluster.BatchReject, error) {
+	return o.e.clu.SendBatch(machine, ds)
+}
+func (o ingressOps) Send(machine, worker string, ev event.Event) error {
+	return o.e.clu.Send(machine, worker, ev)
+}
+func (o ingressOps) ObserveSendFailure(machine string) {
+	o.e.rec.Detector().ObserveSendFailure(machine)
+}
+func (o ingressOps) Reroute(ev event.Event) { o.e.route(ev) }
+
+// Subscribe attaches a live feed to a declared output stream: events
+// arrive on the subscription's channel in publication order, and a
+// slow subscriber's full buffer drops (and counts) rather than
+// blocking worker threads. buf <= 0 selects the default buffer (256).
+// Like Ingest on a non-input stream, subscribing to a stream the
+// application does not declare as an output panics — the feed would
+// never fire.
+func (e *Engine) Subscribe(stream string, buf int) *engine.Subscription {
+	if !e.app.IsOutput(stream) {
+		panic(fmt.Sprintf("engine2: Subscribe on non-output stream %s", stream))
+	}
+	return e.sink.Subscribe(stream, buf)
+}
+
+// AttachOutput registers a synchronous handler for a declared output
+// stream's events — the pluggable egress sink. It panics if the
+// stream is not a declared output.
+func (e *Engine) AttachOutput(stream string, h engine.OutputHandler) {
+	if !e.app.IsOutput(stream) {
+		panic(fmt.Sprintf("engine2: AttachOutput on non-output stream %s", stream))
+	}
+	e.sink.Attach(stream, h)
+}
+
 // Drain blocks until every accepted event has been fully processed.
 func (e *Engine) Drain() { e.tracker.Wait() }
 
@@ -645,6 +849,9 @@ func (e *Engine) Stop() {
 	for _, m := range e.machines {
 		m.cache.FlushDirty()
 	}
+	// Close the egress sink last: subscriber channels close only after
+	// every in-flight event has been recorded.
+	e.sink.Close()
 }
 
 // CrashMachine simulates a machine failure with the stock §4.3
@@ -913,7 +1120,11 @@ func (e *Engine) Output(stream string) []event.Event { return e.sink.Events(stre
 func (e *Engine) LostEvents() *engine.LostLog { return e.lost }
 
 // Stats snapshots the engine counters.
-func (e *Engine) Stats() engine.Stats { return e.counters.Snapshot() }
+func (e *Engine) Stats() engine.Stats {
+	s := e.counters.Snapshot()
+	s.OutputDropped = e.sink.Dropped()
+	return s
+}
 
 // Counters exposes the live counters.
 func (e *Engine) Counters() *engine.Counters { return e.counters }

@@ -12,7 +12,6 @@ package hashring
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 )
@@ -55,9 +54,33 @@ func New(nodes []string, vnodes int) *Ring {
 }
 
 func hash64(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return mix(h.Sum64())
+	var h uint64 = fnvOffset64
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return mix(h)
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashPair hashes a routing pair exactly as hash64(a + string(sep) + b)
+// would, without materializing the concatenation — the per-delivery
+// allocation this saves is pure overhead on the ingress hot path. It
+// is exported because engine2's dual-queue dispatch hashes (function,
+// key) pairs the same way; the two call sites must not drift.
+func HashPair(a string, sep byte, b string) uint64 {
+	var h uint64 = fnvOffset64
+	for i := 0; i < len(a); i++ {
+		h = (h ^ uint64(a[i])) * fnvPrime64
+	}
+	h = (h ^ uint64(sep)) * fnvPrime64
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint64(b[i])) * fnvPrime64
+	}
+	return mix(h)
 }
 
 // mix is a splitmix64 finalizer. FNV alone leaves similar inputs (such
@@ -126,11 +149,14 @@ func (r *Ring) Lookup(key string) string {
 }
 
 func (r *Ring) lookupLocked(key string) string {
+	return r.lookupHashLocked(hash64(key))
+}
+
+func (r *Ring) lookupHashLocked(h uint64) string {
 	n := len(r.points)
 	if n == 0 {
 		return ""
 	}
-	h := hash64(key)
 	i := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
 	for probes := 0; probes < n; probes++ {
 		p := r.points[(i+probes)%n]
@@ -144,9 +170,13 @@ func (r *Ring) lookupLocked(key string) string {
 // LookupRoute returns the node for an event key destined for a named
 // function. The paper routes on the pair <event key, destination
 // map/update function>, so distinct functions spread the same key space
-// differently.
+// differently. It hashes the pair without concatenating it — this is
+// the per-delivery routing step of the ingress hot path.
 func (r *Ring) LookupRoute(function, key string) string {
-	return r.Lookup(function + "\x00" + key)
+	h := HashPair(function, 0x00, key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.lookupHashLocked(h)
 }
 
 // LookupN returns the first n distinct live nodes clockwise from the

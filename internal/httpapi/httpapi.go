@@ -1,8 +1,9 @@
-// Package httpapi implements Muppet's slate-read HTTP service
-// (Section 4.4 of the paper): a small HTTP server through which
-// higher-level applications fetch live slates by updater name and
-// key, plus the basic status endpoint of Section 4.5 (largest queue
-// depths).
+// Package httpapi implements Muppet's HTTP service: the slate-read
+// API of Section 4.4 of the paper (fetch live slates by updater name
+// and key), the basic status endpoint of Section 4.5 (largest queue
+// depths), and the streaming ingress endpoint POST /ingest, which
+// accepts JSON event batches and feeds them through the engines'
+// batched ingestion path.
 //
 // The URI of a slate fetch includes the name of the updater and the
 // key of the slate: GET /slate/{updater}/{key}. The fetch is served
@@ -13,9 +14,12 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strings"
 
+	"muppet/internal/event"
+	"muppet/internal/ingress"
 	"muppet/internal/recovery"
 )
 
@@ -44,6 +48,39 @@ type BulkReader interface {
 	StoredSlates(updater string) map[string][]byte
 }
 
+// Ingester is implemented by engines exposing the batched ingestion
+// path; when available, POST /ingest accepts a JSON array of events
+// and returns the batch accounting.
+type Ingester interface {
+	IngestBatch(evs []event.Event) (accepted int, err error)
+}
+
+// IngestEvent is the JSON shape of one event posted to /ingest.
+type IngestEvent struct {
+	// Stream is the destination input stream (required).
+	Stream string `json:"stream"`
+	// TS is the event's global timestamp.
+	TS int64 `json:"ts,omitempty"`
+	// Key is the grouping key.
+	Key string `json:"key"`
+	// Value is the event payload as a UTF-8 string.
+	Value string `json:"value,omitempty"`
+}
+
+// IngestReply is the JSON response of POST /ingest.
+type IngestReply struct {
+	// Events is the number of events in the posted batch.
+	Events int `json:"events"`
+	// Accepted is the number fully accepted by the engine.
+	Accepted int `json:"accepted"`
+	// Dropped is the number of dropped deliveries, when any.
+	Dropped int `json:"dropped,omitempty"`
+	// Reasons tallies dropped deliveries by loss reason.
+	Reasons map[string]int `json:"reasons,omitempty"`
+	// Error carries a non-partial ingestion failure.
+	Error string `json:"error,omitempty"`
+}
+
 // RecoveryReporter is implemented by engines running the unified
 // recovery subsystem; when available, GET /recovery serves its status
 // (ring membership, failover and rejoin counts, WAL replay totals, and
@@ -52,13 +89,65 @@ type RecoveryReporter interface {
 	RecoveryStatus() recovery.Status
 }
 
-// Handler returns the HTTP handler serving slate fetches and status.
+// Handler returns the HTTP handler serving slate fetches, status, and
+// batched ingestion.
 //
-//	GET /slate/{updater}/{key} -> 200 slate bytes | 404
-//	GET /status                -> 200 JSON {queues, updaters}
-//	GET /recovery              -> 200 JSON recovery.Status | 501
+//	GET  /slate/{updater}/{key} -> 200 slate bytes | 404
+//	GET  /status                -> 200 JSON {queues, updaters}
+//	GET  /recovery              -> 200 JSON recovery.Status | 501
+//	POST /ingest                -> 200 JSON IngestReply | 400 | 501
 func Handler(r SlateReader) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, req *http.Request) {
+		ing, ok := r.(Ingester)
+		if !ok {
+			http.Error(w, "batched ingestion not supported", http.StatusNotImplemented)
+			return
+		}
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST a JSON array of events", http.StatusMethodNotAllowed)
+			return
+		}
+		var in []IngestEvent
+		if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
+			http.Error(w, "bad event batch: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		evs := make([]event.Event, len(in))
+		for i, e := range in {
+			evs[i] = event.Event{
+				Stream: e.Stream,
+				TS:     event.Timestamp(e.TS),
+				Key:    e.Key,
+			}
+			if e.Value != "" {
+				evs[i].Value = []byte(e.Value)
+			}
+		}
+		accepted, err := ing.IngestBatch(evs)
+		reply := IngestReply{Events: len(evs), Accepted: accepted}
+		status := http.StatusOK
+		var be *ingress.BatchError
+		switch {
+		case err == nil:
+		case errors.As(err, &be):
+			// Partial acceptance is a successful exchange; the body
+			// carries the loss accounting.
+			reply.Dropped = be.Dropped
+			reply.Reasons = be.Reasons
+		default:
+			reply.Error = err.Error()
+			status = http.StatusBadRequest
+			var nie *ingress.NotInputError
+			if !errors.As(err, &nie) {
+				// Stopped engine or other non-caller fault.
+				status = http.StatusServiceUnavailable
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(reply)
+	})
 	mux.HandleFunc("/slate/", func(w http.ResponseWriter, req *http.Request) {
 		rest := strings.TrimPrefix(req.URL.Path, "/slate/")
 		parts := strings.SplitN(rest, "/", 2)

@@ -5,8 +5,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
+	"muppet/internal/event"
+	"muppet/internal/ingress"
 	"muppet/internal/recovery"
 )
 
@@ -160,5 +163,159 @@ func TestRecoveryStatusNotSupported(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotImplemented {
 		t.Fatalf("status = %d, want 501", resp.StatusCode)
+	}
+}
+
+// ingestingEngine extends fakeEngine with the batched-ingress surface.
+type ingestingEngine struct {
+	fakeEngine
+	got  []event.Event
+	fail error
+}
+
+func (f *ingestingEngine) IngestBatch(evs []event.Event) (int, error) {
+	f.got = append(f.got, evs...)
+	if f.fail != nil {
+		return 0, f.fail
+	}
+	return len(evs), nil
+}
+
+func TestIngestNotSupportedWithoutIngester(t *testing.T) {
+	srv, _ := newServer()
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/ingest", "application/json", strings.NewReader(`[]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestIngestRoundTrip(t *testing.T) {
+	f := &ingestingEngine{}
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+	body := `[{"stream":"S1","ts":5,"key":"a","value":"checkin:Walmart"},{"stream":"S1","ts":6,"key":"b"}]`
+	resp, err := http.Post(srv.URL+"/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var reply IngestReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Events != 2 || reply.Accepted != 2 || reply.Dropped != 0 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	if len(f.got) != 2 {
+		t.Fatalf("engine saw %d events", len(f.got))
+	}
+	if f.got[0].Stream != "S1" || f.got[0].TS != 5 || f.got[0].Key != "a" || string(f.got[0].Value) != "checkin:Walmart" {
+		t.Fatalf("event decoded wrong: %+v", f.got[0])
+	}
+	if f.got[1].Value != nil {
+		t.Fatalf("empty value should decode to nil, got %q", f.got[1].Value)
+	}
+}
+
+func TestIngestPartialBatchReportsReasons(t *testing.T) {
+	f := &ingestingEngine{}
+	srv := httptest.NewServer(Handler(&partialEngine{inner: f}))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/ingest", "application/json",
+		strings.NewReader(`[{"stream":"S1","key":"a"},{"stream":"S1","key":"b"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial acceptance should be 200, got %d", resp.StatusCode)
+	}
+	var reply IngestReply
+	json.NewDecoder(resp.Body).Decode(&reply)
+	if reply.Accepted != 1 || reply.Dropped != 1 || reply.Reasons["batch-partial"] != 1 {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+// partialEngine accepts all but one delivery of every batch.
+type partialEngine struct{ inner *ingestingEngine }
+
+func (p *partialEngine) Slate(updater, key string) []byte { return p.inner.Slate(updater, key) }
+func (p *partialEngine) LargestQueues() map[string]int    { return p.inner.LargestQueues() }
+func (p *partialEngine) IngestBatch(evs []event.Event) (int, error) {
+	return len(evs) - 1, &ingress.BatchError{
+		Events: len(evs), Accepted: len(evs) - 1, Dropped: 1,
+		Reasons: map[string]int{"batch-partial": 1},
+	}
+}
+
+func TestIngestBadJSON(t *testing.T) {
+	f := &ingestingEngine{}
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/ingest", "application/json", strings.NewReader(`{not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestIngestNotInputStream(t *testing.T) {
+	f := &ingestingEngine{fail: &ingress.NotInputError{Stream: "S9"}}
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/ingest", "application/json",
+		strings.NewReader(`[{"stream":"S9","key":"a"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var reply IngestReply
+	json.NewDecoder(resp.Body).Decode(&reply)
+	if reply.Error == "" {
+		t.Fatal("error missing from reply")
+	}
+}
+
+func TestIngestStoppedEngineIs503(t *testing.T) {
+	f := &ingestingEngine{fail: ingress.ErrStopped}
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/ingest", "application/json",
+		strings.NewReader(`[{"stream":"S1","key":"a"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestIngestRejectsGet(t *testing.T) {
+	f := &ingestingEngine{}
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
 	}
 }

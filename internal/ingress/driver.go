@@ -1,0 +1,245 @@
+package ingress
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"muppet/internal/cluster"
+	"muppet/internal/engine"
+	"muppet/internal/event"
+	"muppet/internal/queue"
+)
+
+// EngineOps is the engine-specific surface the shared batched-ingress
+// driver runs against. Muppet 2.0 routes <function, key> on one ring
+// to a machine (the worker address is the function name); Muppet 1.0
+// routes on per-function rings to a worker ID on a machine. Everything
+// else about ingestion — validation, stamping, fan-out, grouping,
+// send accounting, overflow disposition — is identical, and lives in
+// Driver so the two engines cannot drift.
+type EngineOps interface {
+	// Stopped reports whether the engine has been stopped.
+	Stopped() bool
+	// IsInput reports whether a stream is a declared external input.
+	IsInput(stream string) bool
+	// IsOutput reports whether a stream is a declared output.
+	IsOutput(stream string) bool
+	// Subscribers lists the functions subscribed to a stream.
+	Subscribers(stream string) []string
+	// NextSeq issues the next event sequence number.
+	NextSeq() uint64
+	// RecordOutput records an event on the egress sink.
+	RecordOutput(ev event.Event)
+	// Route resolves the owner of <fn, key>: the destination machine
+	// and the worker addressed on it. An empty machine means no live
+	// owner.
+	Route(fn, key string) (machine, worker string)
+	// FuncOf maps a worker address back to its function name for loss
+	// accounting.
+	FuncOf(worker string) string
+	// SendBatch delivers a machine-addressed batch.
+	SendBatch(machine string, ds []cluster.Delivery) (accepted int, rejects []cluster.BatchReject, err error)
+	// Send delivers one event to a worker on a machine.
+	Send(machine, worker string, ev event.Event) error
+	// ObserveSendFailure reports a failed send to the failure detector.
+	ObserveSendFailure(machine string)
+	// Reroute fans an event out to its stream's subscribers (the
+	// engine's internal routing); the driver uses it for diverted
+	// overflow.
+	Reroute(ev event.Event)
+}
+
+// Driver is the shared batched-ingress front door: both engines'
+// IngestBatch and IngestCtx delegate here.
+type Driver struct {
+	Ops      EngineOps
+	Counters *engine.Counters
+	Tracker  *engine.Tracker
+	Lost     *engine.LostLog
+	// Machines sizes the delivery plan's per-machine groups.
+	Machines int
+	// Policy and OverflowStream are the engine's queue-overflow
+	// disposition for rejected deliveries.
+	Policy         queue.OverflowPolicy
+	OverflowStream string
+	// SourceThrottle makes IngestBatch wait-and-retry on overflow
+	// instead of dropping, the paper's source throttling.
+	SourceThrottle bool
+}
+
+// IngestBatch feeds a batch of external input events into the engine,
+// grouping the deliveries per destination machine so the cluster send,
+// the in-flight tracking, and the destination queue locks are paid per
+// batch rather than per event. It returns the number of events whose
+// every subscriber delivery was accepted; dropped deliveries are
+// reported via a *BatchError tallied by reason (each also recorded in
+// the lost log). A batch containing a non-input stream is rejected
+// whole with *NotInputError before any side effects.
+func (d *Driver) IngestBatch(evs []event.Event) (int, error) {
+	return d.ingest(evs, nil)
+}
+
+// IngestCtx ingests one event, reporting backpressure and overflow
+// instead of silently dropping: while the destination queue is full
+// the call retries until the context is done, then fails with an error
+// wrapping ErrBackpressure. Failures that are not queue pressure — a
+// dead destination machine, a non-input stream, a stopped engine —
+// surface as themselves even when the context has expired.
+func (d *Driver) IngestCtx(ctx context.Context, ev event.Event) error {
+	one := [1]event.Event{ev}
+	_, err := d.ingest(one[:], func() bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+		return true
+	})
+	var be *BatchError
+	if err != nil && ctx.Err() != nil && errors.As(err, &be) && be.Reasons[engine.LossBatchPartial.String()] > 0 {
+		return fmt.Errorf("%w: %w", ErrBackpressure, ctx.Err())
+	}
+	return err
+}
+
+// ingest is the batched-ingress path. wait, when non-nil, is consulted
+// before retrying a delivery rejected for queue overflow; returning
+// false abandons the retry and the delivery is dropped and logged.
+func (d *Driver) ingest(evs []event.Event, wait func() bool) (int, error) {
+	if len(evs) == 0 {
+		return 0, nil
+	}
+	if wait == nil && d.SourceThrottle {
+		wait = func() bool {
+			time.Sleep(200 * time.Microsecond)
+			return true
+		}
+	}
+	if d.Ops.Stopped() {
+		for i := range evs {
+			d.Lost.Record("", evs[i], engine.LossStopped)
+		}
+		return 0, ErrStopped
+	}
+	for i := range evs {
+		if !d.Ops.IsInput(evs[i].Stream) {
+			return 0, &NotInputError{Stream: evs[i].Stream}
+		}
+	}
+	now := time.Now().UnixNano()
+	tally := NewDropTally(len(evs))
+	plan := NewPlan(len(evs), d.Machines)
+	// Batches are usually single-stream: resolve the stream's fan-out
+	// once and reuse it until the stream changes.
+	var curStream string
+	var subs []string
+	var isOut bool
+	for i := range evs {
+		ev := evs[i]
+		if ev.Seq == 0 {
+			ev.Seq = d.Ops.NextSeq()
+		}
+		if ev.Ingress == 0 {
+			ev.Ingress = now
+		}
+		if i == 0 || ev.Stream != curStream {
+			curStream = ev.Stream
+			subs = d.Ops.Subscribers(curStream)
+			isOut = d.Ops.IsOutput(curStream)
+		}
+		if isOut {
+			d.Ops.RecordOutput(ev)
+		}
+		for _, fn := range subs {
+			machine, worker := d.Ops.Route(fn, ev.Key)
+			if machine == "" {
+				d.Counters.LostMachineDown.Add(1)
+				d.Lost.Record(fn, ev, engine.LossNoRoute)
+				tally.Drop(i, engine.LossNoRoute.String())
+				continue
+			}
+			plan.Add(machine, cluster.Delivery{Worker: worker, Ev: ev, Tag: i})
+		}
+	}
+	d.Counters.Ingested.Add(uint64(len(evs)))
+	plan.Each(func(machine string, ds []cluster.Delivery) {
+		d.Tracker.Add(len(ds))
+		accepted, rejects, err := d.Ops.SendBatch(machine, ds)
+		if err != nil {
+			d.Tracker.Add(-len(ds))
+			if err == cluster.ErrMachineDown {
+				d.Ops.ObserveSendFailure(machine)
+			}
+			d.Counters.LostMachineDown.Add(uint64(len(ds)))
+			for _, del := range ds {
+				d.Lost.Record(d.Ops.FuncOf(del.Worker), del.Ev, engine.LossMachineDown)
+				tally.Drop(del.Tag, engine.LossMachineDown.String())
+			}
+			return
+		}
+		d.Counters.Emitted.Add(uint64(accepted))
+		for _, rj := range rejects {
+			d.Tracker.Add(-1)
+			d.settleReject(ds[rj.Index], rj.Err, wait, tally)
+		}
+	})
+	plan.Release()
+	return tally.Result()
+}
+
+// settleReject disposes of one delivery a batch send could not place:
+// retry under the caller's backpressure waiter, divert under the
+// Divert policy, otherwise drop with batch-partial accounting.
+func (d *Driver) settleReject(del cluster.Delivery, cause error, wait func() bool, tally *DropTally) {
+	fn := d.Ops.FuncOf(del.Worker)
+	if cause == queue.ErrOverflow && wait != nil {
+		for wait() {
+			// The ring may have moved the key while we waited.
+			machine, worker := d.Ops.Route(fn, del.Ev.Key)
+			if machine == "" {
+				d.Counters.LostMachineDown.Add(1)
+				d.Lost.Record(fn, del.Ev, engine.LossNoRoute)
+				tally.Drop(del.Tag, engine.LossNoRoute.String())
+				return
+			}
+			// Track before sending: the consumer may process (and
+			// retire) the delivery the instant it lands.
+			d.Tracker.Inc()
+			err := d.Ops.Send(machine, worker, del.Ev)
+			if err == nil {
+				d.Counters.Emitted.Add(1)
+				return
+			}
+			d.Tracker.Dec()
+			if err == queue.ErrOverflow {
+				continue
+			}
+			if err == cluster.ErrMachineDown {
+				d.Ops.ObserveSendFailure(machine)
+			}
+			d.Counters.LostMachineDown.Add(1)
+			d.Lost.Record(fn, del.Ev, engine.LossMachineDown)
+			tally.Drop(del.Tag, engine.LossMachineDown.String())
+			return
+		}
+	}
+	switch {
+	case cause == queue.ErrOverflow && d.Policy == queue.Divert &&
+		d.OverflowStream != "" && del.Ev.Stream != d.OverflowStream:
+		div := del.Ev
+		div.Stream = d.OverflowStream
+		d.Counters.Diverted.Add(1)
+		d.Ops.Reroute(div)
+	case cause == queue.ErrClosed:
+		// The destination was crashing (or stopping) under the batch;
+		// account it like any other delivery to a dying machine.
+		d.Counters.LostMachineDown.Add(1)
+		d.Lost.Record(fn, del.Ev, engine.LossMachineDown)
+		tally.Drop(del.Tag, engine.LossMachineDown.String())
+	default:
+		d.Counters.LostOverflow.Add(1)
+		d.Lost.Record(fn, del.Ev, engine.LossBatchPartial)
+		tally.Drop(del.Tag, engine.LossBatchPartial.String())
+	}
+}

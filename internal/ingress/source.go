@@ -1,0 +1,185 @@
+package ingress
+
+import (
+	"context"
+	"errors"
+	"io"
+	"time"
+
+	"muppet/internal/event"
+)
+
+// Source is a pull-based, batch-oriented event supplier. Next fills
+// dst with up to len(dst) events and returns how many it produced;
+// it returns io.EOF (possibly alongside a final partial batch) when
+// the source is exhausted. Sources are not required to be safe for
+// concurrent use.
+type Source interface {
+	Next(dst []event.Event) (int, error)
+}
+
+// BatchIngester accepts batches of external input events; both Muppet
+// engines satisfy it.
+type BatchIngester interface {
+	IngestBatch(evs []event.Event) (accepted int, err error)
+}
+
+// sliceSource yields a fixed slice of events.
+type sliceSource struct {
+	evs []event.Event
+}
+
+// FromSlice returns a Source yielding evs in order.
+func FromSlice(evs []event.Event) Source {
+	return &sliceSource{evs: evs}
+}
+
+func (s *sliceSource) Next(dst []event.Event) (int, error) {
+	if len(s.evs) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(dst, s.evs)
+	s.evs = s.evs[n:]
+	if len(s.evs) == 0 {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// funcSource adapts a generator function to Source.
+type funcSource struct {
+	fn func() (event.Event, bool)
+}
+
+// FromFunc returns a Source that calls fn per event until fn reports
+// false.
+func FromFunc(fn func() (event.Event, bool)) Source {
+	return &funcSource{fn: fn}
+}
+
+func (s *funcSource) Next(dst []event.Event) (int, error) {
+	for i := range dst {
+		ev, ok := s.fn()
+		if !ok {
+			return i, io.EOF
+		}
+		dst[i] = ev
+	}
+	return len(dst), nil
+}
+
+// takeSource caps a source at n events.
+type takeSource struct {
+	src  Source
+	left int
+}
+
+// Take returns a Source yielding at most n events from src.
+func Take(src Source, n int) Source {
+	return &takeSource{src: src, left: n}
+}
+
+func (s *takeSource) Next(dst []event.Event) (int, error) {
+	if s.left <= 0 {
+		return 0, io.EOF
+	}
+	if len(dst) > s.left {
+		dst = dst[:s.left]
+	}
+	n, err := s.src.Next(dst)
+	s.left -= n
+	if err == nil && s.left == 0 {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// rateLimited paces a source to a target event rate. Pacing is
+// batch-granular: it sleeps only when the wrapped source has run ahead
+// of the budget accrued since the first Next call, so the per-event
+// cost is two arithmetic operations, not a timer.
+type rateLimited struct {
+	src     Source
+	perSec  float64
+	started time.Time
+	sent    int64
+}
+
+// RateLimit wraps src to deliver at most perSec events per second.
+// perSec <= 0 disables pacing.
+func RateLimit(src Source, perSec float64) Source {
+	if perSec <= 0 {
+		return src
+	}
+	return &rateLimited{src: src, perSec: perSec}
+}
+
+func (s *rateLimited) Next(dst []event.Event) (int, error) {
+	if s.started.IsZero() {
+		s.started = time.Now()
+	}
+	budget := func() int64 {
+		return int64(time.Since(s.started).Seconds() * s.perSec)
+	}
+	for budget() <= s.sent {
+		behind := float64(s.sent-budget()+1) / s.perSec
+		time.Sleep(time.Duration(behind * float64(time.Second)))
+	}
+	if allowed := budget() - s.sent; int64(len(dst)) > allowed {
+		dst = dst[:allowed]
+	}
+	n, err := s.src.Next(dst)
+	s.sent += int64(n)
+	return n, err
+}
+
+// PumpStats summarizes one Pump run.
+type PumpStats struct {
+	// Events is the number of events read from the source.
+	Events int
+	// Accepted is the number the engine fully accepted.
+	Accepted int
+	// Batches is the number of IngestBatch calls made.
+	Batches int
+	// Dropped is the number of dropped deliveries reported by the
+	// engine across all partially accepted batches.
+	Dropped int
+}
+
+// Pump drains a source into an engine in batches of batchSize (default
+// 256), the canonical ingestion loop of the streaming API. Partial
+// batches (BatchError) are accounted in the stats and pumping
+// continues; any other ingestion error stops the pump and is returned.
+// The context is checked between batches.
+func Pump(ctx context.Context, dst BatchIngester, src Source, batchSize int) (PumpStats, error) {
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	var stats PumpStats
+	buf := make([]event.Event, batchSize)
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		n, err := src.Next(buf)
+		if n > 0 {
+			stats.Events += n
+			stats.Batches++
+			accepted, ierr := dst.IngestBatch(buf[:n])
+			stats.Accepted += accepted
+			if ierr != nil {
+				var be *BatchError
+				if !errors.As(ierr, &be) {
+					return stats, ierr
+				}
+				stats.Dropped += be.Dropped
+			}
+		}
+		if err == io.EOF {
+			return stats, nil
+		}
+		if err != nil {
+			return stats, err
+		}
+	}
+}

@@ -145,6 +145,75 @@ func (q *Queue[T]) Put(e T) error {
 	return nil
 }
 
+// PutBatch offers the elements in order under a single lock
+// acquisition, amortizing the mutex and condition-variable traffic
+// that Put pays per element — the hot-path saving the batched ingress
+// surface is built on. It returns how many leading elements were
+// accepted. Under Drop and Divert, the first element to find the queue
+// full fails the remainder with ErrOverflow (the queue cannot free up
+// while the producer holds the lock); under Block the producer waits
+// for space element by element. A closed queue fails the remainder
+// with ErrClosed.
+func (q *Queue[T]) PutBatch(es []T) (accepted int, err error) {
+	if len(es) == 0 {
+		return 0, nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	// Whatever path exits this function, consumers parked on an empty
+	// queue must learn about the elements that WERE accepted — the
+	// overflow early-returns below are exits too, and a batch that
+	// fills an idle queue and then overflows would otherwise leave the
+	// consumer parked forever over a full queue.
+	defer func() {
+		if accepted > 0 {
+			q.notEmpty.Broadcast()
+		}
+	}()
+	for i := range es {
+		q.stats.Offered++
+		if q.closed {
+			q.stats.Offered += uint64(len(es) - i - 1)
+			return accepted, ErrClosed
+		}
+		if q.count == q.capacity {
+			switch q.policy {
+			case Drop:
+				rest := uint64(len(es) - i)
+				q.stats.Offered += rest - 1
+				q.stats.Dropped += rest
+				return accepted, ErrOverflow
+			case Divert:
+				rest := uint64(len(es) - i)
+				q.stats.Offered += rest - 1
+				q.stats.Diverted += rest
+				return accepted, ErrOverflow
+			case Block:
+				q.stats.Blocked++
+				// Wake consumers parked since before this batch began
+				// inserting, or they and this producer would wait on
+				// each other forever.
+				q.notEmpty.Broadcast()
+				for q.count == q.capacity && !q.closed {
+					q.notFull.Wait()
+				}
+				if q.closed {
+					q.stats.Offered += uint64(len(es) - i - 1)
+					return accepted, ErrClosed
+				}
+			}
+		}
+		q.buf[(q.head+q.count)%q.capacity] = es[i]
+		q.count++
+		if q.count > q.stats.MaxDepth {
+			q.stats.MaxDepth = q.count
+		}
+		q.stats.Accepted++
+		accepted++
+	}
+	return accepted, nil
+}
+
 // Get removes and returns the oldest element, blocking while the queue
 // is empty. It returns ErrClosed once the queue is closed and drained.
 func (q *Queue[T]) Get() (T, error) {

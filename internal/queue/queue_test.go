@@ -236,3 +236,170 @@ func TestNewPanicsOnZeroCapacity(t *testing.T) {
 	}()
 	New[event.Event](0, Drop)
 }
+
+func TestPutBatchAcceptsWithinCapacity(t *testing.T) {
+	q := New[int](8, Drop)
+	n, err := q.PutBatch([]int{1, 2, 3, 4})
+	if n != 4 || err != nil {
+		t.Fatalf("PutBatch = %d, %v", n, err)
+	}
+	for want := 1; want <= 4; want++ {
+		got, err := q.Get()
+		if err != nil || got != want {
+			t.Fatalf("Get = %d, %v; want %d", got, err, want)
+		}
+	}
+	st := q.Stats()
+	if st.Offered != 4 || st.Accepted != 4 || st.MaxDepth != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutBatchDropRejectsRemainder(t *testing.T) {
+	q := New[int](3, Drop)
+	n, err := q.PutBatch([]int{1, 2, 3, 4, 5})
+	if n != 3 || err != ErrOverflow {
+		t.Fatalf("PutBatch = %d, %v; want 3, ErrOverflow", n, err)
+	}
+	st := q.Stats()
+	if st.Offered != 5 || st.Accepted != 3 || st.Dropped != 2 {
+		t.Fatalf("stats conservation broken: %+v", st)
+	}
+}
+
+func TestPutBatchDivertCountsRemainder(t *testing.T) {
+	q := New[int](2, Divert)
+	n, err := q.PutBatch([]int{1, 2, 3})
+	if n != 2 || err != ErrOverflow {
+		t.Fatalf("PutBatch = %d, %v", n, err)
+	}
+	st := q.Stats()
+	if st.Diverted != 1 || st.Offered != st.Accepted+st.Dropped+st.Diverted {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutBatchBlockWaitsForConsumer(t *testing.T) {
+	q := New[int](2, Block)
+	consumed := make(chan int, 16)
+	go func() {
+		for {
+			v, err := q.Get()
+			if err != nil {
+				close(consumed)
+				return
+			}
+			consumed <- v
+		}
+	}()
+	n, err := q.PutBatch([]int{1, 2, 3, 4, 5, 6})
+	if n != 6 || err != nil {
+		t.Fatalf("PutBatch = %d, %v", n, err)
+	}
+	q.Close()
+	var got []int
+	for v := range consumed {
+		got = append(got, v)
+	}
+	if len(got) != 6 {
+		t.Fatalf("consumed %v", got)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestPutBatchBlockWakesParkedConsumer(t *testing.T) {
+	// A consumer parked on an empty queue must be woken by a PutBatch
+	// that fills the queue and then blocks for space, or both sides
+	// deadlock.
+	q := New[int](2, Block)
+	got := make(chan int, 8)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		for {
+			v, err := q.Get()
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- v
+		}
+	}()
+	<-started
+	done := make(chan struct{})
+	go func() {
+		q.PutBatch([]int{1, 2, 3, 4})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("PutBatch deadlocked against a parked consumer")
+	}
+	q.Close()
+	n := 0
+	for range got {
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("consumed %d, want 4", n)
+	}
+}
+
+func TestPutBatchOnClosedQueue(t *testing.T) {
+	q := New[int](4, Drop)
+	q.Close()
+	n, err := q.PutBatch([]int{1, 2})
+	if n != 0 || err != ErrClosed {
+		t.Fatalf("PutBatch on closed = %d, %v", n, err)
+	}
+}
+
+func TestPutBatchEmpty(t *testing.T) {
+	q := New[int](4, Drop)
+	if n, err := q.PutBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty PutBatch = %d, %v", n, err)
+	}
+}
+
+func TestPutBatchOverflowStillWakesParkedConsumer(t *testing.T) {
+	// A consumer parked on an empty queue, then a batch that both
+	// fills the queue and overflows it under Drop: the accepted
+	// elements must wake the consumer even though PutBatch returns
+	// through the overflow path.
+	q := New[int](2, Drop)
+	got := make(chan int, 8)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		for {
+			v, err := q.Get()
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- v
+		}
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond) // let the consumer park in Get
+	n, err := q.PutBatch([]int{1, 2, 3, 4})
+	if n != 2 || err != ErrOverflow {
+		t.Fatalf("PutBatch = %d, %v; want 2, ErrOverflow", n, err)
+	}
+	for want := 1; want <= 2; want++ {
+		select {
+		case v := <-got:
+			if v != want {
+				t.Fatalf("consumed %d, want %d", v, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("consumer never woken for accepted elements")
+		}
+	}
+	q.Close()
+}

@@ -12,7 +12,7 @@
 // replicated key-value store and queryable over HTTP while the
 // application runs.
 //
-// Quick start:
+// Quick start — batched ingress in, subscribable egress out:
 //
 //	counter := muppet.UpdateFunc{FName: "U1", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
 //		n := 0
@@ -24,7 +24,17 @@
 //	app := muppet.NewApp("counts").Input("S1")
 //	app.AddUpdate(counter, []string{"S1"}, nil, 0)
 //	eng, err := muppet.NewEngine(app, muppet.Config{Machines: 4})
-//	// eng.Ingest(...); eng.Drain(); eng.Slate("U1", key)
+//
+//	// Ingress: feed events in batches; accepted/err report overflow
+//	// and backpressure instead of silently dropping.
+//	accepted, err := eng.IngestBatch(batch)
+//	// ...or pump a whole Source through (rate-limited, batching):
+//	stats, err := muppet.Pump(ctx, eng, muppet.RateLimit(src, 100_000), 256)
+//
+//	// Egress: subscribe to a declared output stream...
+//	sub := eng.Subscribe("S2", 0)
+//	for ev := range sub.C() { ... }
+//	// ...then query live slates: eng.Drain(); eng.Slate("U1", key)
 //
 // Two engines are provided. Muppet 1.0 (EngineV1) runs each function
 // on dedicated conductor/task-processor worker pairs with private
@@ -35,6 +45,7 @@
 package muppet
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -46,6 +57,7 @@ import (
 	"muppet/internal/engine2"
 	"muppet/internal/event"
 	"muppet/internal/httpapi"
+	"muppet/internal/ingress"
 	"muppet/internal/kvstore"
 	"muppet/internal/metrics"
 	"muppet/internal/queue"
@@ -86,6 +98,66 @@ func NewApp(name string) *App { return core.NewApp(name) }
 
 // Stats aggregates an engine's lifetime counters.
 type Stats = engine.Stats
+
+// Subscription is a live, bounded-buffer feed of one declared output
+// stream: events arrive on C() in publication order, a slow
+// subscriber's overflow is dropped and counted (Dropped) rather than
+// blocking the engine, and Cancel detaches it.
+type Subscription = engine.Subscription
+
+// OutputHandler is a pluggable egress sink: it consumes output-stream
+// events synchronously as they are recorded (AttachOutput).
+type OutputHandler = engine.OutputHandler
+
+// OutputHandlerFunc adapts a function literal to OutputHandler.
+type OutputHandlerFunc = engine.OutputHandlerFunc
+
+// Source is a pull-based, batch-oriented event supplier: Next fills a
+// caller buffer and returns io.EOF when exhausted. Build one with
+// EventsSource, SourceFunc, RateLimit, or Take, and drive it with
+// Pump.
+type Source = ingress.Source
+
+// PumpStats summarizes one Pump run: events read, events accepted,
+// batches issued, deliveries dropped.
+type PumpStats = ingress.PumpStats
+
+// BatchError reports a partially accepted ingest batch, tallying the
+// dropped deliveries by the same reasons recorded in LostEvents().
+type BatchError = ingress.BatchError
+
+// NotInputError reports an ingest on a stream the application does not
+// declare as an external input.
+type NotInputError = ingress.NotInputError
+
+// ErrStopped is returned when events are offered to a stopped engine.
+var ErrStopped = ingress.ErrStopped
+
+// ErrBackpressure is wrapped by IngestCtx errors when the destination
+// queues stayed full until the context expired.
+var ErrBackpressure = ingress.ErrBackpressure
+
+// EventsSource returns a Source yielding the given events in order.
+func EventsSource(evs []Event) Source { return ingress.FromSlice(evs) }
+
+// SourceFunc returns a Source that calls fn per event until fn reports
+// false.
+func SourceFunc(fn func() (Event, bool)) Source { return ingress.FromFunc(fn) }
+
+// RateLimit wraps a Source to deliver at most perSec events per
+// second, pacing per batch rather than per event. perSec <= 0 disables
+// pacing.
+func RateLimit(src Source, perSec float64) Source { return ingress.RateLimit(src, perSec) }
+
+// Take caps a Source at n events.
+func Take(src Source, n int) Source { return ingress.Take(src, n) }
+
+// Pump drains a Source into an engine in batches of batchSize (default
+// 256) — the canonical ingestion loop. Partial batches are accounted
+// in the stats and pumping continues; any other error stops the pump.
+func Pump(ctx context.Context, eng Engine, src Source, batchSize int) (PumpStats, error) {
+	return ingress.Pump(ctx, eng, src, batchSize)
+}
 
 // OverflowPolicy selects what a full worker queue does with new events.
 type OverflowPolicy = queue.OverflowPolicy
@@ -219,6 +291,12 @@ type Config struct {
 	// (its disparate caches), per machine under 2.0 (its central
 	// cache).
 	CacheCapacity int
+	// OutputCapacity bounds the events retained per declared output
+	// stream for Output() polling (a ring keeping the newest;
+	// overwrites are counted in Stats.OutputDropped). Zero retains
+	// everything — the legacy unbounded behavior. Production streams
+	// should set a cap and read outputs through Subscribe instead.
+	OutputCapacity int
 	// SlateShards is the number of stripes in each slate store (2.0:
 	// per-machine central store, default 16; 1.0: per-worker store,
 	// default 4). Zero keeps the defaults.
@@ -283,17 +361,43 @@ type Replayer interface {
 // Engine is a running MapUpdate application. Both Muppet engines
 // satisfy it.
 type Engine interface {
-	// Ingest feeds one external input event into the application.
+	// Ingest feeds one external input event into the application,
+	// fire-and-forget: drops are counted and logged but not reported
+	// to the caller. Production sources should prefer IngestBatch or
+	// IngestCtx, which return the losses.
 	Ingest(Event)
+	// IngestBatch feeds a batch of external input events, grouping the
+	// deliveries per destination machine so ring sends and queue locks
+	// are paid per batch rather than per event. It returns how many
+	// events were fully accepted; dropped deliveries are reported via
+	// a *BatchError (and recorded in LostEvents with distinct
+	// reasons). A non-input stream rejects the whole batch before any
+	// side effects.
+	IngestBatch(evs []Event) (accepted int, err error)
+	// IngestCtx ingests one event with backpressure: while the
+	// destination queue is full it retries until ctx is done, then
+	// fails with an error wrapping ErrBackpressure.
+	IngestCtx(ctx context.Context, ev Event) error
+	// Subscribe attaches a live bounded-buffer feed to a declared
+	// output stream; buf <= 0 selects the default buffer (256).
+	Subscribe(stream string, buf int) *Subscription
+	// AttachOutput registers a synchronous handler for a declared
+	// output stream's events.
+	AttachOutput(stream string, h OutputHandler)
 	// Drain blocks until all accepted events are fully processed.
 	Drain()
-	// Stop drains, halts the engine, and flushes dirty slates.
+	// Stop drains, halts the engine, flushes dirty slates, and closes
+	// every subscription's channel.
 	Stop()
 	// Slate returns the live slate for <updater, key>, or nil.
 	Slate(updater, key string) []byte
 	// Slates returns the cached slates of an updater by event key.
 	Slates(updater string) map[string][]byte
-	// Output returns events recorded on a declared output stream.
+	// Output returns the retained events of a declared output stream —
+	// all of them when OutputCapacity is unset, the newest
+	// OutputCapacity otherwise. It is the legacy poll surface, kept as
+	// a compatibility shim over the capped ring; streaming consumers
+	// should Subscribe instead.
 	Output(stream string) []Event
 	// Stats snapshots the engine counters.
 	Stats() Stats
@@ -345,6 +449,7 @@ func NewEngine(app *App, cfg Config) (Engine, error) {
 			QueuePolicy:         cfg.QueuePolicy,
 			OverflowStream:      cfg.OverflowStream,
 			SlateCachePerWorker: cfg.CacheCapacity,
+			OutputCapacity:      cfg.OutputCapacity,
 			SlateShards:         cfg.SlateShards,
 			FlushBatch:          cfg.FlushBatch,
 			FlushPolicy:         cfg.FlushPolicy,
@@ -367,6 +472,7 @@ func NewEngine(app *App, cfg Config) (Engine, error) {
 			QueuePolicy:       cfg.QueuePolicy,
 			OverflowStream:    cfg.OverflowStream,
 			CacheCapacity:     cfg.CacheCapacity,
+			OutputCapacity:    cfg.OutputCapacity,
 			SlateShards:       cfg.SlateShards,
 			FlushBatch:        cfg.FlushBatch,
 			FlushPolicy:       cfg.FlushPolicy,
@@ -396,18 +502,22 @@ func storeCluster(s *Store) *kvstore.Cluster {
 }
 
 // Handler returns the HTTP handler serving live slate fetches
-// (GET /slate/{updater}/{key}) and engine status (GET /status), the
-// service of Section 4.4 of the paper.
+// (GET /slate/{updater}/{key}), engine status (GET /status), the
+// service of Section 4.4 of the paper, and batched event ingestion
+// (POST /ingest, a JSON array of {stream, ts, key, value}).
 func Handler(e Engine) http.Handler { return httpapi.Handler(slateReader{e}) }
 
 // slateReader adapts Engine to the httpapi surface.
 type slateReader struct{ e Engine }
 
 func (r slateReader) Slate(updater, key string) []byte { return r.e.Slate(updater, key) }
-func (r slateReader) LargestQueues() map[string]int    { return r.e.LargestQueues() }
-func (r slateReader) Updaters() []string               { return r.e.Updaters() }
-func (r slateReader) FlushSlates()                     { r.e.FlushSlates() }
-func (r slateReader) RecoveryStatus() recovery.Status  { return r.e.RecoveryStatus() }
+func (r slateReader) IngestBatch(evs []Event) (int, error) {
+	return r.e.IngestBatch(evs)
+}
+func (r slateReader) LargestQueues() map[string]int   { return r.e.LargestQueues() }
+func (r slateReader) Updaters() []string              { return r.e.Updaters() }
+func (r slateReader) FlushSlates()                    { r.e.FlushSlates() }
+func (r slateReader) RecoveryStatus() recovery.Status { return r.e.RecoveryStatus() }
 func (r slateReader) StoredSlates(updater string) map[string][]byte {
 	return r.e.StoredSlates(updater)
 }

@@ -1,0 +1,20 @@
+package muppetapps
+
+import "muppet"
+
+// TweetSource returns an endless pull Source of synthetic tweets on
+// the given stream, for use with muppet.Pump (cap it with muppet.Take
+// and pace it with muppet.RateLimit).
+func TweetSource(gen *Generator, stream string) muppet.Source {
+	return muppet.SourceFunc(func() (muppet.Event, bool) {
+		return gen.Tweet(stream), true
+	})
+}
+
+// CheckinSource returns an endless pull Source of synthetic Foursquare
+// checkins on the given stream.
+func CheckinSource(gen *Generator, stream string) muppet.Source {
+	return muppet.SourceFunc(func() (muppet.Event, bool) {
+		return gen.Checkin(stream), true
+	})
+}
