@@ -117,16 +117,25 @@ type taskRequest struct {
 	isUpdate bool
 }
 
+// taskResponse carries one invocation's results back to the conductor.
+// outputs is the task processor's REUSED emitter slice: the strict
+// request/response alternation of the worker pair guarantees the
+// conductor is done routing before the processor's next invocation
+// resets it. arena is fresh per invocation (the derived events retain
+// slices of it), holding every published value in one allocation.
 type taskResponse struct {
 	outputs  []emitted
+	arena    []byte
 	newSlate []byte
 	replaced bool
 	err      error
 }
 
+// emitted is one published output: its stream and key, and the bounds
+// of its value in the invocation's arena.
 type emitted struct {
 	stream, key string
-	value       []byte
+	off, end    int
 }
 
 // worker is one conductor/task-processor pair bound to a single
@@ -315,7 +324,7 @@ func (e *Engine) conductorLoop(w *worker, q *queue.Queue[event.Event], req chan 
 			e.counters.ObserveLatency(ev)
 		}
 		for _, out := range rsp.outputs {
-			e.route(e.derive(out, ev))
+			e.route(e.derive(out, rsp.arena, ev))
 		}
 		e.counters.Processed.Add(1)
 		e.tracker.Dec()
@@ -323,18 +332,29 @@ func (e *Engine) conductorLoop(w *worker, q *queue.Queue[event.Event], req chan 
 }
 
 // taskProcessorLoop is the JVM half: it only runs the map or update
-// code.
+// code. It owns one reusable emitter — the conductor finishes routing
+// a response before sending the next request, so resetting the
+// emitter's scratch between invocations never races the consumer.
 func (e *Engine) taskProcessorLoop(w *worker, req chan taskRequest, resp chan taskResponse) {
 	defer e.wg.Done()
+	var em collectEmitter
 	for r := range req {
-		em := &collectEmitter{app: e.app, function: w.fn.Name(), isUpdate: r.isUpdate}
+		em.reset(e.app, w.fn.Name(), r.isUpdate)
 		switch w.fn.Kind {
 		case core.KindMap:
-			w.fn.Mapper.Map(em, r.ev)
+			w.fn.Mapper.Map(&em, r.ev)
 		case core.KindUpdate:
-			w.fn.Updater.Update(em, r.ev, r.slateIn)
+			w.fn.Updater.Update(&em, r.ev, r.slateIn)
 		}
-		resp <- taskResponse{outputs: em.outputs, newSlate: em.newSlate, replaced: em.replaced, err: em.err}
+		// One allocation holds every published value; the conductor's
+		// derived events slice it (the scratch arena is reused next
+		// invocation, the events outlive it).
+		var arena []byte
+		if len(em.vals) > 0 {
+			arena = make([]byte, len(em.vals))
+			copy(arena, em.vals)
+		}
+		resp <- taskResponse{outputs: em.outputs, arena: arena, newSlate: em.newSlate, replaced: em.replaced, err: em.err}
 	}
 }
 
@@ -353,15 +373,30 @@ func (e *Engine) flusherLoop(w *worker) {
 }
 
 // collectEmitter gathers a function invocation's outputs inside the
-// task processor; the conductor routes them afterwards.
+// task processor; the conductor routes them afterwards. One emitter
+// lives per task-processor goroutine and is reset between invocations:
+// the outputs slice and the value scratch arena keep their capacity,
+// so a steady-state invocation allocates nothing inside the emitter.
 type collectEmitter struct {
 	app      *core.App
 	function string
 	isUpdate bool
 	outputs  []emitted
+	vals     []byte // scratch arena holding every published value
 	newSlate []byte
 	replaced bool
 	err      error
+}
+
+func (c *collectEmitter) reset(app *core.App, function string, isUpdate bool) {
+	c.app = app
+	c.function = function
+	c.isUpdate = isUpdate
+	c.outputs = c.outputs[:0]
+	c.vals = c.vals[:0]
+	c.newSlate = nil
+	c.replaced = false
+	c.err = nil
 }
 
 // Publish implements core.Emitter.
@@ -373,7 +408,9 @@ func (c *collectEmitter) Publish(stream, key string, value []byte) error {
 		}
 		return err
 	}
-	c.outputs = append(c.outputs, emitted{stream: stream, key: key, value: append([]byte(nil), value...)})
+	off := len(c.vals)
+	c.vals = append(c.vals, value...)
+	c.outputs = append(c.outputs, emitted{stream: stream, key: key, off: off, end: len(c.vals)})
 	return nil
 }
 
@@ -382,22 +419,30 @@ func (c *collectEmitter) ReplaceSlate(value []byte) {
 	if !c.isUpdate {
 		panic(fmt.Sprintf("engine1: map function %s called ReplaceSlate", c.function))
 	}
-	// append to a non-nil empty slice so that an empty slate stays
-	// distinct from "no slate" (nil) on the next update call.
+	// The slate cache retains the value, so it gets its own allocation
+	// (never the reused arena); append to a non-nil empty slice so that
+	// an empty slate stays distinct from "no slate" (nil) on the next
+	// update call.
 	c.newSlate = append([]byte{}, value...)
 	c.replaced = true
 }
 
 // derive stamps an emitted record into a routable event: timestamp
 // strictly greater than the input's, fresh sequence number, inherited
-// ingress stamp.
-func (e *Engine) derive(out emitted, in event.Event) event.Event {
+// ingress stamp, value sliced out of the invocation's arena (the
+// three-index slice keeps a downstream append from growing into the
+// next output's bytes).
+func (e *Engine) derive(out emitted, arena []byte, in event.Event) event.Event {
+	var value []byte
+	if out.end > out.off {
+		value = arena[out.off:out.end:out.end]
+	}
 	return event.Event{
 		Stream:  out.stream,
 		TS:      in.TS + 1,
 		Seq:     e.seq.Add(1),
 		Key:     out.key,
-		Value:   out.value,
+		Value:   value,
 		Ingress: in.Ingress,
 	}
 }
@@ -918,7 +963,7 @@ func (e *Engine) StoredSlates(updater string) map[string][]byte {
 	}
 	out := make(map[string][]byte)
 	e.cfg.Store.Scan(updater, func(key string, stored []byte) {
-		raw, err := slate.Decompress(stored)
+		raw, err := slate.Decode(stored)
 		if err != nil {
 			return
 		}

@@ -11,6 +11,9 @@ import (
 )
 
 // ingestBench drives b.N events through a counter app and drains.
+// allocs/op covers the whole pipeline (ingest, dispatch, map, update,
+// slate write); the zero-allocation work on the process path shows up
+// directly here.
 func ingestBench(b *testing.B, cfg Config, keyOf func(i int) string) {
 	b.Helper()
 	e, err := New(counterApp(), cfg)
@@ -18,6 +21,7 @@ func ingestBench(b *testing.B, cfg Config, keyOf func(i int) string) {
 		b.Fatal(err)
 	}
 	defer e.Stop()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Ingest(event.Event{

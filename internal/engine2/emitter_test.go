@@ -1,0 +1,71 @@
+package engine2
+
+import (
+	"bytes"
+	"testing"
+
+	"muppet/internal/event"
+)
+
+// TestEmitterSteadyStateZeroAllocs pins the acceptance criterion of
+// the zero-allocation hot path: once a thread's reusable emitter has
+// warmed its scratch (outputs slice, value arena), a map invocation's
+// publishes allocate nothing inside the emitter itself. The single
+// remaining allocation — the per-invocation arena the derived events
+// slice — lives in process(), not here.
+func TestEmitterSteadyStateZeroAllocs(t *testing.T) {
+	app := counterApp()
+	var em collectEmitter
+	value := []byte("checkin:walmart")
+	// Warm-up: grow the scratch to its steady-state capacity.
+	em.reset(app, "M1", false)
+	if err := em.Publish("S2", "walmart", value); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		em.reset(app, "M1", false)
+		em.Publish("S2", "walmart", value)
+		em.Publish("S2", "target", value)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Publish allocates %v objects per invocation, want 0", allocs)
+	}
+}
+
+// TestEmitterArenaIsolation guards the arena slicing: events derived
+// from one invocation must keep their bytes after the emitter is
+// reused by later invocations, and appending to one event's value
+// must never bleed into the next output's bytes (the three-index
+// slice contract).
+func TestEmitterArenaIsolation(t *testing.T) {
+	e, err := New(counterApp(), Config{Machines: 1, ThreadsPerMachine: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+
+	app := counterApp()
+	var em collectEmitter
+	em.reset(app, "M1", false)
+	em.Publish("S2", "a", []byte("first"))
+	em.Publish("S2", "b", []byte("second"))
+	arena := make([]byte, len(em.vals))
+	copy(arena, em.vals)
+	in := event.Event{Stream: "S1", TS: 1, Key: "k"}
+	ev1 := e.derive(em.outputs[0], arena, in)
+	ev2 := e.derive(em.outputs[1], arena, in)
+
+	// Reuse the emitter; the events' values must be unaffected.
+	em.reset(app, "M1", false)
+	em.Publish("S2", "c", []byte("XXXXXXXXXXXXXXXX"))
+	if !bytes.Equal(ev1.Value, []byte("first")) || !bytes.Equal(ev2.Value, []byte("second")) {
+		t.Fatalf("emitter reuse corrupted derived events: %q, %q", ev1.Value, ev2.Value)
+	}
+
+	// Appending to the first event's value must reallocate, not grow
+	// into the second's bytes.
+	_ = append(ev1.Value, []byte("-grown")...)
+	if !bytes.Equal(ev2.Value, []byte("second")) {
+		t.Fatalf("append to one output bled into the next: %q", ev2.Value)
+	}
+}

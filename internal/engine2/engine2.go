@@ -127,7 +127,10 @@ type fk struct {
 // thread is one worker thread slot. Its queue lives in a queue.Slot:
 // it is replaced when the machine is revived after a crash (the old
 // queue was closed by the failover drain), with retired queues' stats
-// folded in.
+// folded in. The reusable emitter lives in threadLoop, not here: a
+// revival may start the replacement loop while the old loop is still
+// finishing one in-process invocation, so the scratch must belong to
+// the loop, never the slot.
 type thread struct {
 	idx int
 	q   queue.Slot[engine.Envelope]
@@ -138,10 +141,102 @@ func (t *thread) stats() queue.Stats                   { return t.q.Stats() }
 
 // slateLock serializes updates to one slate and tracks how many
 // workers hold or wait for it (the contention the paper bounds at 2).
+// sh is the stripe the lock was born in — locks recycle only within
+// their stripe's free list, so release can reach the stripe without
+// rehashing the key.
 type slateLock struct {
 	mu     sync.Mutex
 	owners atomic.Int32
 	refs   int
+	sh     *lockShard
+}
+
+// slateLockShards is the stripe count of each machine's slate-lock
+// table; a power of two so the key hash maps to a stripe with a mask.
+// 128 stripes for at most ThreadsPerMachine concurrent holders makes
+// cross-key collisions on a stripe mutex rare, and the per-stripe
+// state is a map header plus a small free list.
+const slateLockShards = 128
+
+// lockShard is one stripe of the slate-lock table: its own mutex, the
+// live locks of keys currently held or contended, and a free list of
+// retired slateLocks. Recycling through the free list keeps slate
+// acquisition allocation-free in steady state — the previous design
+// (one process-wide map under a single mutex) both serialized every
+// acquisition in the machine and allocated a fresh slateLock per
+// event on hot keys.
+type lockShard struct {
+	mu    sync.Mutex
+	locks map[slate.Key]*slateLock
+	free  []*slateLock
+}
+
+// slateLockTable stripes per-slate locks over independent shards keyed
+// by hashring.HashPair, so acquiring a slate touches one stripe mutex
+// instead of a process-wide one. Per-key accounting (refs, owners) is
+// exactly the old map's: a lock exists while any worker holds or waits
+// for its key, and the Muppet-2.0 ≤2-owner contention bound is still
+// observed per key, never per stripe.
+type slateLockTable struct {
+	shards [slateLockShards]lockShard
+}
+
+func newSlateLockTable() *slateLockTable {
+	t := &slateLockTable{}
+	for i := range t.shards {
+		t.shards[i].locks = make(map[slate.Key]*slateLock)
+	}
+	return t
+}
+
+// lockSeparator feeds HashPair a byte outside UTF-8 text so
+// ("ab","c") and ("a","bc") stripe independently.
+const lockSeparator = 0xfd
+
+func (t *slateLockTable) shardFor(sk slate.Key) *lockShard {
+	h := hashring.HashPair(sk.Updater, lockSeparator, sk.Key)
+	return &t.shards[h&(slateLockShards-1)]
+}
+
+// acquire blocks until the calling worker holds sk's lock, reporting
+// the owner count (holders plus waiters) it observed to observe.
+func (t *slateLockTable) acquire(sk slate.Key, observe func(int32)) *slateLock {
+	sh := t.shardFor(sk)
+	sh.mu.Lock()
+	l := sh.locks[sk]
+	if l == nil {
+		if n := len(sh.free); n > 0 {
+			l = sh.free[n-1]
+			sh.free[n-1] = nil
+			sh.free = sh.free[:n-1]
+		} else {
+			l = &slateLock{sh: sh}
+		}
+		sh.locks[sk] = l
+	}
+	l.refs++
+	sh.mu.Unlock()
+	if n := l.owners.Add(1); observe != nil {
+		observe(n)
+	}
+	l.mu.Lock()
+	return l
+}
+
+// release returns sk's lock; the last releaser retires the slateLock
+// to its stripe's free list for reuse. The stripe comes off the lock
+// itself, sparing the release a second key hash.
+func (t *slateLockTable) release(sk slate.Key, l *slateLock) {
+	l.mu.Unlock()
+	l.owners.Add(-1)
+	sh := l.sh
+	sh.mu.Lock()
+	l.refs--
+	if l.refs == 0 {
+		delete(sh.locks, sk)
+		sh.free = append(sh.free, l)
+	}
+	sh.mu.Unlock()
 }
 
 // machine is the per-host runtime state.
@@ -157,8 +252,9 @@ type machine struct {
 	runningMu sync.Mutex
 	running   map[fk]map[int]int
 
-	lockMu sync.Mutex
-	locks  map[slate.Key]*slateLock
+	// locks is the striped per-slate lock table (one stripe mutex per
+	// acquisition instead of a machine-wide one).
+	locks *slateLockTable
 
 	// log is the replay log, nil unless Config.ReplayLog is set.
 	log *wal.Log
@@ -264,7 +360,7 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		m := &machine{
 			name:    name,
 			running: make(map[fk]map[int]int),
-			locks:   make(map[slate.Key]*slateLock),
+			locks:   newSlateLockTable(),
 		}
 		if cfg.ReplayLog {
 			m.log = wal.New()
@@ -519,6 +615,11 @@ func (e *Engine) candidates(m *machine, k fk) (int, int) {
 // old one.
 func (e *Engine) threadLoop(m *machine, th *thread, q *queue.Queue[engine.Envelope]) {
 	defer e.wg.Done()
+	// The loop's reusable invocation scratch. Owned by this goroutine
+	// alone — a post-crash restart spawns a fresh loop (with fresh
+	// scratch) that may briefly overlap the old loop's final
+	// invocation, so the emitter cannot live on the shared thread slot.
+	var em collectEmitter
 	for {
 		env, err := q.Get()
 		if err != nil {
@@ -538,7 +639,7 @@ func (e *Engine) threadLoop(m *machine, th *thread, q *queue.Queue[engine.Envelo
 		}
 		k := fk{fn: env.Func, key: env.Ev.Key}
 		m.markRunning(k, th.idx, +1)
-		e.process(m, th, env)
+		e.process(m, &em, env)
 		m.markRunning(k, th.idx, -1)
 		if m.log != nil && env.WalSeq != 0 {
 			m.log.Ack(env.WalSeq)
@@ -548,12 +649,12 @@ func (e *Engine) threadLoop(m *machine, th *thread, q *queue.Queue[engine.Envelo
 	}
 }
 
-func (e *Engine) process(m *machine, th *thread, env engine.Envelope) {
+func (e *Engine) process(m *machine, em *collectEmitter, env engine.Envelope) {
 	f := e.app.Function(env.Func)
 	if f == nil {
 		return
 	}
-	em := &collectEmitter{app: e.app, function: env.Func, isUpdate: f.Kind == core.KindUpdate}
+	em.reset(e.app, env.Func, f.Kind == core.KindUpdate)
 	switch f.Kind {
 	case core.KindMap:
 		f.Mapper.Map(em, env.Ev)
@@ -569,53 +670,68 @@ func (e *Engine) process(m *machine, th *thread, env engine.Envelope) {
 		}
 		e.releaseSlate(m, sk, lock)
 	}
+	if len(em.outputs) == 0 {
+		return
+	}
+	// One allocation holds every value this invocation published; the
+	// derived events slice it. The emitter's scratch arena cannot be
+	// handed out directly — the next invocation on this thread reuses
+	// it, while queues, the replay log, and the egress sink retain the
+	// events indefinitely.
+	var arena []byte
+	if len(em.vals) > 0 {
+		arena = make([]byte, len(em.vals))
+		copy(arena, em.vals)
+	}
 	for _, out := range em.outputs {
-		e.route(e.derive(out, env.Ev))
+		e.route(e.derive(out, arena, env.Ev))
 	}
 }
 
-// acquireSlate takes the per-slate lock, recording how many workers
-// contend for the slate; Muppet 2.0's dispatch bounds this at two.
+// acquireSlate takes the per-slate lock from the machine's striped
+// table, recording how many workers contend for the slate; Muppet
+// 2.0's dispatch bounds this at two.
 func (e *Engine) acquireSlate(m *machine, sk slate.Key) *slateLock {
-	m.lockMu.Lock()
-	l := m.locks[sk]
-	if l == nil {
-		l = &slateLock{}
-		m.locks[sk] = l
-	}
-	l.refs++
-	m.lockMu.Unlock()
-	n := l.owners.Add(1)
-	e.counters.ObserveContention(n)
-	l.mu.Lock()
-	return l
+	return m.locks.acquire(sk, e.counters.ObserveContention)
 }
 
 func (e *Engine) releaseSlate(m *machine, sk slate.Key, l *slateLock) {
-	l.mu.Unlock()
-	l.owners.Add(-1)
-	m.lockMu.Lock()
-	l.refs--
-	if l.refs == 0 {
-		delete(m.locks, sk)
-	}
-	m.lockMu.Unlock()
+	m.locks.release(sk, l)
 }
 
-// collectEmitter gathers one invocation's outputs.
+// collectEmitter gathers one invocation's outputs. One emitter lives
+// in each worker thread and is reset between invocations: the outputs
+// slice and the value scratch arena keep their capacity, so a
+// steady-state invocation allocates nothing inside the emitter.
+// Published values are copied once, into the arena; process()
+// materializes them for the derived events afterwards.
 type collectEmitter struct {
 	app      *core.App
 	function string
 	isUpdate bool
 	outputs  []emitted
+	vals     []byte // scratch arena holding every published value
 	newSlate []byte
 	replaced bool
 	err      error
 }
 
+// emitted is one published output: its stream and key, and the bounds
+// of its value in the emitter's scratch arena.
 type emitted struct {
 	stream, key string
-	value       []byte
+	off, end    int
+}
+
+func (c *collectEmitter) reset(app *core.App, function string, isUpdate bool) {
+	c.app = app
+	c.function = function
+	c.isUpdate = isUpdate
+	c.outputs = c.outputs[:0]
+	c.vals = c.vals[:0]
+	c.newSlate = nil
+	c.replaced = false
+	c.err = nil
 }
 
 // Publish implements core.Emitter.
@@ -627,7 +743,9 @@ func (c *collectEmitter) Publish(stream, key string, value []byte) error {
 		}
 		return err
 	}
-	c.outputs = append(c.outputs, emitted{stream: stream, key: key, value: append([]byte(nil), value...)})
+	off := len(c.vals)
+	c.vals = append(c.vals, value...)
+	c.outputs = append(c.outputs, emitted{stream: stream, key: key, off: off, end: len(c.vals)})
 	return nil
 }
 
@@ -636,19 +754,28 @@ func (c *collectEmitter) ReplaceSlate(value []byte) {
 	if !c.isUpdate {
 		panic(fmt.Sprintf("engine2: map function %s called ReplaceSlate", c.function))
 	}
-	// append to a non-nil empty slice so that an empty slate stays
-	// distinct from "no slate" (nil) on the next update call.
+	// The slate cache retains the value, so it gets its own allocation
+	// (never the reused arena); append to a non-nil empty slice so that
+	// an empty slate stays distinct from "no slate" (nil) on the next
+	// update call.
 	c.newSlate = append([]byte{}, value...)
 	c.replaced = true
 }
 
-func (e *Engine) derive(out emitted, in event.Event) event.Event {
+// derive stamps an emitted record into a routable event, slicing its
+// value out of the invocation's arena. The three-index slice keeps a
+// downstream append from growing into the next output's bytes.
+func (e *Engine) derive(out emitted, arena []byte, in event.Event) event.Event {
+	var value []byte
+	if out.end > out.off {
+		value = arena[out.off:out.end:out.end]
+	}
 	return event.Event{
 		Stream:  out.stream,
 		TS:      in.TS + 1,
 		Seq:     e.seq.Add(1),
 		Key:     out.key,
-		Value:   out.value,
+		Value:   value,
 		Ingress: in.Ingress,
 	}
 }
@@ -1096,7 +1223,7 @@ func (e *Engine) StoredSlates(updater string) map[string][]byte {
 	}
 	out := make(map[string][]byte)
 	e.cfg.Store.Scan(updater, func(key string, stored []byte) {
-		raw, err := slate.Decompress(stored)
+		raw, err := slate.Decode(stored)
 		if err != nil {
 			return
 		}

@@ -229,6 +229,7 @@ func BenchmarkCachePutWriteThrough(b *testing.B) {
 func BenchmarkCompressTypicalSlate(b *testing.B) {
 	slate := bytes.Repeat([]byte(`{"user":"u123","count":42,"tags":["a","b"]},`), 20)
 	b.SetBytes(int64(len(slate)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Compress(slate)
@@ -237,10 +238,77 @@ func BenchmarkCompressTypicalSlate(b *testing.B) {
 
 func BenchmarkDecompressTypicalSlate(b *testing.B) {
 	slate := bytes.Repeat([]byte(`{"user":"u123","count":42,"tags":["a","b"]},`), 20)
-	stored := Compress(slate)
+	stored := mustCompress(b, slate)
 	b.SetBytes(int64(len(slate)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Decompress(stored)
 	}
+}
+
+// benchCodec compares the save path of the framed pooled codec
+// (AppendEncode into a reused buffer — the steady state of the
+// group-commit flusher) against the legacy per-call encoder
+// (flate.NewWriter per save, the pre-framing behavior), plus the
+// decode side. allocs/op is the headline: the legacy writer
+// constructs hundreds of KB of deflate state per save.
+func benchCodec(b *testing.B, raw []byte) {
+	b.Run("save-framed", func(b *testing.B) {
+		var buf []byte
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = AppendEncode(buf[:0], raw)
+		}
+	})
+	b.Run("save-legacy", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Compress(raw)
+		}
+	})
+	b.Run("load-framed", func(b *testing.B) {
+		stored := Encode(raw)
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Decode(stored); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load-legacy", func(b *testing.B) {
+		stored := mustCompress(b, raw)
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Decode(stored); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCodecSmall: a typical counter slate below MinCompressSize —
+// the framed codec stores it raw, skipping deflate entirely.
+func BenchmarkCodecSmall(b *testing.B) {
+	benchCodec(b, []byte(`{"user":"u123","count":42}`))
+}
+
+// BenchmarkCodecLarge: a redundant ~900-byte JSON slate — the framed
+// codec deflates it through the pooled writer.
+func BenchmarkCodecLarge(b *testing.B) {
+	benchCodec(b, bytes.Repeat([]byte(`{"user":"u123","count":42,"tags":["a","b"]},`), 20))
+}
+
+// BenchmarkCodecIncompressible: high-entropy bytes — deflate cannot
+// shrink them, so the framed codec falls back to raw storage.
+func BenchmarkCodecIncompressible(b *testing.B) {
+	benchCodec(b, incompressible(1024))
 }

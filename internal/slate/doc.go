@@ -46,4 +46,35 @@
 // retries it. Flush latency and batch sizes are recorded with
 // internal/metrics histograms (FlushLatency, BatchSizes) and counters
 // (FlushStats).
+//
+// # Storage framing
+//
+// The stored form of a slate (Encode/Decode) is one header byte
+// followed by the payload:
+//
+//	header 0x06 (raw)     — payload stored verbatim
+//	header 0x07 (deflate) — payload deflate-compressed
+//
+// The header's low three bits sit where a deflate stream carries its
+// first block header and deliberately encode BTYPE=3, the reserved
+// block type compress/flate never emits; the high five bits carry the
+// format version (currently 0). Consequences:
+//
+//   - Raw-vs-deflate decision: slates below MinCompressSize are stored
+//     raw (deflate overhead exceeds any saving), and larger slates
+//     whose deflate output is not smaller than the input fall back to
+//     raw — the stored form is never more than one byte larger than
+//     the slate.
+//   - Legacy compatibility: values written before framing existed are
+//     bare deflate streams, and no such stream can begin with a frame
+//     header, so Decode routes headerless values through the legacy
+//     inflate path. Old WAL batches and kvstore rows stay readable;
+//     Compress still writes (and FuzzCodecRoundTrip pins) the legacy
+//     encoding.
+//   - Zero-allocation saves: Encode runs through pooled flate writers
+//     (a BestSpeed writer carries hundreds of KB of internal state —
+//     constructing one per save used to dominate the flush path), and
+//     AppendEncode reuses a caller-owned buffer so the kvstore
+//     adapter's Save/SaveBatch allocate nothing per record in steady
+//     state. Decode pools its flate reader and inflate scratch.
 package slate

@@ -1,6 +1,7 @@
 package slate
 
 import (
+	"sync"
 	"time"
 
 	"muppet/internal/kvstore"
@@ -8,16 +9,30 @@ import (
 
 // KVStore adapts the replicated key-value cluster to the Store
 // interface, reproducing Muppet's layout: slate S(U,k) is stored at
-// row k, column U, compressed (Section 4.2).
+// row k, column U, framed and compressed (Section 4.2; see the
+// storage-framing notes in codec.go and the package doc).
 type KVStore struct {
 	Cluster *kvstore.Cluster
 	// Level is the consistency level for slate reads and writes, a
 	// per-application knob in Muppet.
 	Level kvstore.Consistency
-	// DisableCompression stores slates raw; experiment harnesses use it
-	// to isolate compression cost.
+	// DisableCompression stores slates raw without framing; experiment
+	// harnesses use it to isolate compression cost.
 	DisableCompression bool
 }
+
+// saveScratch is the reusable working memory of one Save or SaveBatch
+// call: the encode buffer all framed values are appended to, the batch
+// entry slice, and the per-record offsets into the buffer. The cluster
+// copies values synchronously at each replica node, so the buffers can
+// be pooled and reused as soon as the call returns.
+type saveScratch struct {
+	buf     []byte
+	entries []kvstore.BatchEntry
+	offs    []int
+}
+
+var saveScratchPool = sync.Pool{New: func() any { return new(saveScratch) }}
 
 // Load implements Store.
 func (s *KVStore) Load(k Key) ([]byte, bool, error) {
@@ -28,35 +43,58 @@ func (s *KVStore) Load(k Key) ([]byte, bool, error) {
 	if s.DisableCompression {
 		return v, true, nil
 	}
-	raw, err := Decompress(v)
+	raw, err := Decode(v)
 	if err != nil {
 		return nil, false, err
 	}
 	return raw, true, nil
 }
 
-// Save implements Store.
+// Save implements Store. The framed encoding goes through a pooled
+// scratch buffer, so a steady flush stream allocates nothing per save.
 func (s *KVStore) Save(k Key, value []byte, ttl time.Duration) error {
-	stored := value
-	if !s.DisableCompression {
-		stored = Compress(value)
+	if s.DisableCompression {
+		_, err := s.Cluster.Put(k.Key, k.Updater, value, ttl, s.Level)
+		return err
 	}
-	_, err := s.Cluster.Put(k.Key, k.Updater, stored, ttl, s.Level)
+	sc := saveScratchPool.Get().(*saveScratch)
+	sc.buf = AppendEncode(sc.buf[:0], value)
+	_, err := s.Cluster.Put(k.Key, k.Updater, sc.buf, ttl, s.Level)
+	saveScratchPool.Put(sc)
 	return err
 }
 
 // SaveBatch implements BatchStore: the whole flush batch goes to the
 // cluster as one multi-put, so replica round-trips and commit-log
-// appends are paid per batch, not per slate.
+// appends are paid per batch, not per slate. All records are framed
+// into one pooled buffer (offsets recorded first, values sliced after
+// the final append, since buffer growth would invalidate earlier
+// subslices).
 func (s *KVStore) SaveBatch(recs []BatchRecord) error {
-	entries := make([]kvstore.BatchEntry, len(recs))
-	for i, r := range recs {
-		stored := r.Value
-		if !s.DisableCompression {
-			stored = Compress(r.Value)
-		}
-		entries[i] = kvstore.BatchEntry{Key: r.K.Key, Column: r.K.Updater, Value: stored, TTL: r.TTL}
+	sc := saveScratchPool.Get().(*saveScratch)
+	defer saveScratchPool.Put(sc)
+	entries := sc.entries[:0]
+	if cap(entries) < len(recs) {
+		entries = make([]kvstore.BatchEntry, 0, len(recs))
 	}
+	if s.DisableCompression {
+		for _, r := range recs {
+			entries = append(entries, kvstore.BatchEntry{Key: r.K.Key, Column: r.K.Updater, Value: r.Value, TTL: r.TTL})
+		}
+	} else {
+		buf, offs := sc.buf[:0], sc.offs[:0]
+		for _, r := range recs {
+			offs = append(offs, len(buf))
+			buf = AppendEncode(buf, r.Value)
+		}
+		offs = append(offs, len(buf))
+		for i, r := range recs {
+			v := buf[offs[i]:offs[i+1]:offs[i+1]]
+			entries = append(entries, kvstore.BatchEntry{Key: r.K.Key, Column: r.K.Updater, Value: v, TTL: r.TTL})
+		}
+		sc.buf, sc.offs = buf, offs
+	}
+	sc.entries = entries
 	_, err := s.Cluster.PutBatch(entries, s.Level)
 	return err
 }
