@@ -6,6 +6,7 @@
 //
 //	slatectl -addr 127.0.0.1:8080 status
 //	slatectl -addr 127.0.0.1:8080 slate U1 Walmart
+//	slatectl -addr 127.0.0.1:8080 -raw slate U2 "music_20"
 //	slatectl -addr 127.0.0.1:8080 dump U1
 //	slatectl -addr 127.0.0.1:8080 recovery
 //	slatectl -addr 127.0.0.1:8080 -batch 500 ingest < events.json
@@ -13,6 +14,10 @@
 // The recovery command prints the engine's recovery-subsystem status:
 // ring membership, failover and rejoin counts, WAL replay totals, and
 // the latest incident reports.
+//
+// The slate command pretty-prints JSON slate payloads (the output of
+// the typed API's JSONCodec, and of hand-rolled JSON slates); -raw
+// dumps the payload verbatim instead.
 //
 // The ingest command reads JSON events from stdin — either one JSON
 // array or a stream of objects, each {"stream","ts","key","value"} —
@@ -35,6 +40,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "engine HTTP address")
 	batch := flag.Int("batch", 500, "events per POST /ingest request")
+	raw := flag.Bool("raw", false, "print slate payloads verbatim instead of pretty-printing JSON")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -49,7 +55,7 @@ func main() {
 		if len(args) != 3 {
 			usage()
 		}
-		get(fmt.Sprintf("http://%s/slate/%s/%s", *addr, url.PathEscape(args[1]), args[2]))
+		slate(fmt.Sprintf("http://%s/slate/%s/%s", *addr, url.PathEscape(args[1]), args[2]), *raw)
 	case "dump":
 		if len(args) != 2 {
 			usage()
@@ -203,6 +209,27 @@ func postBatch(u string, batch []jsonEvent) (ingestReply, error) {
 }
 
 func get(u string) {
+	fmt.Printf("%s\n", fetch(u))
+}
+
+// slate prints one slate payload. Slates are codec output — JSON for
+// every JSONCodec (and hand-rolled JSON) slate — so by default a JSON
+// payload is pretty-printed; -raw restores the verbatim dump for
+// opaque or machine-consumed slates.
+func slate(u string, raw bool) {
+	body := fetch(u)
+	if !raw && json.Valid(body) {
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, body, "", "  "); err == nil {
+			fmt.Printf("%s\n", pretty.Bytes())
+			return
+		}
+	}
+	fmt.Printf("%s\n", body)
+}
+
+// fetch GETs u and returns the body, exiting on any failure.
+func fetch(u string) []byte {
 	resp, err := http.Get(u)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -214,10 +241,10 @@ func get(u string) {
 		fmt.Fprintf(os.Stderr, "%s: %s", resp.Status, body)
 		os.Exit(1)
 	}
-	fmt.Printf("%s\n", body)
+	return body
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: slatectl [-addr host:port] [-batch n] status | recovery | slate <updater> <key> | dump <updater> | ingest")
+	fmt.Fprintln(os.Stderr, "usage: slatectl [-addr host:port] [-batch n] [-raw] status | recovery | slate <updater> <key> | dump <updater> | ingest")
 	os.Exit(2)
 }

@@ -9,15 +9,13 @@ import (
 )
 
 // Example demonstrates the smallest complete MapUpdate application: a
-// per-key counter whose slates are queryable while the stream flows.
+// per-key counter — written against the typed slate API, where the
+// slate is a live Go value mutated in place — whose slates are
+// queryable while the stream flows.
 func Example() {
-	count := muppet.UpdateFunc{FName: "U_count", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
-		n := 0
-		if sl != nil {
-			n, _ = strconv.Atoi(string(sl))
-		}
-		emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
-	}}
+	count := muppet.Update[int]("U_count", func(emit muppet.Emitter, in muppet.Event, n *int) {
+		*n++
+	})
 	app := muppet.NewApp("counts").Input("S1")
 	app.AddUpdate(count, []string{"S1"}, nil, 0)
 
@@ -35,8 +33,37 @@ func Example() {
 	// Output: 3
 }
 
+// ExampleUpdate shows a struct slate on the typed API: the object is
+// decoded once when it enters the slate cache, every event after that
+// mutates it in place, and the JSON encoding is produced only when the
+// slate is flushed or read — never per event.
+func ExampleUpdate() {
+	type SectionStats struct {
+		Hits int    `json:"hits"`
+		Last string `json:"last"`
+	}
+	stats := muppet.Update[SectionStats]("U_stats", func(emit muppet.Emitter, in muppet.Event, s *SectionStats) {
+		s.Hits++
+		s.Last = string(in.Value)
+	})
+	app := muppet.NewApp("stats").Input("requests")
+	app.AddUpdate(stats, []string{"requests"}, nil, 0)
+
+	eng, err := muppet.NewEngine(app, muppet.Config{Machines: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Stop()
+
+	eng.Ingest(muppet.Event{Stream: "requests", TS: 1, Key: "cart", Value: []byte("/cart")})
+	eng.Ingest(muppet.Event{Stream: "requests", TS: 2, Key: "cart", Value: []byte("/cart/checkout")})
+	eng.Drain()
+	fmt.Println(string(eng.Slate("U_stats", "cart")))
+	// Output: {"hits":2,"last":"/cart/checkout"}
+}
+
 // ExampleNewApp shows a two-stage workflow: a map function fanning a
-// line out into words, and an update function counting them — the
+// line out into words, and a typed update function counting them — the
 // MapReduce feel the paper preserves for streams.
 func ExampleNewApp() {
 	split := muppet.MapFunc{FName: "M_split", Fn: func(emit muppet.Emitter, in muppet.Event) {
@@ -44,13 +71,9 @@ func ExampleNewApp() {
 			emit.Publish("words", w, nil)
 		}
 	}}
-	count := muppet.UpdateFunc{FName: "U_count", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
-		n := 0
-		if sl != nil {
-			n, _ = strconv.Atoi(string(sl))
-		}
-		emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
-	}}
+	count := muppet.Update[int]("U_count", func(emit muppet.Emitter, in muppet.Event, n *int) {
+		*n++
+	})
 	app := muppet.NewApp("wordcount").
 		Input("lines").
 		AddMap(split, []string{"lines"}, []string{"words"}).
@@ -67,18 +90,41 @@ func ExampleNewApp() {
 	// Output: 2 2 1
 }
 
-// ExampleNewStore shows slates persisting to the replicated key-value
-// store and surviving an engine restart — the Section 4.2 durability
-// story.
-func ExampleNewStore() {
-	store := muppet.NewStore(muppet.StoreConfig{Nodes: 3, ReplicationFactor: 3, NoDevice: true})
-	count := muppet.UpdateFunc{FName: "U", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
+// ExampleUpdateFunc shows the classic byte-slate API, which remains
+// fully supported with unchanged semantics: the function receives the
+// raw slate bytes and replaces them explicitly.
+func ExampleUpdateFunc() {
+	count := muppet.UpdateFunc{FName: "U_count", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
 		n := 0
 		if sl != nil {
 			n, _ = strconv.Atoi(string(sl))
 		}
 		emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
 	}}
+	app := muppet.NewApp("counts").Input("S1")
+	app.AddUpdate(count, []string{"S1"}, nil, 0)
+
+	eng, err := muppet.NewEngine(app, muppet.Config{Machines: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Stop()
+	eng.Ingest(muppet.Event{Stream: "S1", TS: 1, Key: "k"})
+	eng.Ingest(muppet.Event{Stream: "S1", TS: 2, Key: "k"})
+	eng.Drain()
+	fmt.Println(string(eng.Slate("U_count", "k")))
+	// Output: 2
+}
+
+// ExampleNewStore shows slates persisting to the replicated key-value
+// store and surviving an engine restart — the Section 4.2 durability
+// story. Typed slates are stored as plain codec output (here JSON), so
+// a restarted engine decodes them straight back into live objects.
+func ExampleNewStore() {
+	store := muppet.NewStore(muppet.StoreConfig{Nodes: 3, ReplicationFactor: 3, NoDevice: true})
+	count := muppet.Update[int]("U", func(emit muppet.Emitter, in muppet.Event, n *int) {
+		*n++
+	})
 	mkApp := func() *muppet.App {
 		app := muppet.NewApp("durable").Input("S1")
 		app.AddUpdate(count, []string{"S1"}, nil, 0)

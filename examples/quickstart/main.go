@@ -37,13 +37,12 @@ func main() {
 		}
 		emit.Publish("hits", section, nil)
 	}}
-	count := muppet.UpdateFunc{FName: "U_count", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
-		n := 0
-		if sl != nil {
-			n, _ = strconv.Atoi(string(sl))
-		}
-		emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
-	}}
+	// The typed slate API: the slate is a live int mutated in place —
+	// decoded once when it enters the cache, re-encoded (as the same
+	// ASCII decimal) only when flushed or read.
+	count := muppet.Update[int]("U_count", func(emit muppet.Emitter, in muppet.Event, n *int) {
+		*n++
+	})
 
 	app := muppet.NewApp("quickstart").
 		Input("requests").

@@ -198,8 +198,7 @@ func E05CacheWorkingSet(s Scale) Table {
 	gen := muppetapps.NewGenerator(muppetapps.GenConfig{Seed: 5, ZipfS: 1.01})
 	events := gen.KeyedEvents("S1", n, hotKeys)
 	app := func() *muppet.App {
-		u := muppet.UpdateFunc{FName: "U", Fn: muppetapps.CountingUpdate}
-		return muppet.NewApp("ws").Input("S1").AddUpdate(u, []string{"S1"}, nil, 0)
+		return muppet.NewApp("ws").Input("S1").AddUpdate(muppetapps.Counting("U"), []string{"S1"}, nil, 0)
 	}
 	store := func() *muppet.Store {
 		return muppet.NewStore(muppet.StoreConfig{Nodes: 1, ReplicationFactor: 1, NoDevice: true})

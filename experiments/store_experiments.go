@@ -8,6 +8,7 @@ import (
 	"muppet/internal/clock"
 	"muppet/internal/kvstore"
 	"muppet/internal/storage"
+	"muppet/muppetapps"
 )
 
 // E08SSDvsHDD reproduces the §4.2 argument for running the slate store
@@ -215,16 +216,10 @@ func E11TTL(s Scale) Table {
 }
 
 // counterOnlyApp is a single-updater counting app used by store
-// experiments.
+// experiments, on the typed API (slates at rest stay the same ASCII
+// decimals the byte-slate version wrote).
 func counterOnlyApp() *muppet.App {
-	u := muppet.UpdateFunc{FName: "U", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
-		n := 0
-		if sl != nil {
-			fmt.Sscanf(string(sl), "%d", &n)
-		}
-		emit.ReplaceSlate([]byte(fmt.Sprintf("%d", n+1)))
-	}}
-	return muppet.NewApp("counter").Input("S1").AddUpdate(u, []string{"S1"}, nil, 0)
+	return muppet.NewApp("counter").Input("S1").AddUpdate(muppetapps.Counting("U"), []string{"S1"}, nil, 0)
 }
 
 // keyedEvents builds a Zipf-keyed event stream.

@@ -102,11 +102,11 @@ func E13Overflow(s Scale) Table {
 		{"overflow stream", muppet.DivertOverflow, false},
 		{"source throttling", muppet.DropOverflow, true},
 	} {
-		slow := muppet.UpdateFunc{FName: "U_full", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
+		slow := muppet.Update[int]("U_full", func(emit muppet.Emitter, in muppet.Event, n *int) {
 			time.Sleep(200 * time.Microsecond) // expensive main-path operator
-			muppetapps.CountingUpdate(emit, in, sl)
-		}}
-		cheap := muppet.UpdateFunc{FName: "U_degraded", Fn: muppetapps.CountingUpdate}
+			*n++
+		})
+		cheap := muppetapps.Counting("U_degraded")
 		app := muppet.NewApp("overflow").
 			Input("S1", "S_ovf").
 			AddUpdate(slow, []string{"S1"}, nil, 0).
@@ -322,17 +322,17 @@ func E17SlateSize(s Scale) Table {
 		for i := range pad {
 			pad[i] = byte('a' + i%23)
 		}
-		u := muppet.UpdateFunc{FName: "U", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
-			// The slate is a counter followed by size bytes of state;
-			// every update deserializes and rewrites it, as a profile
-			// slate would.
+		// The raw-bytes codec: the application keeps full control of
+		// the encoding (a counter line followed by size bytes of
+		// state) and rewrites it wholesale per update, as a profile
+		// slate would.
+		u := muppet.UpdateWith[[]byte]("U", muppet.RawCodec{}, func(emit muppet.Emitter, in muppet.Event, sl *[]byte) {
 			c := 0
-			if sl != nil {
-				fmt.Sscanf(string(sl), "%d", &c)
+			if len(*sl) > 0 {
+				fmt.Sscanf(string(*sl), "%d", &c)
 			}
-			body := append([]byte(fmt.Sprintf("%d\n", c+1)), pad...)
-			emit.ReplaceSlate(body)
-		}}
+			*sl = append([]byte(fmt.Sprintf("%d\n", c+1)), pad...)
+		})
 		app := muppet.NewApp("big-slates").Input("S1").AddUpdate(u, []string{"S1"}, nil, 0)
 		eng, err := muppet.NewEngine(app, muppet.Config{
 			Machines: 2, Store: store, StoreLevel: muppet.One,

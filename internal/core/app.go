@@ -39,6 +39,12 @@ type FunctionSpec struct {
 	// because different updaters track data with different shelf lives
 	// (Section 4.2).
 	TTL time.Duration
+	// Codec is the erased slate codec of a typed update function
+	// (built with Update/UpdateWith); nil for classic byte-slate
+	// updaters. When set, the engines route the function's slate
+	// through the cache's decoded slot: decode once per cache fill,
+	// encode once per flush or external read.
+	Codec SlateCodec
 }
 
 // Name returns the function's workflow name.
@@ -57,6 +63,10 @@ type App struct {
 	functions map[string]*FunctionSpec
 	inputs    map[string]bool
 	outputs   map[string]bool
+	// problems collects registration errors (duplicate names, nil
+	// functions) as they happen; Validate reports them. Registration
+	// stays chainable — errors surface once, at engine construction.
+	problems []string
 }
 
 // NewApp returns an empty application with the given name.
@@ -67,6 +77,22 @@ func NewApp(name string) *App {
 		inputs:    make(map[string]bool),
 		outputs:   make(map[string]bool),
 	}
+}
+
+// registerName checks a function registration for the problems that
+// used to be silently absorbed — a nil function, or a second function
+// with the same name overwriting the first — and records them for
+// Validate. It reports whether the registration may proceed.
+func (a *App) registerName(name string, kind string, fnNil bool) bool {
+	if fnNil {
+		a.problems = append(a.problems, fmt.Sprintf("%s function %q is nil", kind, name))
+		return false
+	}
+	if _, dup := a.functions[name]; dup {
+		a.problems = append(a.problems, fmt.Sprintf("duplicate function name %s (the %s registration would overwrite an earlier function)", name, kind))
+		return false
+	}
+	return true
 }
 
 // Name returns the application name.
@@ -92,8 +118,22 @@ func (a *App) Output(streams ...string) *App {
 }
 
 // AddMap adds a map function subscribing to subs and publishing to
-// pubs.
+// pubs. Registering nil, a function with a nil body, or a second
+// function under an existing name is recorded and reported by
+// Validate (and therefore by NewEngine) instead of silently
+// overwriting.
 func (a *App) AddMap(m Mapper, subs, pubs []string) *App {
+	if m == nil {
+		a.problems = append(a.problems, "AddMap called with a nil map function")
+		return a
+	}
+	fnNil := false
+	if mf, ok := m.(MapFunc); ok {
+		fnNil = mf.Fn == nil
+	}
+	if !a.registerName(m.Name(), "map", fnNil) {
+		return a
+	}
 	a.functions[m.Name()] = &FunctionSpec{
 		Kind:       KindMap,
 		Mapper:     m,
@@ -104,15 +144,36 @@ func (a *App) AddMap(m Mapper, subs, pubs []string) *App {
 }
 
 // AddUpdate adds an update function subscribing to subs and publishing
-// to pubs with the given slate TTL (0 = forever).
+// to pubs with the given slate TTL (0 = forever). Typed updaters
+// (Update/UpdateWith) carry their slate codec onto the function spec
+// here. Nil functions and duplicate names are recorded and reported by
+// Validate, like AddMap.
 func (a *App) AddUpdate(u Updater, subs, pubs []string, ttl time.Duration) *App {
-	a.functions[u.Name()] = &FunctionSpec{
+	if u == nil {
+		a.problems = append(a.problems, "AddUpdate called with a nil update function")
+		return a
+	}
+	fnNil := false
+	switch uf := u.(type) {
+	case UpdateFunc:
+		fnNil = uf.Fn == nil
+	case interface{ nilFn() bool }:
+		fnNil = uf.nilFn()
+	}
+	if !a.registerName(u.Name(), "update", fnNil) {
+		return a
+	}
+	spec := &FunctionSpec{
 		Kind:       KindUpdate,
 		Updater:    u,
 		Subscribes: append([]string(nil), subs...),
 		Publishes:  append([]string(nil), pubs...),
 		TTL:        ttl,
 	}
+	if du, ok := u.(DecodedUpdater); ok {
+		spec.Codec = du.SlateCodec()
+	}
+	a.functions[u.Name()] = spec
 	return a
 }
 
@@ -199,50 +260,84 @@ func (a *App) MayPublish(function, stream string) bool {
 	return false
 }
 
+// ValidationError reports an invalid application workflow graph. It is
+// the dedicated error type NewEngine returns when an *App fails
+// validation, carrying every problem found rather than just the first.
+type ValidationError struct {
+	// App is the application name.
+	App string
+	// Problems lists every validation failure, in deterministic order.
+	Problems []string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	if len(e.Problems) == 1 {
+		return fmt.Sprintf("app %s: %s", e.App, e.Problems[0])
+	}
+	msg := fmt.Sprintf("app %s: %d problems:", e.App, len(e.Problems))
+	for _, p := range e.Problems {
+		msg += "\n  - " + p
+	}
+	return msg
+}
+
 // Validate checks the workflow graph:
 //
 //   - at least one function and one external input;
+//   - no duplicate or nil function registrations (recorded by
+//     AddMap/AddUpdate);
 //   - every subscribed stream is an external input or is published by
 //     some function (no dangling edges);
 //   - no function publishes into an external input stream (the
 //     assumption that makes source throttling safe, Section 5);
 //   - every declared output stream is published by some function;
 //   - function names are non-empty.
+//
+// It returns nil or a *ValidationError collecting every problem.
+// NewEngine calls it, so a misconfigured app fails at construction
+// with the full list instead of misbehaving mid-stream.
 func (a *App) Validate() error {
+	problems := append([]string(nil), a.problems...)
 	if len(a.functions) == 0 {
-		return fmt.Errorf("app %s: no map or update functions", a.name)
+		problems = append(problems, "no map or update functions")
 	}
 	if len(a.inputs) == 0 {
-		return fmt.Errorf("app %s: no external input streams declared", a.name)
+		problems = append(problems, "no external input streams declared")
 	}
 	published := make(map[string]bool)
-	for name, f := range a.functions {
+	for _, f := range a.Functions() {
+		name := f.Name()
 		if name == "" {
-			return fmt.Errorf("app %s: function with empty name", a.name)
+			problems = append(problems, "function with empty name")
 		}
 		for _, s := range f.Publishes {
 			if a.inputs[s] {
-				return fmt.Errorf("app %s: function %s publishes into external input stream %s", a.name, name, s)
+				problems = append(problems, fmt.Sprintf("function %s publishes into external input stream %s", name, s))
 			}
 			published[s] = true
 		}
 	}
-	for name, f := range a.functions {
+	for _, f := range a.Functions() {
+		name := f.Name()
 		if len(f.Subscribes) == 0 {
-			return fmt.Errorf("app %s: function %s subscribes to no streams", a.name, name)
+			problems = append(problems, fmt.Sprintf("function %s subscribes to no streams", name))
 		}
 		for _, s := range f.Subscribes {
 			if !a.inputs[s] && !published[s] {
-				return fmt.Errorf("app %s: function %s subscribes to stream %s that nothing produces", a.name, name, s)
+				problems = append(problems, fmt.Sprintf("function %s subscribes to stream %s that nothing produces", name, s))
 			}
 		}
 	}
-	for s := range a.outputs {
+	for _, s := range sortedKeys(a.outputs) {
 		if !published[s] && !a.inputs[s] {
-			return fmt.Errorf("app %s: declared output stream %s is never published", a.name, s)
+			problems = append(problems, fmt.Sprintf("declared output stream %s is never published", s))
 		}
 	}
-	return nil
+	if len(problems) == 0 {
+		return nil
+	}
+	return &ValidationError{App: a.name, Problems: problems}
 }
 
 func sortedKeys(m map[string]bool) []string {

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"encoding/json"
+
+	"muppet/internal/event"
+	"muppet/internal/slate"
+)
+
+// SlateCodec is the erased slate codec carried on FunctionSpec for
+// typed update functions: the engines thread it into the slate cache
+// so decoding happens once per cache fill and encoding once per flush
+// or external read, instead of once per event inside the updater.
+type SlateCodec = slate.Codec
+
+// Codec translates a slate between its at-rest byte encoding and the
+// application's slate type S. JSONCodec is the default; RawCodec keeps
+// the bytes themselves as the "object" for applications that manage
+// their own encoding.
+type Codec[S any] interface {
+	// Decode parses the at-rest encoding into a fresh *S.
+	Decode(data []byte) (*S, error)
+	// AppendEncode appends the at-rest encoding of s to dst and
+	// returns the extended slice.
+	AppendEncode(dst []byte, s *S) ([]byte, error)
+}
+
+// JSONCodec encodes slates as JSON — the encoding every application in
+// the paper's examples already used by hand. It is the default codec
+// of Update. Note that a JSON-encoded int is the same ASCII decimal
+// the classic counting updaters wrote, so migrating a counter to
+// Update[int] leaves its slates at rest byte-for-byte identical.
+type JSONCodec[S any] struct{}
+
+// Decode implements Codec.
+func (JSONCodec[S]) Decode(data []byte) (*S, error) {
+	s := new(S)
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AppendEncode implements Codec.
+func (JSONCodec[S]) AppendEncode(dst []byte, s *S) ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, b...), nil
+}
+
+// RawCodec is the compatibility codec: the slate object is the byte
+// slice itself. An updater built with UpdateWith and RawCodec keeps
+// full control of its encoding while still gaining the typed API's
+// mutate-in-place contract and the decode-once cache slot (here a
+// copy-once slot).
+type RawCodec struct{}
+
+// Decode implements Codec[[]byte]: it returns a private copy of the
+// stored bytes (the object is mutable in place; the cache's encoding
+// must not be).
+func (RawCodec) Decode(data []byte) (*[]byte, error) {
+	b := append([]byte(nil), data...)
+	return &b, nil
+}
+
+// AppendEncode implements Codec[[]byte].
+func (RawCodec) AppendEncode(dst []byte, s *[]byte) ([]byte, error) {
+	return append(dst, *s...), nil
+}
+
+// DecodedUpdater is implemented by update functions built with the
+// typed constructors (Update, UpdateWith). The engines detect it and
+// route the invocation through the decoded slate cache: the function
+// receives the live slate object instead of bytes, and the at-rest
+// encoding is produced once per flush batch rather than once per
+// event. The plain Update method remains the byte-slate fallback used
+// by the Reference executor (and any path without a decoded cache);
+// both paths run the same application function through the same codec,
+// so they produce identical slates.
+type DecodedUpdater interface {
+	Updater
+	// UpdateDecoded processes one input event with the decoded slate
+	// object — always a non-nil *S, zero-valued when no slate exists
+	// for the key yet. The function mutates it in place; after the
+	// call the object (mutated or not) is the slate.
+	UpdateDecoded(emit Emitter, in event.Event, slate any)
+	// SlateCodec returns the erased codec the engines hand to the
+	// slate cache.
+	SlateCodec() SlateCodec
+}
+
+// Update builds a typed update function with the default JSONCodec:
+// the function receives the decoded slate object s — never nil,
+// zero-valued for a missing slate — and mutates it in place instead of
+// calling Emitter.ReplaceSlate (which typed updaters must not call;
+// the mutated object is the slate). Publishing events through emit
+// works exactly as in the classic API.
+//
+// Every invocation retains the object as the slate, mutated or not —
+// there is no typed equivalent of "return without ReplaceSlate". An
+// updater that must leave missing slates uncreated on some events
+// (e.g. rejecting unparseable input without materializing a zero
+// slate) should validate upstream in a map function, or stay on the
+// classic byte-slate API.
+func Update[S any](name string, fn func(emit Emitter, in event.Event, s *S)) Updater {
+	return UpdateWith[S](name, JSONCodec[S]{}, fn)
+}
+
+// UpdateWith builds a typed update function with an explicit codec.
+func UpdateWith[S any](name string, codec Codec[S], fn func(emit Emitter, in event.Event, s *S)) Updater {
+	return &typedUpdater[S]{name: name, codec: codec, fn: fn}
+}
+
+// typedUpdater adapts a typed update function onto the Updater surface
+// and carries its codec for the engines.
+type typedUpdater[S any] struct {
+	name  string
+	codec Codec[S]
+	fn    func(emit Emitter, in event.Event, s *S)
+}
+
+// Name implements Updater.
+func (u *typedUpdater[S]) Name() string { return u.name }
+
+// Update implements Updater — the byte-slate fallback path: decode,
+// run the function, re-encode, ReplaceSlate. A slate that fails to
+// decode is treated as missing (the function starts from a zero
+// value), matching the lenient json.Unmarshal handling the hand-
+// written updaters used; an encode failure leaves the slate unchanged.
+func (u *typedUpdater[S]) Update(emit Emitter, in event.Event, sl []byte) {
+	var s *S
+	if sl != nil {
+		s, _ = u.codec.Decode(sl)
+	}
+	if s == nil {
+		s = new(S)
+	}
+	u.fn(emit, in, s)
+	b, err := u.codec.AppendEncode(nil, s)
+	if err != nil {
+		return
+	}
+	emit.ReplaceSlate(b)
+}
+
+// UpdateDecoded implements DecodedUpdater.
+func (u *typedUpdater[S]) UpdateDecoded(emit Emitter, in event.Event, slate any) {
+	u.fn(emit, in, slate.(*S))
+}
+
+// SlateCodec implements DecodedUpdater.
+func (u *typedUpdater[S]) SlateCodec() SlateCodec { return erasedCodec[S]{u.codec} }
+
+// nilFn reports whether the updater was built with a nil function
+// body; App.Validate surfaces it as a registration error instead of a
+// nil-dereference panic mid-stream.
+func (u *typedUpdater[S]) nilFn() bool { return u.fn == nil }
+
+// erasedCodec adapts the typed Codec[S] onto the erased SlateCodec the
+// slate cache stores per entry.
+type erasedCodec[S any] struct{ c Codec[S] }
+
+func (e erasedCodec[S]) New() any { return new(S) }
+
+func (e erasedCodec[S]) Decode(data []byte) (any, error) {
+	s, err := e.c.Decode(data)
+	if err != nil || s == nil {
+		// A typed nil must not leak into the erased world as a
+		// non-nil any.
+		return nil, err
+	}
+	return s, nil
+}
+
+func (e erasedCodec[S]) AppendEncode(dst []byte, v any) ([]byte, error) {
+	return e.c.AppendEncode(dst, v.(*S))
+}

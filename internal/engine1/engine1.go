@@ -114,6 +114,7 @@ func (c *Config) fill() {
 type taskRequest struct {
 	ev       event.Event
 	slateIn  []byte
+	slateObj any // decoded slate object of a typed updater (never nil when set)
 	isUpdate bool
 }
 
@@ -311,14 +312,35 @@ func (e *Engine) conductorLoop(w *worker, q *queue.Queue[event.Event], req chan 
 			continue
 		}
 		r := taskRequest{ev: ev, isUpdate: w.fn.Kind == core.KindUpdate}
+		codec := w.fn.Codec
 		if r.isUpdate {
-			r.slateIn, _ = w.cache.Get(slate.Key{Updater: w.fn.Name(), Key: ev.Key})
+			sk := slate.Key{Updater: w.fn.Name(), Key: ev.Key}
+			if codec != nil {
+				// Typed updater: the decoded object (decoded at most
+				// once per cache fill) crosses the IPC hop instead of
+				// bytes, pinned in the cache so the flusher leaves it
+				// alone until the post-invocation PutDecoded. A read
+				// error (store failure, undecodable row) falls back to
+				// a fresh zero-value slate — the byte path's
+				// disposition for an always-replacing updater — and is
+				// counted in the cache's DecodeErrors.
+				r.slateObj, _ = w.cache.GetDecoded(sk, codec)
+				if r.slateObj == nil {
+					r.slateObj = codec.New()
+				}
+			} else {
+				r.slateIn, _ = w.cache.Get(sk)
+			}
 		}
 		// The 1.0 design pays an IPC hop here: event (and slate) cross
 		// to the task-processor process and back.
 		req <- r
 		rsp := <-resp
-		if rsp.replaced {
+		if r.isUpdate && codec != nil {
+			w.cache.PutDecoded(slate.Key{Updater: w.fn.Name(), Key: ev.Key}, r.slateObj, codec)
+			e.counters.SlateUpdates.Add(1)
+			e.counters.ObserveLatency(ev)
+		} else if rsp.replaced {
 			w.cache.Put(slate.Key{Updater: w.fn.Name(), Key: ev.Key}, rsp.newSlate)
 			e.counters.SlateUpdates.Add(1)
 			e.counters.ObserveLatency(ev)
@@ -344,7 +366,11 @@ func (e *Engine) taskProcessorLoop(w *worker, req chan taskRequest, resp chan ta
 		case core.KindMap:
 			w.fn.Mapper.Map(&em, r.ev)
 		case core.KindUpdate:
-			w.fn.Updater.Update(&em, r.ev, r.slateIn)
+			if r.slateObj != nil {
+				w.fn.Updater.(core.DecodedUpdater).UpdateDecoded(&em, r.ev, r.slateObj)
+			} else {
+				w.fn.Updater.Update(&em, r.ev, r.slateIn)
+			}
 		}
 		// One allocation holds every published value; the conductor's
 		// derived events slice it (the scratch arena is reused next
@@ -1116,6 +1142,8 @@ func (e *Engine) CacheStats(updater string) slate.CacheStats {
 		total.StoreSaves += s.StoreSaves
 		total.Evictions += s.Evictions
 		total.DirtyLost += s.DirtyLost
+		total.DecodeErrors += s.DecodeErrors
+		total.EncodeErrors += s.EncodeErrors
 		total.Size += s.Size
 	}
 	return total

@@ -661,12 +661,33 @@ func (e *Engine) process(m *machine, em *collectEmitter, env engine.Envelope) {
 	case core.KindUpdate:
 		sk := slate.Key{Updater: env.Func, Key: env.Ev.Key}
 		lock := e.acquireSlate(m, sk)
-		sl, _ := m.cache.Get(sk)
-		f.Updater.Update(em, env.Ev, sl)
-		if em.replaced {
-			m.cache.Put(sk, em.newSlate)
+		if f.Codec != nil {
+			// Typed updater: hand it the cached decoded object (decoded
+			// at most once per cache fill), let it mutate in place, and
+			// mark the entry dirty; the bytes are re-encoded once per
+			// flush batch or external read, not here. The per-slate lock
+			// serializes mutation; the cache pin taken by GetDecoded
+			// keeps the concurrent flusher off the object meanwhile.
+			// A read error (store failure, undecodable row) falls back
+			// to a fresh zero-value slate — the same disposition the
+			// byte path gives an always-replacing updater — and is
+			// counted in the cache's DecodeErrors.
+			v, _ := m.cache.GetDecoded(sk, f.Codec)
+			if v == nil {
+				v = f.Codec.New()
+			}
+			f.Updater.(core.DecodedUpdater).UpdateDecoded(em, env.Ev, v)
+			m.cache.PutDecoded(sk, v, f.Codec)
 			e.counters.SlateUpdates.Add(1)
 			e.counters.ObserveLatency(env.Ev)
+		} else {
+			sl, _ := m.cache.Get(sk)
+			f.Updater.Update(em, env.Ev, sl)
+			if em.replaced {
+				m.cache.Put(sk, em.newSlate)
+				e.counters.SlateUpdates.Add(1)
+				e.counters.ObserveLatency(env.Ev)
+			}
 		}
 		e.releaseSlate(m, sk, lock)
 	}
@@ -1276,6 +1297,8 @@ func (e *Engine) CacheStats() slate.CacheStats {
 		total.StoreSaves += s.StoreSaves
 		total.Evictions += s.Evictions
 		total.DirtyLost += s.DirtyLost
+		total.DecodeErrors += s.DecodeErrors
+		total.EncodeErrors += s.EncodeErrors
 		total.Size += s.Size
 	}
 	return total

@@ -161,7 +161,15 @@ func Handler(r SlateReader) http.Handler {
 			http.Error(w, "no slate for "+updater+"/"+key, http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/octet-stream")
+		// The engine materializes the reply through the slate codec
+		// (typed slates re-encode at most once per read); JSONCodec
+		// output — and every hand-rolled JSON slate — is served as
+		// JSON, anything else as an opaque blob.
+		if json.Valid(v) {
+			w.Header().Set("Content-Type", "application/json")
+		} else {
+			w.Header().Set("Content-Type", "application/octet-stream")
+		}
 		w.Write(v)
 	})
 	mux.HandleFunc("/slates/", func(w http.ResponseWriter, req *http.Request) {

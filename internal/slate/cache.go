@@ -54,7 +54,18 @@ type CacheStats struct {
 	StoreSaves uint64
 	Evictions  uint64
 	DirtyLost  uint64 // dirty slates discarded by Crash
-	Size       int
+	// DecodeErrors counts typed reads (GetDecoded) whose codec failed
+	// to decode the stored bytes — the engine falls back to a fresh
+	// zero-value slate, so a non-zero count is the signal that stored
+	// state was unreadable (and will be overwritten).
+	DecodeErrors uint64
+	// EncodeErrors counts failed attempts to materialize a decoded
+	// slate's at-rest encoding (flush, eviction, reads). The entry
+	// stays dirty and resident — never silently dropped — but it also
+	// cannot reach the store until the encode succeeds, so a growing
+	// count means slates are wedged in memory.
+	EncodeErrors uint64
+	Size         int
 }
 
 // CacheConfig tunes a slate cache.
@@ -81,6 +92,19 @@ type entry struct {
 	value []byte
 	dirty bool
 	elem  *list.Element
+
+	// Typed-slate state. decoded is the live object of a typed update
+	// function's slate (nil for classic byte slates); codec encodes it
+	// back to bytes. stale marks value as older than decoded (the next
+	// flush or external read re-encodes). pins counts updaters holding
+	// the decoded object outside the cache lock: while pinned the
+	// object may be mutated in place, so flush, eviction, and reads
+	// must not encode it — they skip the entry (it stays dirty) or
+	// serve the last materialized encoding instead.
+	decoded any
+	codec   Codec
+	stale   bool
+	pins    int
 }
 
 // Cache is an LRU slate cache with dirty tracking. It is safe for
@@ -123,7 +147,7 @@ func (c *Cache) Get(k Key) ([]byte, error) {
 	if e, ok := c.items[k]; ok {
 		c.stats.Hits++
 		c.lru.MoveToFront(e.elem)
-		return e.value, nil
+		return e.snapshotLocked(&c.stats), nil
 	}
 	c.stats.Misses++
 	if c.cfg.Store == nil {
@@ -141,6 +165,88 @@ func (c *Cache) Get(k Key) ([]byte, error) {
 	return v, nil
 }
 
+// GetDecoded returns the decoded slate object for k, decoding the
+// cached (or store-loaded) bytes through codec at most once per cache
+// fill. The returned object is pinned until the matching PutDecoded:
+// the caller may mutate it in place, and flushes skip the entry in the
+// meantime. A nil object with nil error means the slate does not exist
+// yet; the caller initializes a fresh one (Codec.New) and hands it
+// back through PutDecoded, which inserts it.
+func (c *Cache) GetDecoded(k Key, codec Codec) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[k]; ok {
+		c.stats.Hits++
+		c.lru.MoveToFront(e.elem)
+		if e.decoded == nil {
+			v, err := codec.Decode(e.value)
+			if err != nil {
+				c.stats.DecodeErrors++
+				return nil, err
+			}
+			e.decoded = v
+			e.codec = codec
+		}
+		e.pins++
+		return e.decoded, nil
+	}
+	c.stats.Misses++
+	if c.cfg.Store == nil {
+		return nil, nil
+	}
+	c.stats.StoreLoads++
+	raw, found, err := c.cfg.Store.Load(k)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	v, err := codec.Decode(raw)
+	if err != nil {
+		c.stats.DecodeErrors++
+		return nil, err
+	}
+	e := c.insertLocked(k, raw, false)
+	e.decoded = v
+	e.codec = codec
+	e.pins++
+	return v, nil
+}
+
+// PutDecoded installs the decoded slate object for k — the typed
+// equivalent of Put: the object becomes the slate's source of truth,
+// the entry is marked dirty, and the encode is deferred to the next
+// flush or external read. It releases the pin taken by GetDecoded.
+// Under WriteThrough the object is encoded and persisted before
+// PutDecoded returns, exactly like Put.
+func (c *Cache) PutDecoded(k Key, v any, codec Codec) error {
+	c.mu.Lock()
+	e, ok := c.items[k]
+	if ok {
+		e.setDecodedLocked(v, codec)
+		e.dirty = true
+		c.lru.MoveToFront(e.elem)
+	} else {
+		e = c.insertLocked(k, nil, true)
+		e.setDecodedLocked(v, codec)
+	}
+	if c.cfg.Policy == WriteThrough && c.cfg.Store != nil {
+		if err := e.encodeLocked(); err != nil {
+			c.stats.EncodeErrors++
+			c.mu.Unlock()
+			return err
+		}
+		e.dirty = false
+		c.stats.StoreSaves++
+		store, value, ttl := c.cfg.Store, e.value, c.ttl(k)
+		c.mu.Unlock()
+		return store.Save(k, value, ttl)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
 // Peek returns the cached slate without promoting it or falling back
 // to the store; the HTTP slate-read path uses the cache "rather than
 // the durable key-value store to ensure an up-to-date reply"
@@ -149,7 +255,7 @@ func (c *Cache) Peek(k Key) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.items[k]; ok {
-		return e.value, true
+		return e.snapshotLocked(&c.stats), true
 	}
 	return nil, false
 }
@@ -159,7 +265,7 @@ func (c *Cache) Peek(k Key) ([]byte, bool) {
 func (c *Cache) Put(k Key, value []byte) error {
 	c.mu.Lock()
 	if e, ok := c.items[k]; ok {
-		e.value = value
+		e.setBytesLocked(value)
 		e.dirty = true
 		c.lru.MoveToFront(e.elem)
 	} else {
@@ -190,30 +296,47 @@ func (c *Cache) Delete(k Key) {
 }
 
 // insertLocked adds a new entry, evicting as needed.
-func (c *Cache) insertLocked(k Key, value []byte, dirty bool) {
+func (c *Cache) insertLocked(k Key, value []byte, dirty bool) *entry {
 	e := &entry{key: k, value: value, dirty: dirty}
 	e.elem = c.lru.PushFront(e)
 	c.items[k] = e
 	for len(c.items) > c.cfg.Capacity {
-		c.evictLocked()
+		if !c.evictLocked() {
+			break
+		}
 	}
+	return e
 }
 
-func (c *Cache) evictLocked() {
-	back := c.lru.Back()
-	if back == nil {
-		return
+// evictLocked evicts the least recently used unpinned entry; a pinned
+// entry's decoded object is in an updater's hands and cannot be
+// encoded for persistence, so the walk skips it (capacity may be
+// exceeded for the pin's microseconds-long lifetime). It reports
+// whether a victim was found.
+func (c *Cache) evictLocked() bool {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if e.pins > 0 {
+			continue
+		}
+		if e.dirty && c.cfg.Store != nil {
+			// Interval and OnEvict persist on eviction; WriteThrough
+			// entries are already clean. A typed entry encodes here;
+			// if the encode fails the slate cannot be persisted, so
+			// keep it resident rather than drop dirty data.
+			if err := e.encodeLocked(); err != nil {
+				c.stats.EncodeErrors++
+				continue
+			}
+			c.stats.StoreSaves++
+			c.cfg.Store.Save(e.key, e.value, c.ttl(e.key))
+		}
+		c.lru.Remove(el)
+		delete(c.items, e.key)
+		c.stats.Evictions++
+		return true
 	}
-	e := back.Value.(*entry)
-	if e.dirty && c.cfg.Store != nil {
-		// Interval and OnEvict persist on eviction; WriteThrough
-		// entries are already clean.
-		c.stats.StoreSaves++
-		c.cfg.Store.Save(e.key, e.value, c.ttl(e.key))
-	}
-	c.lru.Remove(back)
-	delete(c.items, e.key)
-	c.stats.Evictions++
+	return false
 }
 
 // FlushDirty persists every dirty slate (the periodic flush of the
@@ -228,10 +351,21 @@ func (c *Cache) FlushDirty() (int, error) {
 	}
 	var batch []pending
 	for _, e := range c.items {
-		if e.dirty {
-			e.dirty = false
-			batch = append(batch, pending{e.key, e.value, c.ttl(e.key)})
+		if !e.dirty {
+			continue
 		}
+		// A pinned entry's decoded object is being mutated by an
+		// updater right now; leave it dirty for the next flush. A
+		// stale entry encodes here — once per flush, not per event.
+		if e.pins > 0 {
+			continue
+		}
+		if e.encodeLocked() != nil {
+			c.stats.EncodeErrors++
+			continue
+		}
+		e.dirty = false
+		batch = append(batch, pending{e.key, e.value, c.ttl(e.key)})
 	}
 	store := c.cfg.Store
 	c.stats.StoreSaves += uint64(len(batch))

@@ -9,6 +9,31 @@
 // slate before storing it in the key-value store, both of which this
 // package reproduces.
 //
+// # Decoded slates (the typed API's cache slot)
+//
+// Typed update functions (core.Update) do not want bytes at all: their
+// slate is a live Go object. Both store implementations therefore give
+// each entry a decoded-value slot next to the encoded bytes, driven by
+// an erased Codec:
+//
+//   - GetDecoded(k, codec) decodes the cached (or store-loaded) bytes
+//     at most once per cache fill and returns the object *pinned*: the
+//     caller may mutate it in place, and until the matching PutDecoded
+//     the flusher, evictor, and byte readers leave the object alone
+//     (reads serve the last materialized encoding; flushes keep the
+//     entry dirty for the next round).
+//   - PutDecoded(k, obj, codec) marks the entry dirty and defers the
+//     re-encode: FlushDirty, eviction, and byte reads (Get/Peek)
+//     materialize the encoding lazily — once per flush batch or read,
+//     not once per event. WriteThrough encodes immediately, preserving
+//     its per-update persistence semantics.
+//
+// A byte-level Put on the same key drops the decoded object and makes
+// the bytes the source of truth again, so classic and typed updaters
+// compose against one cache. Slates at rest are unaffected: what
+// reaches the Store (and the group-commit WAL) is always the codec's
+// plain output.
+//
 // # Store implementations
 //
 // Engines program against the SlateStore interface. Two implementations

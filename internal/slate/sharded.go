@@ -180,7 +180,7 @@ func (s *Sharded) Get(k Key) ([]byte, error) {
 	if e, ok := sh.items[k]; ok {
 		sh.stats.Hits++
 		sh.lru.MoveToFront(e.elem)
-		v := e.value
+		v := e.snapshotLocked(&sh.stats)
 		sh.mu.Unlock()
 		return v, nil
 	}
@@ -214,7 +214,7 @@ func (s *Sharded) Peek(k Key) ([]byte, bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if e, ok := sh.items[k]; ok {
-		return e.value, true
+		return e.snapshotLocked(&sh.stats), true
 	}
 	return nil, false
 }
@@ -225,7 +225,7 @@ func (s *Sharded) Put(k Key, value []byte) error {
 	sh.mu.Lock()
 	e, ok := sh.items[k]
 	if ok {
-		e.value = value
+		e.setBytesLocked(value)
 		if !e.dirty {
 			e.dirty = true
 			sh.dirty[k] = e
@@ -239,6 +239,92 @@ func (s *Sharded) Put(k Key, value []byte) error {
 		delete(sh.dirty, k)
 		sh.stats.StoreSaves++
 		ttl := s.ttl(k)
+		sh.mu.Unlock()
+		return s.cfg.Store.Save(k, value, ttl)
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+// GetDecoded implements SlateStore: the typed read path. The decoded
+// object is produced at most once per cache fill and pinned until the
+// matching PutDecoded; see Cache.GetDecoded for the contract.
+func (s *Sharded) GetDecoded(k Key, codec Codec) (any, error) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.items[k]; ok {
+		sh.stats.Hits++
+		sh.lru.MoveToFront(e.elem)
+		if e.decoded == nil {
+			v, err := codec.Decode(e.value)
+			if err != nil {
+				sh.stats.DecodeErrors++
+				return nil, err
+			}
+			e.decoded = v
+			e.codec = codec
+		}
+		e.pins++
+		return e.decoded, nil
+	}
+	sh.stats.Misses++
+	if s.cfg.Store == nil {
+		return nil, nil
+	}
+	sh.stats.StoreLoads++
+	// Same rationale as Get for holding the shard lock across the
+	// store round-trip: a concurrent Put-then-evict could otherwise
+	// re-cache a stale copy as clean.
+	raw, found, err := s.cfg.Store.Load(k)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	v, err := codec.Decode(raw)
+	if err != nil {
+		sh.stats.DecodeErrors++
+		return nil, err
+	}
+	e := s.insertLocked(sh, k, raw, false)
+	e.decoded = v
+	e.codec = codec
+	e.pins++
+	return v, nil
+}
+
+// PutDecoded implements SlateStore: the typed write path — install the
+// (usually mutated-in-place) decoded object, mark the entry dirty, and
+// defer the encode to the next flush or external read. It releases the
+// pin taken by GetDecoded. Under WriteThrough the object is encoded
+// and persisted before PutDecoded returns, exactly like Put.
+func (s *Sharded) PutDecoded(k Key, v any, codec Codec) error {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	e, ok := sh.items[k]
+	if ok {
+		e.setDecodedLocked(v, codec)
+		if !e.dirty {
+			e.dirty = true
+			sh.dirty[k] = e
+		}
+		sh.lru.MoveToFront(e.elem)
+	} else {
+		e = s.insertLocked(sh, k, nil, true)
+		e.setDecodedLocked(v, codec)
+	}
+	if s.cfg.Policy == WriteThrough && s.cfg.Store != nil {
+		if err := e.encodeLocked(); err != nil {
+			sh.stats.EncodeErrors++
+			sh.mu.Unlock()
+			return err
+		}
+		e.dirty = false
+		delete(sh.dirty, k)
+		sh.stats.StoreSaves++
+		value, ttl := e.value, s.ttl(k)
 		sh.mu.Unlock()
 		return s.cfg.Store.Save(k, value, ttl)
 	}
@@ -268,27 +354,43 @@ func (s *Sharded) insertLocked(sh *shard, k Key, value []byte, dirty bool) *entr
 		sh.dirty[k] = e
 	}
 	for len(sh.items) > sh.capacity {
-		s.evictLocked(sh)
+		if !s.evictLocked(sh) {
+			break
+		}
 	}
 	return e
 }
 
-func (s *Sharded) evictLocked(sh *shard) {
-	back := sh.lru.Back()
-	if back == nil {
-		return
+// evictLocked evicts the shard's least recently used unpinned entry; a
+// pinned entry's decoded object is in an updater's hands and cannot be
+// encoded for persistence, so the walk skips it (the shard may exceed
+// capacity for the pin's microseconds-long lifetime). It reports
+// whether a victim was found.
+func (s *Sharded) evictLocked(sh *shard) bool {
+	for el := sh.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if e.pins > 0 {
+			continue
+		}
+		if e.dirty && s.cfg.Store != nil {
+			// Interval and OnEvict persist on eviction; WriteThrough
+			// entries are already clean. A typed entry encodes here;
+			// if the encode fails the slate cannot be persisted, so
+			// keep it resident rather than drop dirty data.
+			if err := e.encodeLocked(); err != nil {
+				sh.stats.EncodeErrors++
+				continue
+			}
+			sh.stats.StoreSaves++
+			s.cfg.Store.Save(e.key, e.value, s.ttl(e.key))
+		}
+		sh.lru.Remove(el)
+		delete(sh.items, e.key)
+		delete(sh.dirty, e.key)
+		sh.stats.Evictions++
+		return true
 	}
-	e := back.Value.(*entry)
-	if e.dirty && s.cfg.Store != nil {
-		// Interval and OnEvict persist on eviction; WriteThrough
-		// entries are already clean.
-		sh.stats.StoreSaves++
-		s.cfg.Store.Save(e.key, e.value, s.ttl(e.key))
-	}
-	sh.lru.Remove(back)
-	delete(sh.items, e.key)
-	delete(sh.dirty, e.key)
-	sh.stats.Evictions++
+	return false
 }
 
 // FlushDirty implements SlateStore with the group-commit pipeline:
@@ -305,10 +407,21 @@ func (s *Sharded) FlushDirty() (int, error) {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for k, e := range sh.dirty {
+			// A pinned entry's decoded object is being mutated by an
+			// updater right now; leave it dirty for the next flush. A
+			// stale entry encodes here — once per flush batch, not per
+			// event, which is the decode-once design's whole point.
+			if e.pins > 0 {
+				continue
+			}
+			if e.encodeLocked() != nil {
+				sh.stats.EncodeErrors++
+				continue
+			}
 			e.dirty = false
+			delete(sh.dirty, k)
 			recs = append(recs, BatchRecord{K: k, Value: e.value, TTL: s.ttl(k)})
 		}
-		clear(sh.dirty)
 		sh.mu.Unlock()
 	}
 	if len(recs) == 0 {
@@ -450,6 +563,8 @@ func (s *Sharded) Stats() CacheStats {
 		total.StoreSaves += st.StoreSaves
 		total.Evictions += st.Evictions
 		total.DirtyLost += st.DirtyLost
+		total.DecodeErrors += st.DecodeErrors
+		total.EncodeErrors += st.EncodeErrors
 		total.Size += st.Size
 	}
 	total.StoreSaves += s.flushSaves.Load()

@@ -18,6 +18,17 @@ type SlateStore interface {
 	// Put replaces the slate for k. With WriteThrough the new value is
 	// persisted before Put returns.
 	Put(k Key, value []byte) error
+	// GetDecoded returns the decoded slate object for k, decoding the
+	// cached bytes through codec at most once per cache fill. The
+	// object is pinned (mutable by the caller, skipped by flushes)
+	// until the matching PutDecoded. A nil object with nil error means
+	// no slate exists yet.
+	GetDecoded(k Key, codec Codec) (any, error)
+	// PutDecoded installs the decoded slate object for k, marks the
+	// entry dirty, releases the GetDecoded pin, and defers re-encoding
+	// to the next flush or external read (WriteThrough encodes and
+	// persists immediately).
+	PutDecoded(k Key, v any, codec Codec) error
 	// Delete removes the slate from the cache without persisting it.
 	Delete(k Key)
 	// Keys returns the cached slate keys (unordered).

@@ -1,0 +1,81 @@
+package slate
+
+// Codec is the erased slate codec the typed application API threads
+// through the stack: it turns a slate's at-rest byte encoding into a
+// live decoded object and back. The cache stores the decoded object
+// alongside (or instead of) the encoded bytes, so a typed update
+// function pays the decode once per cache fill and the encode once per
+// flush or external read — not once per event.
+//
+// The concrete values behind the `any` are pointers to the
+// application's slate type; a codec only ever sees values it produced
+// itself (New or Decode), so the type assertion inside AppendEncode is
+// safe by construction.
+type Codec interface {
+	// New returns a freshly allocated zero-value slate object, the
+	// state an updater starts from when no slate exists for the key.
+	New() any
+	// Decode parses the at-rest encoding into a live object.
+	Decode(data []byte) (any, error)
+	// AppendEncode appends the at-rest encoding of v to dst and
+	// returns the extended slice.
+	AppendEncode(dst []byte, v any) ([]byte, error)
+}
+
+// encodeLocked materializes e.value from e.decoded when the decoded
+// object is newer than the last encoding. Caller holds the cache/shard
+// lock and has checked e.pins == 0 (an updater may be mutating a
+// pinned object concurrently). On encode failure the entry keeps its
+// previous encoding and stays stale.
+func (e *entry) encodeLocked() error {
+	if !e.stale {
+		return nil
+	}
+	v, err := e.codec.AppendEncode(nil, e.decoded)
+	if err != nil {
+		return err
+	}
+	e.value = v
+	e.stale = false
+	return nil
+}
+
+// snapshotLocked returns the entry's encoded bytes for read paths
+// (Get, Peek, eviction is separate): the current encoding when the
+// entry is quiescent, the last materialized encoding while an updater
+// holds the decoded object pinned. A pinned entry that has never been
+// encoded reads as nil — the first update for the key has not
+// completed yet, so "no slate" is a linearizable answer. An encode
+// failure also serves the last materialized encoding, counted in
+// stats.EncodeErrors.
+func (e *entry) snapshotLocked(stats *CacheStats) []byte {
+	if e.stale && e.pins == 0 {
+		if e.encodeLocked() != nil {
+			stats.EncodeErrors++
+		}
+	}
+	return e.value
+}
+
+// setBytesLocked replaces the entry's contents with an encoded value
+// (the classic byte-slate Put), discarding any decoded object: the
+// bytes are now the source of truth.
+func (e *entry) setBytesLocked(value []byte) {
+	e.value = value
+	e.decoded = nil
+	e.codec = nil
+	e.stale = false
+}
+
+// setDecodedLocked replaces the entry's contents with a decoded object
+// (the typed PutDecoded), releasing the caller's pin if one is held.
+// The previous encoding is kept as the pinned-read snapshot until the
+// next encode refreshes it.
+func (e *entry) setDecodedLocked(v any, c Codec) {
+	if e.pins > 0 {
+		e.pins--
+	}
+	e.decoded = v
+	e.codec = c
+	e.stale = true
+}

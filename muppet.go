@@ -12,18 +12,24 @@
 // replicated key-value store and queryable over HTTP while the
 // application runs.
 //
-// Quick start — batched ingress in, subscribable egress out:
+// Quick start — typed slates in, batched ingress, subscribable egress:
 //
-//	counter := muppet.UpdateFunc{FName: "U1", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
-//		n := 0
-//		if sl != nil {
-//			n, _ = strconv.Atoi(string(sl))
-//		}
-//		emit.ReplaceSlate([]byte(strconv.Itoa(n + 1)))
-//	}}
+//	// A typed update function: the slate is a live Go value, decoded
+//	// once when it enters the cache and re-encoded once per flush —
+//	// mutate it in place, no per-event (un)marshalling.
+//	counter := muppet.Update[int]("U1", func(emit muppet.Emitter, in muppet.Event, n *int) {
+//		*n++
+//	})
 //	app := muppet.NewApp("counts").Input("S1")
 //	app.AddUpdate(counter, []string{"S1"}, nil, 0)
 //	eng, err := muppet.NewEngine(app, muppet.Config{Machines: 4})
+//
+//	// Struct slates use the default JSONCodec; bring your own
+//	// encoding with UpdateWith (RawCodec keeps plain bytes):
+//	type Profile struct{ Seen int; Last string }
+//	prof := muppet.Update[Profile]("U_prof", func(emit muppet.Emitter, in muppet.Event, p *Profile) {
+//		p.Seen++; p.Last = string(in.Value)
+//	})
 //
 //	// Ingress: feed events in batches; accepted/err report overflow
 //	// and backpressure instead of silently dropping.
@@ -35,6 +41,10 @@
 //	sub := eng.Subscribe("S2", 0)
 //	for ev := range sub.C() { ... }
 //	// ...then query live slates: eng.Drain(); eng.Slate("U1", key)
+//	// (reads render through the codec — JSON for JSONCodec slates)
+//
+// The classic byte-slate API (UpdateFunc + Emitter.ReplaceSlate)
+// remains fully supported with unchanged, byte-for-byte semantics.
 //
 // Two engines are provided. Muppet 1.0 (EngineV1) runs each function
 // on dedicated conductor/task-processor worker pairs with private
@@ -86,8 +96,50 @@ type Updater = core.Updater
 // MapFunc adapts a function literal to Mapper.
 type MapFunc = core.MapFunc
 
-// UpdateFunc adapts a function literal to Updater.
+// UpdateFunc adapts a function literal to Updater — the classic
+// byte-slate API, unchanged: the function receives the slate bytes
+// (nil when missing) and replaces them with Emitter.ReplaceSlate.
 type UpdateFunc = core.UpdateFunc
+
+// Codec translates a slate between its at-rest byte encoding and the
+// application's slate type S. JSONCodec is the default; RawCodec keeps
+// the bytes themselves.
+type Codec[S any] = core.Codec[S]
+
+// JSONCodec is the default slate codec: slates at rest are JSON, the
+// encoding the paper's example applications already used by hand.
+type JSONCodec[S any] = core.JSONCodec[S]
+
+// RawCodec is the compatibility codec for UpdateWith: the slate
+// "object" is the raw byte slice itself, so an application keeps full
+// control of its encoding while gaining the mutate-in-place contract.
+type RawCodec = core.RawCodec
+
+// ValidationError is the dedicated error type NewEngine returns when
+// the application fails App.Validate: it carries every problem found
+// (unknown streams, publishes into external inputs, duplicate or nil
+// function registrations, ...), not just the first.
+type ValidationError = core.ValidationError
+
+// Update builds a typed update function with the default JSONCodec.
+// The function receives the decoded slate object s — never nil,
+// zero-valued when no slate exists for the key yet — and mutates it in
+// place; after the call the object is the slate. The engines keep the
+// decoded object in the slate cache: it is decoded once when it enters
+// the cache and re-encoded once per flush batch or external read,
+// eliminating the per-event unmarshal/marshal the byte-slate API
+// forced on every JSON-slate application. Typed updaters must not call
+// Emitter.ReplaceSlate (the mutated object is the slate; the call is
+// ignored).
+func Update[S any](name string, fn func(emit Emitter, in Event, s *S)) Updater {
+	return core.Update[S](name, fn)
+}
+
+// UpdateWith builds a typed update function with an explicit codec,
+// e.g. UpdateWith("U", muppet.RawCodec{}, fn) for byte slates.
+func UpdateWith[S any](name string, codec Codec[S], fn func(emit Emitter, in Event, s *S)) Updater {
+	return core.UpdateWith[S](name, codec, fn)
+}
 
 // App is a MapUpdate application: a workflow graph of map and update
 // functions connected by streams.

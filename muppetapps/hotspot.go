@@ -72,27 +72,22 @@ func SplitCountApp(cfg SplitCountConfig) *muppet.App {
 		part := int(c.ID % uint64(cfg.Split))
 		emit.Publish("S2", fmt.Sprintf("%s#%d", retailer, part), in.Value)
 	}}
-	upart := muppet.UpdateFunc{FName: "U_part", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
-		count := Count(sl) + 1
-		emit.ReplaceSlate([]byte(strconv.Itoa(count)))
-		if count%cfg.ReportEvery != 0 {
+	upart := muppet.Update[int]("U_part", func(emit muppet.Emitter, in muppet.Event, count *int) {
+		*count++
+		if *count%cfg.ReportEvery != 0 {
 			return
 		}
 		retailer, part, ok := splitPartKey(in.Key)
 		if !ok {
 			return
 		}
-		b, _ := json.Marshal(partial{Part: part, Count: count})
+		b, _ := json.Marshal(partial{Part: part, Count: *count})
 		emit.Publish("S3", retailer, b)
-	}}
-	utotal := muppet.UpdateFunc{FName: "U_total", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
+	})
+	utotal := muppet.Update[SplitSlate]("U_total", func(emit muppet.Emitter, in muppet.Event, st *SplitSlate) {
 		var p partial
 		if err := json.Unmarshal(in.Value, &p); err != nil {
 			return
-		}
-		st := SplitSlate{Parts: map[string]int{}}
-		if sl != nil {
-			json.Unmarshal(sl, &st)
 		}
 		if st.Parts == nil {
 			st.Parts = map[string]int{}
@@ -102,9 +97,7 @@ func SplitCountApp(cfg SplitCountConfig) *muppet.App {
 		if key := strconv.Itoa(p.Part); p.Count > st.Parts[key] {
 			st.Parts[key] = p.Count
 		}
-		b, _ := json.Marshal(st)
-		emit.ReplaceSlate(b)
-	}}
+	})
 	return muppet.NewApp("split-counts").
 		Input("S1").
 		AddMap(m1, []string{"S1"}, []string{"S2"}).

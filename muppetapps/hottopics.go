@@ -95,10 +95,12 @@ func HotTopicsApp(cfg HotTopicsConfig) *muppet.App {
 		}
 		emit.Publish("S2", TopicMinuteKey(t.Topic, t.Minute), in.Value)
 	}}
-	u1 := muppet.UpdateFunc{FName: "U1", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
-		count := Count(sl) + 1
-		emit.ReplaceSlate([]byte(fmt.Sprintf("%d", count)))
-		if count%cfg.EmitEvery != 0 {
+	// U1's slate is the typed per-(topic, minute) count: mutated in
+	// place, decoded once on cache fill, encoded once per flush — no
+	// per-event slate (de)serialization.
+	u1 := muppet.Update[int]("U1", func(emit muppet.Emitter, in muppet.Event, count *int) {
+		*count++
+		if *count%cfg.EmitEvery != 0 {
 			return
 		}
 		// The key is "topic_minute"; split at the last underscore.
@@ -106,29 +108,30 @@ func HotTopicsApp(cfg HotTopicsConfig) *muppet.App {
 		if !ok {
 			return
 		}
-		b, _ := json.Marshal(topicCount{Topic: topic, Minute: minute, Count: count})
+		b, _ := json.Marshal(topicCount{Topic: topic, Minute: minute, Count: *count})
 		emit.Publish("S3", topic, b)
-	}}
-	u2 := muppet.UpdateFunc{FName: "U2", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
+	})
+	// U2's slate is the live u2Slate structure. The JSON codec decodes
+	// it when it enters the cache; every event after that mutates the
+	// same map — previously each event paid a full Unmarshal + Marshal
+	// of the whole per-minute history.
+	u2 := muppet.Update[u2Slate]("U2", func(emit muppet.Emitter, in muppet.Event, st *u2Slate) {
 		var tc topicCount
 		if err := json.Unmarshal(in.Value, &tc); err != nil {
 			return
 		}
-		st := u2Slate{LastCount: map[int]int{}}
-		if sl != nil {
-			json.Unmarshal(sl, &st)
+		if st.LastCount == nil {
+			st.LastCount = map[int]int{}
 		}
 		avg := st.average(tc.Minute)
 		// Reports may arrive out of order; per-minute counts only grow.
 		if tc.Count > st.LastCount[tc.Minute] {
 			st.LastCount[tc.Minute] = tc.Count
 		}
-		b, _ := json.Marshal(st)
-		emit.ReplaceSlate(b)
 		if tc.Count >= cfg.MinCount && avg > 0 && float64(tc.Count) > cfg.Threshold*avg {
 			emit.Publish("S4", TopicMinuteKey(tc.Topic, tc.Minute), in.Value)
 		}
-	}}
+	})
 	return muppet.NewApp("hot-topics").
 		Input("S1").
 		Output("S4").

@@ -15,11 +15,10 @@ func HTTPHitsApp() *muppet.App {
 	m1 := muppet.MapFunc{FName: "M1", Fn: func(emit muppet.Emitter, in muppet.Event) {
 		emit.Publish("S2", PathSection(string(in.Value)), nil)
 	}}
-	u := muppet.UpdateFunc{FName: "U_hits", Fn: CountingUpdate}
 	return muppet.NewApp("http-hits").
 		Input("S1").
 		AddMap(m1, []string{"S1"}, []string{"S2"}).
-		AddUpdate(u, []string{"S2"}, nil, 0)
+		AddUpdate(Counting("U_hits"), []string{"S2"}, nil, 0)
 }
 
 // PathSection extracts the top-level section of a request path:

@@ -45,11 +45,10 @@ func ReputationApp() *muppet.App {
 		}
 		emit.Publish("S2", t.User, in.Value)
 	}}
-	urep := muppet.UpdateFunc{FName: "U_rep", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
-		var st RepSlate
-		if sl != nil {
-			json.Unmarshal(sl, &st)
-		}
+	// The per-user RepSlate lives decoded in the cache: every tweet
+	// and delta mutates the same struct in place instead of paying an
+	// Unmarshal + Marshal round-trip per event.
+	urep := muppet.Update[RepSlate]("U_rep", func(emit muppet.Emitter, in muppet.Event, st *RepSlate) {
 		switch in.Stream {
 		case "S2":
 			t, err := workload.ParseTweet(in.Value)
@@ -76,9 +75,7 @@ func ReputationApp() *muppet.App {
 			}
 			st.Score += d.Delta
 		}
-		b, _ := json.Marshal(st)
-		emit.ReplaceSlate(b)
-	}}
+	})
 	return muppet.NewApp("reputation").
 		Input("S1").
 		AddMap(m1, []string{"S1"}, []string{"S2"}).

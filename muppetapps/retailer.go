@@ -49,15 +49,26 @@ func RetailerApp() *muppet.App {
 			emit.Publish("S2", retailer, in.Value)
 		}
 	}}
-	u1 := muppet.UpdateFunc{FName: "U1", Fn: CountingUpdate}
 	return muppet.NewApp("retailer-checkins").
 		Input("S1").
 		AddMap(m1, []string{"S1"}, []string{"S2"}).
-		AddUpdate(u1, []string{"S2"}, nil, 0)
+		AddUpdate(Counting("U1"), []string{"S2"}, nil, 0)
 }
 
-// CountingUpdate is the Counter updater of Figure 4: the slate is the
-// ASCII decimal count of events seen for the key.
+// Counting returns the Counter updater of Figure 4 on the typed API:
+// the slate is an int, mutated in place. At rest it is JSON-encoded —
+// the same ASCII decimal the classic CountingUpdate wrote, so typed
+// and untyped counters produce byte-identical slates (and Count reads
+// both).
+func Counting(name string) muppet.Updater {
+	return muppet.Update[int](name, func(emit muppet.Emitter, in muppet.Event, n *int) {
+		*n++
+	})
+}
+
+// CountingUpdate is the same Counter on the classic byte-slate API:
+// the slate is the ASCII decimal count of events seen for the key.
+// Kept for the untyped-API ablations and compatibility tests.
 func CountingUpdate(emit muppet.Emitter, in muppet.Event, sl []byte) {
 	count := 0
 	if sl != nil {

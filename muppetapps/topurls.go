@@ -3,7 +3,6 @@ package muppetapps
 import (
 	"encoding/json"
 	"sort"
-	"strconv"
 
 	"muppet"
 	"muppet/internal/workload"
@@ -67,21 +66,20 @@ func TopURLsApp(k int) *muppet.App {
 			emit.Publish("S2", u, nil)
 		}
 	}}
-	ucount := muppet.UpdateFunc{FName: "U_count", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
-		count := Count(sl) + 1
-		emit.ReplaceSlate([]byte(strconv.Itoa(count)))
-		b, _ := json.Marshal(urlCount{URL: in.Key, Count: count})
+	ucount := muppet.Update[int]("U_count", func(emit muppet.Emitter, in muppet.Event, count *int) {
+		*count++
+		b, _ := json.Marshal(urlCount{URL: in.Key, Count: *count})
 		emit.Publish("S3", TopURLsKey, b)
-	}}
-	utop := muppet.UpdateFunc{FName: "U_top", Fn: func(emit muppet.Emitter, in muppet.Event, sl []byte) {
+	})
+	// The single "top" slate is the hotspot — and under the typed API
+	// also the biggest decode-once win: the whole top-K table used to
+	// be unmarshalled and re-marshalled on every count report.
+	utop := muppet.Update[TopSlate]("U_top", func(emit muppet.Emitter, in muppet.Event, st *TopSlate) {
 		var uc urlCount
 		if err := json.Unmarshal(in.Value, &uc); err != nil {
 			return
 		}
-		st := TopSlate{Counts: map[string]int{}, K: k}
-		if sl != nil {
-			json.Unmarshal(sl, &st)
-		}
+		st.K = k
 		if st.Counts == nil {
 			st.Counts = map[string]int{}
 		}
@@ -100,9 +98,7 @@ func TopURLsApp(k int) *muppet.App {
 			}
 			st.Counts = keep
 		}
-		b, _ := json.Marshal(st)
-		emit.ReplaceSlate(b)
-	}}
+	})
 	return muppet.NewApp("top-urls").
 		Input("S1").
 		AddMap(m1, []string{"S1"}, []string{"S2"}).
