@@ -8,11 +8,27 @@
 //	muppet -app retailer -events 100000 -machines 4 -engine 2 -http :8080
 //	muppet -app retailer -rate 50000 -batch 512       # paced source
 //
+// Node mode runs ONE machine of a real TCP cluster instead of the
+// whole simulation: every process gets the same member-list file and
+// picks its machine with -node. Events ingested anywhere route to the
+// owning node over the network.
+//
+//	muppet -app retailer -node machine-00 -join cluster.json -events 100000
+//	muppet -app retailer -node machine-01 -join cluster.json -events 0 -linger 1m
+//
+// where cluster.json holds the static member list:
+//
+//	{"nodes": {"machine-00": "127.0.0.1:7070", "machine-01": "127.0.0.1:7071"}}
+//
+// (either bare as above, or as the "network" section of a full app
+// configuration file.)
+//
 // Applications: retailer, hottopics, reputation, topurls, httphits.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -43,6 +59,9 @@ func main() {
 		linger   = flag.Duration("linger", 0, "keep serving HTTP for this long after the stream ends")
 		rate     = flag.Float64("rate", 0, "pace the source to this many events/s (0 = unthrottled)")
 		batch    = flag.Int("batch", 256, "events per IngestBatch call")
+		node     = flag.String("node", "", "node mode: the machine this process hosts (e.g. machine-00); requires -join")
+		join     = flag.String("join", "", "node mode: JSON file with the cluster member list (bare {\"nodes\": ...} or a full app config)")
+		listen   = flag.String("listen", "", "node mode: override the TCP listen address (default: this machine's member-list entry)")
 	)
 	flag.Parse()
 
@@ -67,12 +86,29 @@ func main() {
 	if *persist {
 		cfg.Store = muppet.NewStore(muppet.StoreConfig{Nodes: 3, ReplicationFactor: 3, UseSSD: *ssd})
 	}
+	if *node != "" || *join != "" {
+		if *node == "" || *join == "" {
+			log.Fatal("node mode needs both -node and -join")
+		}
+		ncfg, err := loadMemberList(*join)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cfg.Network, err = ncfg.BuildNetwork(*node, *listen); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	eng, err := muppet.NewEngine(app, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Stop()
+	if cfg.Network != nil {
+		clu := eng.Cluster()
+		fmt.Printf("node %s serving %s via %s transport; members: %v\n",
+			cfg.Network.Node, cfg.Network.Listen, clu.TransportName(), clu.MachineNames())
+	}
 
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
@@ -127,6 +163,27 @@ func main() {
 		fmt.Printf("serving HTTP for %v more...\n", *linger)
 		time.Sleep(*linger)
 	}
+}
+
+// loadMemberList reads the cluster member list for -join: either the
+// "network" section of a full app configuration file, or a bare
+// {"nodes": {...}} document.
+func loadMemberList(path string) (*muppet.NetworkFileConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if app, err := muppet.ParseAppConfig(data); err == nil && app.Network != nil && len(app.Network.Nodes) > 0 {
+		return app.Network, nil
+	}
+	var bare muppet.NetworkFileConfig
+	if err := json.Unmarshal(data, &bare); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(bare.Nodes) == 0 {
+		return nil, fmt.Errorf("%s: no cluster members (want a \"nodes\" map or a \"network\" section)", path)
+	}
+	return &bare, nil
 }
 
 // buildApp returns the application and a function that prints a small

@@ -37,6 +37,69 @@ type AppConfig struct {
 	// Store holds slate-store settings; omit to run without
 	// persistence.
 	Store *StoreFileConfig `json:"store,omitempty"`
+	// Network holds the static member list of a real networked cluster;
+	// omit to run the single-process simulation. Every node of the
+	// cluster shares one file — which machine THIS process hosts is
+	// picked per node (cmd/muppet: the -node flag).
+	Network *NetworkFileConfig `json:"network,omitempty"`
+}
+
+// NetworkFileConfig is the network section of a configuration file: the
+// full static member list of a real TCP cluster, each machine mapped to
+// the address its node listens on.
+type NetworkFileConfig struct {
+	// Nodes maps every member machine name to its node's host:port.
+	// Unlike NetworkConfig.Peers this includes the local machine — the
+	// same file is shipped to every node, and BuildNetwork carves out
+	// the local entry as the listen address.
+	Nodes map[string]string `json:"nodes"`
+	// DialTimeout, IOTimeout, RetryBackoff and MaxBackoff are Go
+	// durations ("500ms"); empty picks the transport defaults.
+	DialTimeout  string `json:"dial_timeout,omitempty"`
+	IOTimeout    string `json:"io_timeout,omitempty"`
+	RetryBackoff string `json:"retry_backoff,omitempty"`
+	MaxBackoff   string `json:"max_backoff,omitempty"`
+}
+
+// BuildNetwork resolves the network section into the NetworkConfig for
+// the node hosting the given machine: its own entry becomes the listen
+// address (overridden by listen when non-empty, e.g. to bind ":0" or
+// "0.0.0.0:port" while peers dial a routable name), every other entry
+// becomes a peer.
+func (n *NetworkFileConfig) BuildNetwork(node, listen string) (*NetworkConfig, error) {
+	addr, ok := n.Nodes[node]
+	if !ok {
+		return nil, fmt.Errorf("muppet: network config: machine %q is not in the member list", node)
+	}
+	if listen == "" {
+		listen = addr
+	}
+	peers := make(map[string]string, len(n.Nodes)-1)
+	for name, a := range n.Nodes {
+		if name != node {
+			peers[name] = a
+		}
+	}
+	cfg := &NetworkConfig{Node: node, Listen: listen, Peers: peers}
+	for _, d := range []struct {
+		s   string
+		dst *time.Duration
+	}{
+		{n.DialTimeout, &cfg.DialTimeout},
+		{n.IOTimeout, &cfg.IOTimeout},
+		{n.RetryBackoff, &cfg.RetryBackoff},
+		{n.MaxBackoff, &cfg.MaxBackoff},
+	} {
+		if d.s == "" {
+			continue
+		}
+		v, err := time.ParseDuration(d.s)
+		if err != nil {
+			return nil, fmt.Errorf("muppet: network config: bad duration %q: %w", d.s, err)
+		}
+		*d.dst = v
+	}
+	return cfg, nil
 }
 
 // FunctionConfig describes one map or update function in the file.

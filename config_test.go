@@ -205,3 +205,70 @@ func TestConfigRecoveryKnobs(t *testing.T) {
 		t.Fatalf("recovery cfg = %+v", r)
 	}
 }
+
+func TestConfigNetworkSection(t *testing.T) {
+	cfg, err := muppet.ParseAppConfig([]byte(`{
+	  "name": "x", "inputs": ["lines"],
+	  "functions": [
+	    {"kind": "map", "name": "M_split", "code": "splitter", "subscribes": ["lines"], "publishes": ["words"]},
+	    {"kind": "update", "name": "U_count", "code": "counter", "subscribes": ["words"]}
+	  ],
+	  "engine": {"machines": 3},
+	  "network": {
+	    "nodes": {
+	      "machine-00": "10.0.0.1:7070",
+	      "machine-01": "10.0.0.2:7070",
+	      "machine-02": "10.0.0.3:7070"
+	    },
+	    "dial_timeout": "250ms", "retry_backoff": "10ms"
+	  }
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Network == nil || len(cfg.Network.Nodes) != 3 {
+		t.Fatalf("network section = %+v", cfg.Network)
+	}
+	n, err := cfg.Network.BuildNetwork("machine-01", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Node != "machine-01" || n.Listen != "10.0.0.2:7070" {
+		t.Fatalf("node/listen = %q/%q", n.Node, n.Listen)
+	}
+	if len(n.Peers) != 2 || n.Peers["machine-00"] != "10.0.0.1:7070" || n.Peers["machine-02"] != "10.0.0.3:7070" {
+		t.Fatalf("peers = %+v", n.Peers)
+	}
+	if _, ok := n.Peers["machine-01"]; ok {
+		t.Fatal("local machine leaked into the peer map")
+	}
+	if n.DialTimeout.String() != "250ms" || n.RetryBackoff.String() != "10ms" {
+		t.Fatalf("durations = %v/%v", n.DialTimeout, n.RetryBackoff)
+	}
+	if n.IOTimeout != 0 || n.MaxBackoff != 0 {
+		t.Fatalf("unset durations should stay zero, got %v/%v", n.IOTimeout, n.MaxBackoff)
+	}
+
+	// The -listen override rebinds without changing what peers dial.
+	n2, err := cfg.Network.BuildNetwork("machine-01", "0.0.0.0:7070")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Listen != "0.0.0.0:7070" {
+		t.Fatalf("listen override = %q", n2.Listen)
+	}
+
+	if _, err := cfg.Network.BuildNetwork("machine-09", ""); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestConfigNetworkBadDuration(t *testing.T) {
+	n := &muppet.NetworkFileConfig{
+		Nodes:       map[string]string{"machine-00": "127.0.0.1:7070"},
+		DialTimeout: "not-a-duration",
+	}
+	if _, err := n.BuildNetwork("machine-00", ""); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"muppet/internal/event"
+)
+
+// benchDeliveries builds one machine-addressed batch shaped like the
+// engines' ingress batches: small keys, short payloads.
+func benchDeliveries(n int) []Delivery {
+	ds := make([]Delivery, n)
+	for i := range ds {
+		ds[i] = Delivery{
+			Worker: "U1#0",
+			Ev: event.Event{
+				Stream:  "S1",
+				TS:      event.Timestamp(i),
+				Key:     fmt.Sprintf("key-%04d", i%64),
+				Value:   []byte("sf,retailer,checkin"),
+				Ingress: int64(i),
+			},
+			Tag: i,
+		}
+	}
+	return ds
+}
+
+// BenchmarkTransportSendBatch measures one machine-addressed batch
+// through each transport topology: the single-process direct call, the
+// InProc transport between two nodes, and TCP over loopback (a full
+// encode -> frame -> socket -> decode -> deliver -> respond exchange).
+func BenchmarkTransportSendBatch(b *testing.B) {
+	const batch = 256
+	sink := func(host *Cluster) {
+		host.SetBatchHandler("machine-01", func(ds []Delivery) []error { return nil })
+	}
+
+	b.Run("in-process/direct", func(b *testing.B) {
+		c := New(Config{Names: conformanceNames})
+		defer c.Close()
+		sink(c)
+		ds := benchDeliveries(batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.SendBatch("machine-01", ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(batch), "events/op")
+	})
+
+	b.Run("in-process/transport", func(b *testing.B) {
+		reg := NewInProc()
+		a := New(Config{Names: conformanceNames, Local: []string{"machine-00"}, Transport: reg})
+		h := New(Config{Names: conformanceNames, Local: []string{"machine-01"}, Transport: reg})
+		reg.Register(a)
+		reg.Register(h)
+		defer a.Close()
+		defer h.Close()
+		sink(h)
+		ds := benchDeliveries(batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := a.SendBatch("machine-01", ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(batch), "events/op")
+	})
+
+	b.Run("tcp/loopback", func(b *testing.B) {
+		trB, err := NewTCP(TCPConfig{Listen: "127.0.0.1:0"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := New(Config{Names: conformanceNames, Local: []string{"machine-01"}, Transport: trB})
+		trB.Serve(h)
+		sink(h)
+		trA, err := NewTCP(TCPConfig{Peers: map[string]string{"machine-01": trB.Addr()}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := New(Config{Names: conformanceNames, Local: []string{"machine-00"}, Transport: trA})
+		trA.Serve(a)
+		defer a.Close()
+		defer h.Close()
+		ds := benchDeliveries(batch)
+		// Warm the pooled connection so b.N measures exchanges, not the
+		// dial.
+		if _, _, err := a.SendBatch("machine-01", ds); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := a.SendBatch("machine-01", ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(batch), "events/op")
+		st := trA.Stats()
+		b.ReportMetric(float64(st.BytesOut)/float64(st.FramesOut), "frame-bytes")
+	})
+}

@@ -1,15 +1,3 @@
-// Package cluster simulates the "cluster of commodity machines"
-// Muppet runs on (Section 4.1 of the paper): named machines joined by
-// an in-process network, plus the master whose only data-path role is
-// failure handling (Section 4.3). Machines can be crashed and revived
-// to reproduce the failure experiments.
-//
-// Substitution note: real machines and gigabit Ethernet are replaced by
-// goroutines and function calls. The behavioral properties the paper's
-// arguments need are preserved: sends to a dead machine fail
-// immediately at the sender (which is how Muppet detects failures),
-// in-flight queue contents die with the machine, and per-hop latency
-// can be charged to an accounting meter.
 package cluster
 
 import (
@@ -24,7 +12,9 @@ import (
 )
 
 // ErrMachineDown is returned by Send when the destination machine is
-// crashed.
+// crashed — or, for a machine hosted by another node, when this node
+// cannot reach it (failed dial, broken connection) or last knew it to
+// be down.
 var ErrMachineDown = errors.New("cluster: machine down")
 
 // ErrNoHandler is returned by Send when the destination machine has no
@@ -37,7 +27,8 @@ type Handler func(worker string, e event.Event) error
 
 // Delivery is one event addressed to a named worker, carried in a
 // batch send. Tag is an opaque caller-side index (the engines use it
-// to map per-delivery failures back to the source event of a batch).
+// to map per-delivery failures back to the source event of a batch);
+// it never crosses a transport.
 type Delivery struct {
 	Worker string
 	Ev     event.Event
@@ -59,9 +50,16 @@ type BatchReject struct {
 	Err error
 }
 
-// Machine is one simulated host.
+// Machine is one cluster member as seen by this node. For a machine
+// the node hosts (Local() true) alive is authoritative: Crash and
+// Revive flip it. For a machine hosted by another node alive is this
+// node's presumption — it starts true, is cleared when a send comes
+// back ErrMachineDown, and is restored by Revive during rejoin. Either
+// way, sends to a machine presumed down fail fast with ErrMachineDown,
+// which is exactly the detect-on-send signal recovery runs on.
 type Machine struct {
 	name         string
+	local        bool
 	alive        atomic.Bool
 	handler      atomic.Value // Handler
 	batchHandler atomic.Value // BatchHandler
@@ -70,51 +68,103 @@ type Machine struct {
 // Name returns the machine name.
 func (m *Machine) Name() string { return m.name }
 
-// Alive reports whether the machine is up.
+// Alive reports whether the machine is up — for remote machines,
+// whether this node presumes it up.
 func (m *Machine) Alive() bool { return m.alive.Load() }
 
-// Config tunes the simulated cluster.
+// Local reports whether this node hosts the machine's runtime state.
+func (m *Machine) Local() bool { return m.local }
+
+// Config tunes a cluster node.
 type Config struct {
 	// Machines is the number of hosts, named machine-00, machine-01, ...
+	// Ignored when Names is set.
 	Machines int
+	// Names, when non-empty, is the full member list of the cluster.
+	// Every node of a multi-node cluster must be configured with the
+	// same member list, because hash rings are derived from it.
+	Names []string
+	// Local names the machines this node hosts. Nil means all of them
+	// (the single-process default).
+	Local []string
+	// Transport carries sends to machines other nodes host. Required
+	// when Local is a proper subset of the members.
+	Transport Transport
 	// SendLatency is the simulated per-hop network latency, accumulated
 	// in the cluster's accounting meter (not slept).
 	SendLatency time.Duration
 }
 
-// Cluster is the set of simulated machines plus the master.
+// Cluster is one node's view of the cluster: the full member list, the
+// machines this node hosts, the master, and the transport to everyone
+// else.
 type Cluster struct {
 	cfg      Config
 	machines map[string]*Machine
 	master   *Master
+	tr       Transport
+	inflight atomic.Value // func(delta int): remote-origin in-flight hook
+	closed   atomic.Bool
 
 	netTime atomic.Int64 // accumulated simulated network nanoseconds
 	sends   atomic.Uint64
+	recvs   atomic.Uint64 // remote-origin batches delivered locally
 }
 
-// New builds a cluster with cfg.Machines live machines.
+// New builds a cluster node. With no Names/Local/Transport it is the
+// original single-process simulation: cfg.Machines live machines, all
+// local. New panics if the config names remote machines but provides
+// no transport to reach them, or if Local names an unknown machine —
+// both are wiring bugs, not runtime conditions.
 func New(cfg Config) *Cluster {
-	if cfg.Machines <= 0 {
-		cfg.Machines = 1
+	names := cfg.Names
+	if len(names) == 0 {
+		if cfg.Machines <= 0 {
+			cfg.Machines = 1
+		}
+		for i := 0; i < cfg.Machines; i++ {
+			names = append(names, fmt.Sprintf("machine-%02d", i))
+		}
 	}
-	c := &Cluster{cfg: cfg, machines: make(map[string]*Machine)}
-	for i := 0; i < cfg.Machines; i++ {
-		m := &Machine{name: fmt.Sprintf("machine-%02d", i)}
+	localSet := make(map[string]bool, len(names))
+	if cfg.Local == nil {
+		for _, n := range names {
+			localSet[n] = true
+		}
+	} else {
+		for _, n := range cfg.Local {
+			localSet[n] = true
+		}
+	}
+	c := &Cluster{cfg: cfg, tr: cfg.Transport, machines: make(map[string]*Machine, len(names))}
+	remote := 0
+	for _, name := range names {
+		m := &Machine{name: name, local: localSet[name]}
+		if !m.local {
+			remote++
+		}
 		m.alive.Store(true)
-		c.machines[m.name] = m
+		c.machines[name] = m
+		delete(localSet, name)
+	}
+	for name := range localSet {
+		panic(fmt.Sprintf("cluster: local machine %s is not a member", name))
+	}
+	if remote > 0 && c.tr == nil {
+		panic("cluster: remote machines require a transport")
 	}
 	c.master = newMaster(c)
 	return c
 }
 
-// Master returns the cluster's master.
+// Master returns the node's master replica.
 func (c *Cluster) Master() *Master { return c.master }
 
 // Machine returns the named machine, or nil.
 func (c *Cluster) Machine(name string) *Machine { return c.machines[name] }
 
-// MachineNames returns all machine names in order, including crashed
-// ones.
+// MachineNames returns all member names in order, including crashed
+// ones and ones hosted by other nodes.
 func (c *Cluster) MachineNames() []string {
 	var names []string
 	for n := range c.machines {
@@ -122,6 +172,50 @@ func (c *Cluster) MachineNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// LocalNames returns the names of the machines this node hosts, in
+// order.
+func (c *Cluster) LocalNames() []string {
+	var names []string
+	for n, m := range c.machines {
+		if m.local {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsLocal reports whether this node hosts the named machine. The
+// engines use it to decide which side of a send owns the in-flight
+// accounting.
+func (c *Cluster) IsLocal(name string) bool {
+	m := c.machines[name]
+	return m != nil && m.local
+}
+
+// TransportName identifies the transport in use ("in-process" for the
+// default single-node simulation).
+func (c *Cluster) TransportName() string {
+	if c.tr == nil {
+		return "in-process"
+	}
+	return c.tr.Name()
+}
+
+// Transport returns the node's wired transport (nil for the
+// single-process default); callers can type-assert to *TCP for
+// transport-specific surfaces like Addr and Stats.
+func (c *Cluster) Transport() Transport { return c.tr }
+
+// OnRemoteInflight registers the hook called when remote-origin
+// deliveries enter (positive delta) or bounce off (negative delta)
+// this node. The engines point it at their in-flight tracker so a
+// batch handed off by a sender node is accounted here until its
+// events are processed.
+func (c *Cluster) OnRemoteInflight(fn func(delta int)) {
+	c.inflight.Store(fn)
 }
 
 // SetHandler registers the delivery handler for a machine; the engines
@@ -145,7 +239,8 @@ func (c *Cluster) SetBatchHandler(machine string, h BatchHandler) {
 // one network exchange: a single liveness check and a single hop's
 // latency charge, however many deliveries the batch carries — the
 // amortization a per-event Send cannot offer. It fails the whole batch
-// with ErrMachineDown if the destination is crashed; otherwise it
+// with ErrMachineDown if the destination is crashed (or, for a
+// remotely hosted machine, unreachable or presumed down); otherwise it
 // returns the accepted count plus the individually rejected deliveries
 // (full or closed local queues). Machines without a registered
 // BatchHandler fall back to per-delivery Handler calls.
@@ -159,6 +254,59 @@ func (c *Cluster) SendBatch(machine string, ds []Delivery) (accepted int, reject
 	}
 	c.sends.Add(1)
 	c.netTime.Add(int64(c.cfg.SendLatency))
+	if m.local {
+		return c.deliverBatch(m, ds)
+	}
+	if !m.alive.Load() {
+		return 0, nil, ErrMachineDown
+	}
+	accepted, rejects, err = c.tr.SendBatch(machine, ds)
+	if errors.Is(err, ErrMachineDown) {
+		m.alive.Store(false)
+	}
+	return accepted, rejects, err
+}
+
+// Send delivers an event to the named worker on the destination
+// machine, charging one network hop. It fails immediately with
+// ErrMachineDown if the destination is crashed or unreachable — the
+// failure-detection signal of Section 4.3.
+func (c *Cluster) Send(machine, worker string, e event.Event) error {
+	m := c.machines[machine]
+	if m == nil {
+		return fmt.Errorf("cluster: unknown machine %s", machine)
+	}
+	c.sends.Add(1)
+	c.netTime.Add(int64(c.cfg.SendLatency))
+	if m.local {
+		return c.deliverOne(m, worker, e)
+	}
+	if !m.alive.Load() {
+		return ErrMachineDown
+	}
+	err := c.tr.Send(machine, worker, e)
+	if errors.Is(err, ErrMachineDown) {
+		m.alive.Store(false)
+	}
+	return err
+}
+
+// deliverOne runs the local delivery path for one event: liveness
+// check, then the machine's handler.
+func (c *Cluster) deliverOne(m *Machine, worker string, e event.Event) error {
+	if !m.alive.Load() {
+		return ErrMachineDown
+	}
+	h, _ := m.handler.Load().(Handler)
+	if h == nil {
+		return ErrNoHandler
+	}
+	return h(worker, e)
+}
+
+// deliverBatch runs the local delivery path for a batch: one liveness
+// check, then the batch handler (or per-delivery fallback).
+func (c *Cluster) deliverBatch(m *Machine, ds []Delivery) (accepted int, rejects []BatchReject, err error) {
 	if !m.alive.Load() {
 		return 0, nil, ErrMachineDown
 	}
@@ -190,52 +338,111 @@ func (c *Cluster) SendBatch(machine string, ds []Delivery) (accepted int, reject
 	return accepted, rejects, nil
 }
 
-// Send delivers an event to the named worker on the destination
-// machine, charging one network hop. It fails immediately with
-// ErrMachineDown if the destination is crashed — the failure-detection
-// signal of Section 4.3.
-func (c *Cluster) Send(machine, worker string, e event.Event) error {
+// DeliverLocal is the receiving half of a transport: it delivers a
+// remote-origin batch to a machine this node hosts, with the same
+// return contract as SendBatch. Before the batch touches a queue the
+// remote-inflight hook is charged for every delivery, and bounced
+// deliveries (rejects, or the whole batch on error) are credited back,
+// so the hosting engine's in-flight tracker covers exactly the events
+// that landed.
+func (c *Cluster) DeliverLocal(machine string, ds []Delivery) (accepted int, rejects []BatchReject, err error) {
 	m := c.machines[machine]
-	if m == nil {
-		return fmt.Errorf("cluster: unknown machine %s", machine)
+	if m == nil || !m.local {
+		return 0, nil, fmt.Errorf("cluster: machine %s is not hosted here", machine)
 	}
-	c.sends.Add(1)
-	c.netTime.Add(int64(c.cfg.SendLatency))
-	if !m.alive.Load() {
-		return ErrMachineDown
+	if len(ds) == 0 {
+		return 0, nil, nil
 	}
-	h, _ := m.handler.Load().(Handler)
-	if h == nil {
-		return ErrNoHandler
+	c.recvs.Add(1)
+	hook, _ := c.inflight.Load().(func(int))
+	if hook != nil {
+		hook(len(ds))
 	}
-	return h(worker, e)
+	accepted, rejects, err = c.deliverBatch(m, ds)
+	if hook != nil && len(ds)-accepted > 0 {
+		hook(-(len(ds) - accepted))
+	}
+	return accepted, rejects, err
 }
 
-// Crash takes a machine down. Its queues' contents are the engine's
-// problem — exactly as in the paper, they are lost.
+// DeliverLocalOne is the single-event counterpart of DeliverLocal.
+func (c *Cluster) DeliverLocalOne(machine, worker string, ev event.Event) error {
+	m := c.machines[machine]
+	if m == nil || !m.local {
+		return fmt.Errorf("cluster: machine %s is not hosted here", machine)
+	}
+	c.recvs.Add(1)
+	hook, _ := c.inflight.Load().(func(int))
+	if hook != nil {
+		hook(1)
+	}
+	err := c.deliverOne(m, worker, ev)
+	if err != nil && hook != nil {
+		hook(-1)
+	}
+	return err
+}
+
+// Crash takes a machine down. For a local machine its queues' contents
+// are the engine's problem — exactly as in the paper, they are lost.
+// For a remotely hosted machine this only records the presumption
+// locally; the hosting node crashes it for real.
 func (c *Cluster) Crash(machine string) {
 	if m := c.machines[machine]; m != nil {
 		m.alive.Store(false)
 	}
 }
 
-// Revive brings a crashed machine back up.
+// Revive brings a crashed machine back up — for a remote machine, it
+// clears this node's down-presumption and resets the transport's
+// redial backoff so the next send probes it immediately.
 func (c *Cluster) Revive(machine string) {
-	if m := c.machines[machine]; m != nil {
-		m.alive.Store(true)
+	m := c.machines[machine]
+	if m == nil {
+		return
+	}
+	m.alive.Store(true)
+	if !m.local {
+		if pr, ok := c.tr.(peerResetter); ok {
+			pr.ResetPeer(machine)
+		}
 	}
 }
 
-// NetworkStats reports the number of sends and the total simulated
-// network time charged.
+// Close shuts the transport down (idempotently). The engines call it
+// from Stop; on the default transportless single-node cluster it is a
+// no-op.
+func (c *Cluster) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	if c.tr != nil {
+		return c.tr.Close()
+	}
+	return nil
+}
+
+// NetworkStats reports the number of sends (local and remote) and the
+// total simulated network time charged.
 func (c *Cluster) NetworkStats() (sends uint64, simTime time.Duration) {
 	return c.sends.Load(), time.Duration(c.netTime.Load())
 }
+
+// Recvs reports the number of remote-origin deliveries (batches and
+// single sends) this node has accepted from its transport.
+func (c *Cluster) Recvs() uint64 { return c.recvs.Load() }
 
 // Master implements the paper's failure protocol: workers that fail to
 // contact a machine report it; the master broadcasts the failure to
 // all workers, which update their lists of failed machines. The master
 // never sits on the event data path.
+//
+// In a multi-node cluster each node runs its own master replica, and
+// broadcasts are node-local: a node learns of a peer's failure through
+// its own failed sends (detect-on-send reaches every sender quickly,
+// because the dead machine stops answering everyone), not through
+// cross-node master gossip. See the package documentation for the
+// rejoin ordering this implies.
 type Master struct {
 	c *Cluster
 

@@ -1,0 +1,65 @@
+// Package cluster is the "cluster of commodity machines" Muppet runs
+// on (Section 4.1 of the paper): named machines, the master whose only
+// data-path role is failure handling (Section 4.3), and a pluggable
+// Transport that decides whether "the network" is an in-process
+// function call or a real TCP socket.
+//
+// # Contract
+//
+// A Cluster value is ONE NODE's view of the whole cluster. Every node
+// is configured with the same member list (Config.Names, from which
+// hash rings are derived deterministically) and a subset it hosts
+// (Config.Local). Sends to a locally hosted machine run the registered
+// Handler/BatchHandler directly; sends to any other member go through
+// the Transport. The single-process default — no Names, no Transport,
+// everything local — is the paper-reproduction simulation the tests
+// and experiments run on.
+//
+// The behavioral properties the paper's arguments need hold on every
+// transport:
+//
+//   - Sends to a dead or unreachable machine fail at the sender with
+//     ErrMachineDown — detect-on-send, the failure-detection signal the
+//     recovery subsystem is built on. No pings, no heartbeats.
+//   - In-flight queue contents die with the machine.
+//   - Per-delivery rejections carry the queue sentinel errors
+//     (queue.ErrOverflow, queue.ErrClosed) across the wire, so
+//     overflow disposition is transport-independent.
+//
+// # Concurrency
+//
+// All Cluster and Master methods are safe for concurrent use. Master
+// failure/rejoin listeners are invoked synchronously, outside the
+// master's lock, on the goroutine that reported; listeners must not
+// call back into Master methods that take the same lock reentrantly
+// (none do today) and must tolerate concurrent invocations for
+// different machines.
+//
+// # Failure model across nodes
+//
+// A remote machine's Alive flag is this node's PRESUMPTION: it starts
+// true, is cleared when a send to it comes back ErrMachineDown, and is
+// restored by Revive. While presumed down, sends fail fast — exactly
+// like sends to a locally crashed machine — so the detector, failover,
+// and rejoin logic of internal/recovery run unchanged on both
+// transports.
+//
+// Each node runs its own Master replica and broadcasts are node-local;
+// there is no cross-node master gossip. Every sender discovers a dead
+// peer through its own failed sends, so detection reaches exactly the
+// nodes that talk to the victim — which is also the set that needs to
+// know. The consequence for rejoin ordering: revive the machine on its
+// HOSTING node first (workers up, queues open), then rejoin it on the
+// sender nodes (flush interim slates, re-enable the ring, resume
+// sending). Flipping a sender's ring before the host is serving again
+// just re-triggers detection.
+//
+// # Wire format
+//
+// The TCP transport frames strict request/response exchanges as
+// u32-length-prefixed bodies encoded with the framed pooled codec from
+// internal/slate (PR 4), one pooled connection per destination with
+// reconnect/backoff, and one coalesced write+flush per SendBatch so
+// the PR 3 batch amortization survives the socket hop. See wire.go for
+// the exact layout.
+package cluster

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"muppet/internal/event"
+)
+
+// startTCPPair wires a sender node (machine-00) to a host node
+// (machine-01) over loopback and returns both plus their transports.
+func startTCPPair(t *testing.T, senderCfg TCPConfig) (sender, host *Cluster, trA, trB *TCP) {
+	t.Helper()
+	names := []string{"machine-00", "machine-01"}
+	var err error
+	trB, err = NewTCP(TCPConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host = New(Config{Names: names, Local: []string{"machine-01"}, Transport: trB})
+	trB.Serve(host)
+
+	senderCfg.Peers = map[string]string{"machine-01": trB.Addr()}
+	trA, err = NewTCP(senderCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender = New(Config{Names: names, Local: []string{"machine-00"}, Transport: trA})
+	trA.Serve(sender)
+	t.Cleanup(func() { sender.Close(); host.Close() })
+	return sender, host, trA, trB
+}
+
+func TestTCPStatsCount(t *testing.T) {
+	sender, host, trA, trB := startTCPPair(t, TCPConfig{})
+	host.SetBatchHandler("machine-01", func(ds []Delivery) []error { return nil })
+
+	ds := []Delivery{{Worker: "w", Ev: event.Event{Key: "k", Value: []byte("v")}}}
+	for i := 0; i < 3; i++ {
+		if _, _, err := sender.SendBatch("machine-01", ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := trA.Stats(), trB.Stats()
+	if a.Dials != 1 {
+		t.Errorf("sender dials = %d, want 1 (pooled connection)", a.Dials)
+	}
+	if a.FramesOut != 3 || b.FramesIn != 3 {
+		t.Errorf("frames out=%d in=%d, want 3/3", a.FramesOut, b.FramesIn)
+	}
+	if a.BytesOut == 0 || b.BytesIn == 0 {
+		t.Errorf("byte counters stayed zero: out=%d in=%d", a.BytesOut, b.BytesIn)
+	}
+}
+
+func TestTCPBackoffFailsFast(t *testing.T) {
+	// A dead address: bind a port, then close it so nothing listens.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	tr, err := NewTCP(TCPConfig{
+		Peers:        map[string]string{"machine-01": addr},
+		RetryBackoff: time.Hour, // one failed dial arms a very long window
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"machine-00", "machine-01"}
+	c := New(Config{Names: names, Local: []string{"machine-00"}, Transport: tr})
+	tr.Serve(c)
+	defer c.Close()
+
+	if err := c.Send("machine-01", "w", event.Event{}); !errors.Is(err, ErrMachineDown) {
+		t.Fatalf("dial failure: err = %v, want ErrMachineDown", err)
+	}
+	// Detect-on-send marked the peer down; Revive re-arms sending and
+	// resets the backoff so the next attempt dials immediately instead
+	// of failing fast for an hour.
+	c.Revive("machine-01")
+	start := time.Now()
+	if err := c.Send("machine-01", "w", event.Event{}); !errors.Is(err, ErrMachineDown) {
+		t.Fatalf("second dial: err = %v, want ErrMachineDown", err)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("send blocked instead of failing within the dial timeout")
+	}
+	if st := tr.Stats(); st.DialErrors < 2 {
+		t.Fatalf("dial errors = %d, want >= 2 (Revive must reset the backoff window)", st.DialErrors)
+	}
+}
+
+func TestTCPOversizedFrameRejected(t *testing.T) {
+	names := []string{"machine-00", "machine-01"}
+	trB, err := NewTCP(TCPConfig{Listen: "127.0.0.1:0", MaxFrame: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := New(Config{Names: names, Local: []string{"machine-01"}, Transport: trB})
+	trB.Serve(host)
+	trA, err := NewTCP(TCPConfig{
+		Peers:        map[string]string{"machine-01": trB.Addr()},
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := New(Config{Names: names, Local: []string{"machine-00"}, Transport: trA})
+	trA.Serve(sender)
+	t.Cleanup(func() { sender.Close(); host.Close() })
+	host.SetBatchHandler("machine-01", func(ds []Delivery) []error { return nil })
+
+	// The frame body goes through the compressing slate codec, so the
+	// payload must be incompressible to actually exceed MaxFrame.
+	payload := make([]byte, 64<<10)
+	x := uint32(2463534242)
+	for i := range payload {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		payload[i] = byte(x)
+	}
+	big := []Delivery{{Worker: "w", Ev: event.Event{Key: "k", Value: payload}}}
+	if _, _, err := sender.SendBatch("machine-01", big); err == nil {
+		t.Fatal("oversized response accepted")
+	}
+	// Small batches still go through on a fresh connection.
+	small := []Delivery{{Worker: "w", Ev: event.Event{Key: "k"}}}
+	for i := 0; i < 100; i++ {
+		sender.Revive("machine-01")
+		if _, _, err = sender.SendBatch("machine-01", small); err == nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("small batch after oversized failure: %v", err)
+	}
+}
+
+func TestTCPNoPeerAddress(t *testing.T) {
+	tr, err := NewTCP(TCPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, _, err := tr.SendBatch("machine-09", []Delivery{{Worker: "w"}}); err == nil || errors.Is(err, ErrMachineDown) {
+		t.Fatalf("unmapped peer: err = %v, want a configuration error distinct from ErrMachineDown", err)
+	}
+	tr.AddPeer("machine-09", "127.0.0.1:1") // now mapped (to a dead port)
+	if _, _, err := tr.SendBatch("machine-09", []Delivery{{Worker: "w"}}); !errors.Is(err, ErrMachineDown) {
+		t.Fatalf("mapped dead peer: err = %v, want ErrMachineDown", err)
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	sender, host, trA, _ := startTCPPair(t, TCPConfig{})
+	host.SetBatchHandler("machine-01", func(ds []Delivery) []error { return nil })
+	if err := sender.Send("machine-01", "w", event.Event{Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := trA.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, _, err := trA.SendBatch("machine-01", []Delivery{{Worker: "w"}}); !errors.Is(err, ErrMachineDown) {
+		t.Fatalf("send after Close: err = %v, want ErrMachineDown", err)
+	}
+}
+
+// The peer answering "machine down" must NOT tear down the connection:
+// the node is healthy, the machine is not — and after the hosting node
+// revives the machine, sends resume on the same pooled connection.
+func TestTCPMachineDownKeepsConnection(t *testing.T) {
+	sender, host, trA, _ := startTCPPair(t, TCPConfig{})
+	host.SetBatchHandler("machine-01", func(ds []Delivery) []error { return nil })
+
+	if err := sender.Send("machine-01", "w", event.Event{}); err != nil {
+		t.Fatal(err)
+	}
+	host.Crash("machine-01")
+	if err := sender.Send("machine-01", "w", event.Event{}); !errors.Is(err, ErrMachineDown) {
+		t.Fatalf("crashed machine: err = %v, want ErrMachineDown", err)
+	}
+	host.Revive("machine-01")
+	sender.Revive("machine-01")
+	if err := sender.Send("machine-01", "w", event.Event{}); err != nil {
+		t.Fatalf("send after revive: %v", err)
+	}
+	if st := trA.Stats(); st.Dials != 1 {
+		t.Fatalf("dials = %d, want 1: a machine-down answer must keep the pooled connection", st.Dials)
+	}
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"muppet/internal/event"
+)
+
+// Transport carries sends addressed to machines hosted by other
+// cluster nodes. The Cluster routes every send to a machine it hosts
+// itself (a "local" machine) directly to the registered handlers;
+// sends to any other member go through the configured Transport.
+//
+// Implementations must preserve the cluster's failure semantics: a
+// destination that cannot be reached — dead process, refused dial,
+// broken connection, or a peer that reports its machine crashed —
+// surfaces as ErrMachineDown at the sender, because detect-on-send is
+// how Muppet notices failures (Section 4.3). Per-delivery rejections
+// (full or closed destination queues) must round-trip so that
+// errors.Is(err, queue.ErrOverflow) and errors.Is(err, queue.ErrClosed)
+// hold at the sender exactly as they would in process.
+//
+// Implementations must be safe for concurrent use; the engines send
+// from many threads at once.
+type Transport interface {
+	// Send delivers one event to a worker on a remote machine.
+	Send(machine, worker string, ev event.Event) error
+	// SendBatch delivers a machine-addressed batch in one exchange,
+	// returning the accepted count and per-delivery rejections, with
+	// the same contract as Cluster.SendBatch.
+	SendBatch(machine string, ds []Delivery) (accepted int, rejects []BatchReject, err error)
+	// Name identifies the implementation ("in-process", "tcp") for
+	// status reporting.
+	Name() string
+	// Close releases the transport's resources. Sends after Close fail
+	// with ErrMachineDown.
+	Close() error
+}
+
+// peerResetter is implemented by transports that keep per-peer redial
+// state; Cluster.Revive uses it so a revived machine is probed
+// immediately instead of waiting out the failure backoff.
+type peerResetter interface {
+	ResetPeer(machine string)
+}
+
+// InProc is the in-process Transport: it links multiple Cluster nodes
+// living in one OS process by direct function call. It is the
+// reference implementation the TCP transport is held to — same
+// ErrMachineDown semantics, same per-delivery rejection fidelity, no
+// wire in between — and what the transport conformance suite uses to
+// separate topology bugs from wire-format bugs.
+type InProc struct {
+	mu    sync.RWMutex
+	nodes map[string]*Cluster // machine name -> hosting cluster node
+}
+
+// NewInProc builds an empty in-process transport; link nodes with
+// Register.
+func NewInProc() *InProc {
+	return &InProc{nodes: make(map[string]*Cluster)}
+}
+
+// Register links a cluster node into the transport: every machine the
+// node hosts locally becomes reachable by the other registered nodes.
+func (t *InProc) Register(c *Cluster) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, name := range c.LocalNames() {
+		t.nodes[name] = c
+	}
+}
+
+func (t *InProc) host(machine string) *Cluster {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes[machine]
+}
+
+// Send delivers one event to the node hosting the machine.
+func (t *InProc) Send(machine, worker string, ev event.Event) error {
+	host := t.host(machine)
+	if host == nil {
+		return fmt.Errorf("cluster: no node hosts machine %s", machine)
+	}
+	return host.DeliverLocalOne(machine, worker, ev)
+}
+
+// SendBatch delivers a batch to the node hosting the machine.
+func (t *InProc) SendBatch(machine string, ds []Delivery) (int, []BatchReject, error) {
+	host := t.host(machine)
+	if host == nil {
+		return 0, nil, fmt.Errorf("cluster: no node hosts machine %s", machine)
+	}
+	return host.DeliverLocal(machine, ds)
+}
+
+// Name identifies the transport.
+func (t *InProc) Name() string { return "in-process" }
+
+// Close is a no-op; the linked nodes own their resources.
+func (t *InProc) Close() error { return nil }

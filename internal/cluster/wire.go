@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"muppet/internal/event"
+	"muppet/internal/queue"
+)
+
+// Wire format for the TCP transport. Exchanges are strictly
+// request/response over one connection, so no request IDs are needed:
+//
+//	frame    = u32 big-endian length ++ body
+//	body     = slate.Encode(plain)            (PR 4 framed pooled codec)
+//	plain    = request | response
+//	request  = 'Q' ++ str(machine) ++ uvarint(n) ++ n*delivery
+//	delivery = str(worker) ++ str(stream) ++ varint(ts) ++ uvarint(seq)
+//	           ++ str(key) ++ blob(value) ++ varint(ingress)
+//	response = 'R' ++ u8 status ++ uvarint(accepted)
+//	           ++ uvarint(nrej) ++ nrej*(uvarint(index) ++ u8 code)
+//	str      = uvarint(len) ++ bytes
+//	blob     = uvarint(0) for nil, uvarint(len+1) ++ bytes otherwise
+//
+// Delivery.Tag never crosses the wire: it is a sender-side batch index
+// and rejections are reported by batch position. Reject codes map back
+// to the exact queue sentinel errors so errors.Is-based dispositions in
+// the engines and the ingress driver behave identically on both sides
+// of a socket.
+const (
+	wireReq  = 'Q'
+	wireResp = 'R'
+)
+
+// Response status codes.
+const (
+	statusOK byte = iota
+	statusMachineDown
+	statusNoHandler
+	statusUnknownMachine
+)
+
+// Per-delivery reject codes.
+const (
+	rejectOther byte = iota
+	rejectOverflow
+	rejectClosed
+)
+
+// ErrRemoteReject is the sender-side stand-in for a remote rejection
+// cause that has no dedicated wire code.
+var ErrRemoteReject = errors.New("cluster: delivery rejected by remote machine")
+
+var errWireTruncated = errors.New("cluster: truncated wire message")
+
+func rejectCode(err error) byte {
+	switch {
+	case errors.Is(err, queue.ErrOverflow):
+		return rejectOverflow
+	case errors.Is(err, queue.ErrClosed):
+		return rejectClosed
+	default:
+		return rejectOther
+	}
+}
+
+func rejectErr(code byte) error {
+	switch code {
+	case rejectOverflow:
+		return queue.ErrOverflow
+	case rejectClosed:
+		return queue.ErrClosed
+	default:
+		return ErrRemoteReject
+	}
+}
+
+// statusErr maps a response status to the sender-visible error.
+func statusErr(status byte, machine string) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusMachineDown:
+		return ErrMachineDown
+	case statusNoHandler:
+		return ErrNoHandler
+	case statusUnknownMachine:
+		return fmt.Errorf("cluster: unknown machine %s", machine)
+	default:
+		return fmt.Errorf("cluster: bad response status %d", status)
+	}
+}
+
+// statusOf maps a local delivery error to its wire status.
+func statusOf(err error) byte {
+	switch {
+	case err == nil:
+		return statusOK
+	case errors.Is(err, ErrMachineDown):
+		return statusMachineDown
+	case errors.Is(err, ErrNoHandler):
+		return statusNoHandler
+	default:
+		return statusUnknownMachine
+	}
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendBlob preserves the nil/empty distinction: 0 encodes nil,
+// n+1 encodes n bytes.
+func appendBlob(dst, b []byte) []byte {
+	if b == nil {
+		return binary.AppendUvarint(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(b))+1)
+	return append(dst, b...)
+}
+
+// wireReader decodes the primitives above with explicit truncation
+// checks; err latches on the first failure.
+type wireReader struct {
+	p   []byte
+	err error
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.p)
+	if n <= 0 {
+		r.err = errWireTruncated
+		return 0
+	}
+	r.p = r.p[n:]
+	return v
+}
+
+func (r *wireReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.p)
+	if n <= 0 {
+		r.err = errWireTruncated
+		return 0
+	}
+	r.p = r.p[n:]
+	return v
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.p) == 0 {
+		r.err = errWireTruncated
+		return 0
+	}
+	b := r.p[0]
+	r.p = r.p[1:]
+	return b
+}
+
+func (r *wireReader) take(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.p)) < n {
+		r.err = errWireTruncated
+		return nil
+	}
+	b := r.p[:n]
+	r.p = r.p[n:]
+	return b
+}
+
+func (r *wireReader) str() string { return string(r.take(r.uvarint())) }
+
+func (r *wireReader) blob() []byte {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	b := r.take(n - 1)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// encodeRequest appends the plain (pre-codec) request for a batch
+// addressed to machine.
+func encodeRequest(dst []byte, machine string, ds []Delivery) []byte {
+	dst = append(dst, wireReq)
+	dst = appendStr(dst, machine)
+	dst = binary.AppendUvarint(dst, uint64(len(ds)))
+	for i := range ds {
+		d := &ds[i]
+		dst = appendStr(dst, d.Worker)
+		dst = appendStr(dst, d.Ev.Stream)
+		dst = binary.AppendVarint(dst, int64(d.Ev.TS))
+		dst = binary.AppendUvarint(dst, d.Ev.Seq)
+		dst = appendStr(dst, d.Ev.Key)
+		dst = appendBlob(dst, d.Ev.Value)
+		dst = binary.AppendVarint(dst, d.Ev.Ingress)
+	}
+	return dst
+}
+
+// decodeRequest parses a plain request. The deliveries' Tag fields are
+// their batch positions, so server-side rejects report the right index.
+func decodeRequest(p []byte) (machine string, ds []Delivery, err error) {
+	r := wireReader{p: p}
+	if k := r.byte(); r.err == nil && k != wireReq {
+		return "", nil, fmt.Errorf("cluster: unexpected wire kind %q", k)
+	}
+	machine = r.str()
+	n := r.uvarint()
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	if n > uint64(len(r.p)) { // each delivery takes >= 1 byte
+		return "", nil, errWireTruncated
+	}
+	ds = make([]Delivery, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var d Delivery
+		d.Worker = r.str()
+		d.Ev.Stream = r.str()
+		d.Ev.TS = event.Timestamp(r.varint())
+		d.Ev.Seq = r.uvarint()
+		d.Ev.Key = r.str()
+		d.Ev.Value = r.blob()
+		d.Ev.Ingress = r.varint()
+		d.Tag = int(i)
+		if r.err != nil {
+			return "", nil, r.err
+		}
+		ds = append(ds, d)
+	}
+	return machine, ds, nil
+}
+
+// encodeResponse appends the plain response for one exchange.
+func encodeResponse(dst []byte, status byte, accepted int, rejects []BatchReject) []byte {
+	dst = append(dst, wireResp, status)
+	dst = binary.AppendUvarint(dst, uint64(accepted))
+	dst = binary.AppendUvarint(dst, uint64(len(rejects)))
+	for _, rj := range rejects {
+		dst = binary.AppendUvarint(dst, uint64(rj.Index))
+		dst = append(dst, rejectCode(rj.Err))
+	}
+	return dst
+}
+
+// decodeResponse parses a plain response, mapping reject codes back to
+// the queue sentinel errors.
+func decodeResponse(p []byte) (status byte, accepted int, rejects []BatchReject, err error) {
+	r := wireReader{p: p}
+	if k := r.byte(); r.err == nil && k != wireResp {
+		return 0, 0, nil, fmt.Errorf("cluster: unexpected wire kind %q", k)
+	}
+	status = r.byte()
+	accepted = int(r.uvarint())
+	n := r.uvarint()
+	if r.err != nil {
+		return 0, 0, nil, r.err
+	}
+	if n > uint64(len(r.p)) { // each reject takes >= 2 bytes
+		return 0, 0, nil, errWireTruncated
+	}
+	for i := uint64(0); i < n; i++ {
+		idx := r.uvarint()
+		code := r.byte()
+		if r.err != nil {
+			return 0, 0, nil, r.err
+		}
+		rejects = append(rejects, BatchReject{Index: int(idx), Err: rejectErr(code)})
+	}
+	return status, accepted, rejects, nil
+}

@@ -1,0 +1,45 @@
+// Package engine1 implements Muppet 1.0 (Sections 4.1–4.4 of the
+// paper): the process-per-worker execution engine developed at Kosmix.
+//
+// Each worker is a pair of coupled processes — a "conductor" in charge
+// of Muppet logistics (queueing, slate fetch, hashing output events to
+// destinations) and a "task processor" that only runs the map or
+// update code. Here the pair is a pair of goroutines exchanging
+// messages over channels, which reproduces the 1.0 design's extra
+// intra-worker hop and its per-worker (disparate) slate caches — the
+// limitations that motivated Muppet 2.0 and that experiments E4 and E5
+// measure.
+//
+// Event routing follows Section 4.1: every worker holds the same hash
+// ring mapping <event key, destination function> to a worker, so
+// events pass directly from worker to worker without a master on the
+// data path.
+//
+// # Contract
+//
+// An Engine is built with New, fed through Ingest/IngestBatch (and the
+// shared ingress.Driver), drained with Drain, and torn down exactly
+// once with Stop. Slate reads (Slate, Slates) observe the per-worker
+// caches merged with the durable store. Subscribe is only valid on
+// streams the application declared as outputs and panics otherwise.
+//
+// # Concurrency
+//
+// Each worker owns one bounded queue consumed by its conductor
+// goroutine; the conductor is the only goroutine that touches that
+// worker's slate cache, so per-worker slates need no locks. The
+// conductor/task-processor channel pair has a single sender which is
+// also the closer. Stop and the rejoin path's worker restarts are
+// serialized by a dedicated mutex so a restart cannot Add to a
+// WaitGroup that Stop is Waiting on; output subscriptions are closed
+// exactly once behind the engine sink's lock.
+//
+// # Failure invariants
+//
+// Failure handling follows Section 4.3: a failed send marks the
+// machine dead at the master, which broadcasts it to every worker;
+// each removes the machine from its rings. The event that failed to
+// reach the dead worker is lost and logged, not resent — unless the
+// replay log is enabled, in which case recovery redelivers the
+// unacknowledged suffix to the keys' new owners (at-least-once).
+package engine1

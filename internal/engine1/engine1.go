@@ -1,22 +1,3 @@
-// Package engine1 implements Muppet 1.0 (Sections 4.1–4.4 of the
-// paper): the process-per-worker execution engine developed at Kosmix.
-//
-// Each worker is a pair of coupled processes — a "conductor" in charge
-// of Muppet logistics (queueing, slate fetch, hashing output events to
-// destinations) and a "task processor" that only runs the map or
-// update code. Here the pair is a pair of goroutines exchanging
-// messages over channels, which reproduces the 1.0 design's extra
-// intra-worker hop and its per-worker (disparate) slate caches — the
-// limitations that motivated Muppet 2.0 and that experiments E4 and E5
-// measure.
-//
-// Event routing follows Section 4.1: every worker holds the same hash
-// ring mapping <event key, destination function> to a worker, so
-// events pass directly from worker to worker without a master on the
-// data path. Failure handling follows Section 4.3: a failed send marks
-// the machine dead at the master, which broadcasts it to every worker;
-// the event that failed to reach the dead worker is lost and logged,
-// not resent.
 package engine1
 
 import (
@@ -88,6 +69,13 @@ type Config struct {
 	// WAL replay on failover, cache warm-up on rejoin). The zero value
 	// enables everything.
 	Recovery recovery.Config
+	// Cluster, when non-nil, is an externally wired cluster node (node
+	// mode): the engine hosts conductor/task-processor pairs only for
+	// workers assigned to the cluster's local machines and reaches the
+	// rest through its transport. Nil builds the single-process
+	// simulation from Machines/SendLatency. The engine owns the
+	// cluster's lifecycle either way: Stop closes it.
+	Cluster *cluster.Cluster
 }
 
 func (c *Config) fill() {
@@ -161,9 +149,15 @@ type Engine struct {
 	cfg Config
 	clu *cluster.Cluster
 
-	rings         map[string]*hashring.Ring // function -> ring over its worker IDs
+	rings map[string]*hashring.Ring // function -> ring over its worker IDs
+	// workers holds the conductor/task-processor pairs this node runs —
+	// only workers assigned to locally hosted machines. workerMachine
+	// and workerFn cover EVERY worker of the cluster (the assignment is
+	// deterministic, so all nodes agree); ring updates and routing must
+	// consult them, never workers, for a worker another node hosts.
 	workers       map[string]*worker
 	workerMachine map[string]string
+	workerFn      map[string]string
 
 	rec      *recovery.Manager
 	ing      *ingress.Driver
@@ -175,6 +169,10 @@ type Engine struct {
 	stopped  atomic.Bool
 	flushers chan struct{}
 	wg       sync.WaitGroup
+	// stopMu serializes Stop against RestartWorkers so a rejoin racing
+	// a shutdown can never wg.Add fresh worker loops while wg.Wait is
+	// in progress.
+	stopMu sync.Mutex
 }
 
 // New builds and starts a Muppet 1.0 engine for a validated app.
@@ -183,25 +181,45 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	cfg.fill()
+	clu := cfg.Cluster
+	if clu == nil {
+		clu = cluster.New(cluster.Config{Machines: cfg.Machines, SendLatency: cfg.SendLatency})
+	}
 	e := &Engine{
 		app:           app,
 		cfg:           cfg,
-		clu:           cluster.New(cluster.Config{Machines: cfg.Machines, SendLatency: cfg.SendLatency}),
+		clu:           clu,
 		rings:         make(map[string]*hashring.Ring),
 		workers:       make(map[string]*worker),
 		workerMachine: make(map[string]string),
+		workerFn:      make(map[string]string),
 		counters:      engine.NewCounters(),
 		tracker:       engine.NewTracker(),
 		sink:          engine.NewSink(cfg.OutputCapacity),
 		lost:          engine.NewLostLog(0),
 		flushers:      make(chan struct{}),
 	}
+	// Remote-origin deliveries are charged to this node's in-flight
+	// tracker when they land (and credited back if bounced), so Drain
+	// covers events handed off by peer nodes.
+	e.clu.OnRemoteInflight(func(delta int) { e.tracker.Add(delta) })
+	// Worker placement — fn#i on machines[i % n] over the sorted member
+	// list — is deterministic, so every node of a multi-node cluster
+	// derives the same assignment and the same per-function rings.
+	// Runtime state (queues, caches, loops) is built only for workers
+	// on locally hosted machines.
 	machines := e.clu.MachineNames()
 	for _, f := range app.Functions() {
 		var ids []string
 		for i := 0; i < cfg.WorkersPerFunction; i++ {
 			id := fmt.Sprintf("%s#%d", f.Name(), i)
 			machine := machines[i%len(machines)]
+			e.workerMachine[id] = machine
+			e.workerFn[id] = f.Name()
+			ids = append(ids, id)
+			if !e.clu.IsLocal(machine) {
+				continue
+			}
 			w := &worker{
 				id:      id,
 				machine: machine,
@@ -227,12 +245,10 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 				TTLFor:        app.TTLFor,
 			})
 			e.workers[id] = w
-			e.workerMachine[id] = machine
-			ids = append(ids, id)
 		}
 		e.rings[f.Name()] = hashring.New(ids, 0)
 	}
-	for _, m := range machines {
+	for _, m := range e.clu.LocalNames() {
 		e.clu.SetHandler(m, e.deliverLocal)
 		e.clu.SetBatchHandler(m, e.deliverLocalBatch)
 	}
@@ -253,7 +269,7 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		Counters:       e.counters,
 		Tracker:        e.tracker,
 		Lost:           e.lost,
-		Machines:       cfg.Machines,
+		Machines:       len(machines),
 		Policy:         cfg.QueuePolicy,
 		OverflowStream: cfg.OverflowStream,
 		SourceThrottle: cfg.SourceThrottle,
@@ -551,6 +567,11 @@ func (e *Engine) deliver(fn string, ev event.Event, throttle bool) {
 		err := e.clu.Send(machine, wid, ev)
 		switch {
 		case err == nil:
+			if !e.clu.IsLocal(machine) {
+				// Handed off: the hosting node's tracker took the event
+				// over when it landed (OnRemoteInflight).
+				e.tracker.Dec()
+			}
 			e.counters.Emitted.Add(1)
 			return
 		case err == cluster.ErrMachineDown:
@@ -663,8 +684,8 @@ func (o ingressOps) Subscribers(stream string) []string { return o.e.app.Subscri
 func (o ingressOps) NextSeq() uint64                    { return o.e.seq.Add(1) }
 func (o ingressOps) RecordOutput(ev event.Event)        { o.e.sink.Record(ev) }
 func (o ingressOps) FuncOf(worker string) string {
-	if w := o.e.workers[worker]; w != nil {
-		return w.fn.Name()
+	if fn, ok := o.e.workerFn[worker]; ok {
+		return fn
 	}
 	return worker
 }
@@ -680,10 +701,22 @@ func (o ingressOps) Route(fn, key string) (string, string) {
 	return o.e.workerMachine[wid], wid
 }
 func (o ingressOps) SendBatch(machine string, ds []cluster.Delivery) (int, []cluster.BatchReject, error) {
-	return o.e.clu.SendBatch(machine, ds)
+	accepted, rejects, err := o.e.clu.SendBatch(machine, ds)
+	if err == nil && accepted > 0 && !o.e.clu.IsLocal(machine) {
+		// The driver charged the tracker for the whole batch before the
+		// send; accepted deliveries now belong to the hosting node's
+		// tracker (it charged itself on landing), so retire them here.
+		// The driver itself retires the rejects.
+		o.e.tracker.Add(-accepted)
+	}
+	return accepted, rejects, err
 }
 func (o ingressOps) Send(machine, worker string, ev event.Event) error {
-	return o.e.clu.Send(machine, worker, ev)
+	err := o.e.clu.Send(machine, worker, ev)
+	if err == nil && !o.e.clu.IsLocal(machine) {
+		o.e.tracker.Dec()
+	}
+	return err
 }
 func (o ingressOps) ObserveSendFailure(machine string) {
 	o.e.rec.Detector().ObserveSendFailure(machine)
@@ -717,24 +750,27 @@ func (e *Engine) AttachOutput(stream string, h engine.OutputHandler) {
 // Drain blocks until every accepted event has been fully processed.
 func (e *Engine) Drain() { e.tracker.Wait() }
 
-// Stop drains, halts all workers, and flushes dirty slates to the
-// store. It is idempotent.
+// Stop drains, halts all workers, flushes dirty slates to the store,
+// and closes the cluster transport. It is idempotent.
 func (e *Engine) Stop() {
 	if e.stopped.Swap(true) {
 		return
 	}
 	e.tracker.Wait()
+	e.stopMu.Lock()
 	close(e.flushers)
 	for _, w := range e.workers {
 		w.queue().Close()
 	}
 	e.wg.Wait()
+	e.stopMu.Unlock()
 	for _, w := range e.workers {
 		w.cache.FlushDirty()
 	}
 	// Close the egress sink last: subscriber channels close only after
 	// every in-flight event has been recorded.
 	e.sink.Close()
+	e.clu.Close()
 }
 
 // CrashMachine simulates a machine failure with the stock §4.3
@@ -775,11 +811,13 @@ type recoveryAdapter struct {
 }
 
 func (a *recoveryAdapter) RemoveFromRing(machine string) {
+	// workerFn, not workers: ring membership must flip for workers any
+	// node hosts, and this node has no worker struct for remote ones.
 	for wid, wm := range a.e.workerMachine {
 		if wm != machine {
 			continue
 		}
-		a.e.rings[a.e.workers[wid].fn.Name()].Disable(wid)
+		a.e.rings[a.e.workerFn[wid]].Disable(wid)
 	}
 }
 
@@ -788,7 +826,7 @@ func (a *recoveryAdapter) RestoreToRing(machine string) {
 		if wm != machine {
 			continue
 		}
-		a.e.rings[a.e.workers[wid].fn.Name()].Enable(wid)
+		a.e.rings[a.e.workerFn[wid]].Enable(wid)
 	}
 }
 
@@ -798,6 +836,9 @@ func (a *recoveryAdapter) DrainQueues(machine string, drained func(function stri
 			continue
 		}
 		w := a.e.workers[wid]
+		if w == nil {
+			continue // hosted by another node; its queues die there
+		}
 		// Drain closes the queue atomically, so the worker's loops exit
 		// immediately instead of consuming a backlog a dead machine
 		// could never have processed.
@@ -816,6 +857,9 @@ func (a *recoveryAdapter) CrashSlates(machine string) ([]*wal.SlateBatchLog, int
 			continue
 		}
 		w := a.e.workers[wid]
+		if w == nil {
+			continue // hosted by another node; its caches die there
+		}
 		if s, ok := w.cache.(*slate.Sharded); ok {
 			wals = append(wals, s.WAL())
 		}
@@ -832,6 +876,11 @@ func (a *recoveryAdapter) Redeliver(function string, ev event.Event) {
 }
 
 func (a *recoveryAdapter) RestartWorkers(machine string) {
+	// Under stopMu: Stop cannot begin (or finish) its wg.Wait while
+	// fresh loops are being added, and once Stop has swapped stopped we
+	// refuse to start any.
+	a.e.stopMu.Lock()
+	defer a.e.stopMu.Unlock()
 	if a.e.stopped.Load() {
 		return
 	}
@@ -840,6 +889,9 @@ func (a *recoveryAdapter) RestartWorkers(machine string) {
 			continue
 		}
 		w := a.e.workers[wid]
+		if w == nil {
+			continue // hosted by another node; it restarts them
+		}
 		// Updates mid-process at crash time completed against the
 		// already-crashed cache and re-inserted dead-lineage values;
 		// drop them so they cannot shadow the store once the ring
@@ -891,7 +943,7 @@ func (a *recoveryAdapter) WarmSlates(machine string, limit int) int {
 		if wm != machine {
 			continue
 		}
-		if w := a.e.workers[wid]; w.fn.Kind == core.KindUpdate {
+		if w := a.e.workers[wid]; w != nil && w.fn.Kind == core.KindUpdate {
 			byUpdater[w.fn.Name()] = append(byUpdater[w.fn.Name()], wid)
 		}
 	}
@@ -938,7 +990,7 @@ func (a *recoveryAdapter) WarmSlates(machine string, limit int) int {
 func (a *recoveryAdapter) RingMembers() map[string]bool {
 	out := make(map[string]bool)
 	for wid, wm := range a.e.workerMachine {
-		enabled := !a.e.rings[a.e.workers[wid].fn.Name()].Disabled(wid)
+		enabled := !a.e.rings[a.e.workerFn[wid]].Disabled(wid)
 		out[wm] = out[wm] || enabled
 	}
 	return out
@@ -946,7 +998,10 @@ func (a *recoveryAdapter) RingMembers() map[string]bool {
 
 // Slate returns the current slate for <updater, key>, reading the
 // owning worker's cache (and falling through to the durable store on a
-// cache miss). It returns nil if no slate exists.
+// cache miss). It returns nil if no slate exists. When the owning
+// worker lives on another node, the local read falls back to the
+// shared durable store; without a store it returns nil — query the
+// owning node.
 func (e *Engine) Slate(updater, key string) []byte {
 	ring := e.rings[updater]
 	if ring == nil {
@@ -956,7 +1011,15 @@ func (e *Engine) Slate(updater, key string) []byte {
 	if wid == "" {
 		return nil
 	}
-	v, _ := e.workers[wid].cache.Get(slate.Key{Updater: updater, Key: key})
+	w := e.workers[wid]
+	if w == nil {
+		if st := e.storeFor(); st != nil {
+			v, _, _ := st.Load(slate.Key{Updater: updater, Key: key})
+			return v
+		}
+		return nil
+	}
+	v, _ := w.cache.Get(slate.Key{Updater: updater, Key: key})
 	return v
 }
 

@@ -1,20 +1,3 @@
-// Package engine2 implements Muppet 2.0 (Section 4.5 of the paper):
-// the thread-pool execution engine developed at WalmartLabs.
-//
-// Per machine, the engine starts a dedicated pool of worker threads,
-// each capable of running any map or update function; a single central
-// slate cache shared by all threads; and a background flusher that
-// writes dirty slates to the durable key-value store without blocking
-// map and update calls.
-//
-// Incoming events are dispatched to one of two candidate queues (a
-// primary and a secondary, chosen by hashing <event key, destination
-// function>): if either queue's thread is already processing this
-// (key, function), the event follows it; otherwise it goes to the
-// primary unless the secondary is significantly shorter. This bounds
-// slate contention to at most two workers per slate while letting a
-// hot key's load spill onto a second thread — the hotspot relief of
-// Sections 4.5 and 5.
 package engine2
 
 import (
@@ -95,6 +78,13 @@ type Config struct {
 	// WAL replay on failover, cache warm-up on rejoin). The zero value
 	// enables everything.
 	Recovery recovery.Config
+	// Cluster, when non-nil, is an externally wired cluster node (node
+	// mode): the engine hosts runtime state only for the cluster's
+	// local machines and reaches the rest through its transport. Nil
+	// builds the single-process simulation from Machines/SendLatency.
+	// The engine owns the cluster's lifecycle either way: Stop closes
+	// it.
+	Cluster *cluster.Cluster
 }
 
 func (c *Config) fill() {
@@ -335,6 +325,10 @@ type Engine struct {
 	stopped  atomic.Bool
 	done     chan struct{}
 	wg       sync.WaitGroup
+	// stopMu serializes Stop against RestartWorkers so a rejoin racing
+	// a shutdown can never wg.Add a fresh thread loop while wg.Wait is
+	// in progress.
+	stopMu sync.Mutex
 }
 
 // New builds and starts a Muppet 2.0 engine for a validated app.
@@ -343,10 +337,14 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	cfg.fill()
+	clu := cfg.Cluster
+	if clu == nil {
+		clu = cluster.New(cluster.Config{Machines: cfg.Machines, SendLatency: cfg.SendLatency})
+	}
 	e := &Engine{
 		app:      app,
 		cfg:      cfg,
-		clu:      cluster.New(cluster.Config{Machines: cfg.Machines, SendLatency: cfg.SendLatency}),
+		clu:      clu,
 		machines: make(map[string]*machine),
 		counters: engine.NewCounters(),
 		tracker:  engine.NewTracker(),
@@ -354,9 +352,15 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		lost:     engine.NewLostLog(0),
 		done:     make(chan struct{}),
 	}
-	names := e.clu.MachineNames()
-	e.ring = hashring.New(names, 0)
-	for _, name := range names {
+	// The ring spans the full member list — every node derives the same
+	// ring from the same names — but runtime state (threads, cache,
+	// locks, logs) exists only for the machines this node hosts.
+	e.ring = hashring.New(e.clu.MachineNames(), 0)
+	// Remote-origin batches are charged to this node's in-flight
+	// tracker the moment they land (and credited back if bounced), so
+	// Drain covers events handed off by peer nodes.
+	e.clu.OnRemoteInflight(func(delta int) { e.tracker.Add(delta) })
+	for _, name := range e.clu.LocalNames() {
 		m := &machine{
 			name:    name,
 			running: make(map[fk]map[int]int),
@@ -415,7 +419,7 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		Counters:       e.counters,
 		Tracker:        e.tracker,
 		Lost:           e.lost,
-		Machines:       len(e.machines),
+		Machines:       len(e.clu.MachineNames()),
 		Policy:         cfg.QueuePolicy,
 		OverflowStream: cfg.OverflowStream,
 		SourceThrottle: cfg.SourceThrottle,
@@ -832,6 +836,11 @@ func (e *Engine) deliver(fn string, ev event.Event, throttle bool) {
 		err := e.clu.Send(machineName, fn, ev)
 		switch {
 		case err == nil:
+			if !e.clu.IsLocal(machineName) {
+				// Handed off: the hosting node's tracker took the event
+				// over when it landed (OnRemoteInflight).
+				e.tracker.Dec()
+			}
 			e.counters.Emitted.Add(1)
 			return
 		case err == cluster.ErrMachineDown:
@@ -943,10 +952,22 @@ func (o ingressOps) Route(fn, key string) (string, string) {
 	return o.e.ring.LookupRoute(fn, key), fn
 }
 func (o ingressOps) SendBatch(machine string, ds []cluster.Delivery) (int, []cluster.BatchReject, error) {
-	return o.e.clu.SendBatch(machine, ds)
+	accepted, rejects, err := o.e.clu.SendBatch(machine, ds)
+	if err == nil && accepted > 0 && !o.e.clu.IsLocal(machine) {
+		// The driver charged the tracker for the whole batch before the
+		// send; accepted deliveries now belong to the hosting node's
+		// tracker (it charged itself on landing), so retire them here.
+		// The driver itself retires the rejects.
+		o.e.tracker.Add(-accepted)
+	}
+	return accepted, rejects, err
 }
 func (o ingressOps) Send(machine, worker string, ev event.Event) error {
-	return o.e.clu.Send(machine, worker, ev)
+	err := o.e.clu.Send(machine, worker, ev)
+	if err == nil && !o.e.clu.IsLocal(machine) {
+		o.e.tracker.Dec()
+	}
+	return err
 }
 func (o ingressOps) ObserveSendFailure(machine string) {
 	o.e.rec.Detector().ObserveSendFailure(machine)
@@ -980,13 +1001,14 @@ func (e *Engine) AttachOutput(stream string, h engine.OutputHandler) {
 // Drain blocks until every accepted event has been fully processed.
 func (e *Engine) Drain() { e.tracker.Wait() }
 
-// Stop drains, halts all threads, and flushes dirty slates. It is
-// idempotent.
+// Stop drains, halts all threads, flushes dirty slates, and closes
+// the cluster transport. It is idempotent.
 func (e *Engine) Stop() {
 	if e.stopped.Swap(true) {
 		return
 	}
 	e.tracker.Wait()
+	e.stopMu.Lock()
 	close(e.done)
 	for _, m := range e.machines {
 		for _, th := range m.threads {
@@ -994,12 +1016,14 @@ func (e *Engine) Stop() {
 		}
 	}
 	e.wg.Wait()
+	e.stopMu.Unlock()
 	for _, m := range e.machines {
 		m.cache.FlushDirty()
 	}
 	// Close the egress sink last: subscriber channels close only after
 	// every in-flight event has been recorded.
 	e.sink.Close()
+	e.clu.Close()
 }
 
 // CrashMachine simulates a machine failure with the stock §4.3
@@ -1009,7 +1033,7 @@ func (e *Engine) Stop() {
 // group-commit WAL are replayed into the store. Detection is left to
 // the next failed send.
 func (e *Engine) CrashMachine(name string) (lostQueued, lostDirtySlates int) {
-	if e.machines[name] == nil {
+	if e.clu.Machine(name) == nil {
 		return 0, 0
 	}
 	rep := e.rec.Crash(name)
@@ -1106,7 +1130,15 @@ func (a *recoveryAdapter) Redeliver(function string, ev event.Event) {
 
 func (a *recoveryAdapter) RestartWorkers(machine string) {
 	m := a.e.machines[machine]
-	if m == nil || a.e.stopped.Load() {
+	if m == nil {
+		return
+	}
+	// Under stopMu: Stop cannot begin (or finish) its wg.Wait while
+	// fresh loops are being added, and once Stop has swapped stopped we
+	// refuse to start any.
+	a.e.stopMu.Lock()
+	defer a.e.stopMu.Unlock()
+	if a.e.stopped.Load() {
 		return
 	}
 	// Updates that were mid-process when the machine died completed
@@ -1196,24 +1228,40 @@ func (e *Engine) MachineFor(fn, key string) string {
 // Slate returns the current slate for <updater, key>, reading the
 // owning machine's central cache (falling through to the durable
 // store on a miss). The HTTP slate-fetch service resolves slates the
-// same way.
+// same way. When the owner is hosted by another node, the local read
+// falls back to the shared durable store (the authoritative copy lags
+// the owner's cache by at most one flush interval); without a store it
+// returns nil — query the owning node.
 func (e *Engine) Slate(updater, key string) []byte {
 	name := e.ring.LookupRoute(updater, key)
 	if name == "" {
 		return nil
 	}
-	v, _ := e.machines[name].cache.Get(slate.Key{Updater: updater, Key: key})
+	m := e.machines[name]
+	if m == nil {
+		if st := e.slateStore(); st != nil {
+			v, _, _ := st.Load(slate.Key{Updater: updater, Key: key})
+			return v
+		}
+		return nil
+	}
+	v, _ := m.cache.Get(slate.Key{Updater: updater, Key: key})
 	return v
 }
 
 // SlateCached returns the slate only if it is resident in the owning
-// machine's cache (no store fallback), with its residency flag.
+// machine's cache (no store fallback), with its residency flag. A
+// remotely hosted owner has no local cache: (nil, false).
 func (e *Engine) SlateCached(updater, key string) ([]byte, bool) {
 	name := e.ring.LookupRoute(updater, key)
 	if name == "" {
 		return nil, false
 	}
-	return e.machines[name].cache.Peek(slate.Key{Updater: updater, Key: key})
+	m := e.machines[name]
+	if m == nil {
+		return nil, false
+	}
+	return m.cache.Peek(slate.Key{Updater: updater, Key: key})
 }
 
 // Slates returns all cached slates of an updater merged across

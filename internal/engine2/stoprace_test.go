@@ -1,0 +1,90 @@
+package engine2
+
+import (
+	"sync"
+	"testing"
+
+	"muppet/internal/core"
+	"muppet/internal/event"
+)
+
+// stopRaceApp is counterApp with a declared output stream so the test
+// can hold a live subscription across Stop.
+func stopRaceApp() *core.App {
+	m1 := core.MapFunc{FName: "M1", Fn: func(emit core.Emitter, in event.Event) {
+		emit.Publish("S2", in.Key, in.Value)
+	}}
+	u1 := core.UpdateFunc{FName: "U1", Fn: func(emit core.Emitter, in event.Event, sl []byte) {
+		emit.ReplaceSlate([]byte("x"))
+		emit.Publish("S3", in.Key, in.Value)
+	}}
+	return core.NewApp("stoprace").
+		Input("S1").
+		Output("S3").
+		AddMap(m1, []string{"S1"}, []string{"S2"}).
+		AddUpdate(u1, []string{"S2"}, []string{"S3"}, 0)
+}
+
+// Regression test for the Stop-window hazards the networked mode hits
+// harder: a master failure broadcast (the path a remote peer's failed
+// send triggers at any moment), a rejoin's worker restart, live
+// subscribers, and ingestion all racing Stop. The failure modes this
+// pins down are panics — send on a closed subscription channel, and
+// wg.Add racing wg.Wait when a rejoin restarts workers while Stop is
+// tearing them down (serialized by stopMu) — plus anything the race
+// detector sees.
+func TestStopRacesFailureBroadcastAndRejoin(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		e, err := New(stopRaceApp(), Config{Machines: 3, ThreadsPerMachine: 2, QueueCapacity: 1 << 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+
+		// Ingestion keeps events in flight through the Stop window.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 500; i++ {
+				if _, err := e.IngestBatch([]event.Event{checkin(i+1, "walmart")}); err != nil {
+					return
+				}
+			}
+		}()
+
+		// A subscriber ranges until Stop closes its channel; Stop must
+		// close it exactly once with no concurrent sends slipping through.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := e.Subscribe("S3", 4)
+			close(start)
+			for range sub.C() {
+			}
+		}()
+
+		// The master broadcast a remote sender would trigger, racing Stop.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			e.Cluster().Master().ReportFailure("machine-01")
+		}()
+
+		// A crash + rejoin cycle: the rejoin's RestartWorkers must not
+		// wg.Add into a workgroup Stop is Waiting on.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			e.CrashMachine("machine-02")
+			e.RejoinMachine("machine-02")
+		}()
+
+		<-start
+		e.Stop()
+		wg.Wait()
+	}
+}

@@ -1,13 +1,3 @@
-// Package hashring implements the consistent hash ring Muppet uses to
-// route events to workers (Section 4.1 of the paper).
-//
-// Every worker holds the same ring, so after producing an event any
-// worker can instantly calculate which worker the pair <event key,
-// destination function> hashes to, then contact that worker directly —
-// no master on the data path. When the master broadcasts a machine
-// failure, each worker removes the failed node from its ring; keys that
-// hashed to the failed node move to the next node on the ring and, by
-// consistency, no other key moves (Section 4.3).
 package hashring
 
 import (

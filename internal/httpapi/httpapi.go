@@ -81,6 +81,16 @@ type IngestReply struct {
 	Error string `json:"error,omitempty"`
 }
 
+// NodeInfo is implemented by engines that can describe the cluster
+// node they run on; GET /status then reports the transport in use, the
+// full member list, and the machines this node hosts — on a networked
+// cluster each node answers for itself.
+type NodeInfo interface {
+	TransportName() string
+	MachineNames() []string
+	LocalNames() []string
+}
+
 // RecoveryReporter is implemented by engines running the unified
 // recovery subsystem; when available, GET /recovery serves its status
 // (ring membership, failover and rejoin counts, WAL replay totals, and
@@ -208,6 +218,11 @@ func Handler(r SlateReader) http.Handler {
 		if u, ok := r.(Updaters); ok {
 			st.Updaters = u.Updaters()
 		}
+		if n, ok := r.(NodeInfo); ok {
+			st.Transport = n.TransportName()
+			st.Machines = n.MachineNames()
+			st.Local = n.LocalNames()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(st)
 	})
@@ -219,4 +234,10 @@ type statusReply struct {
 	Queues map[string]int `json:"queues"`
 	// Updaters lists the application's update functions.
 	Updaters []string `json:"updaters,omitempty"`
+	// Transport names the cluster transport ("in-process" or "tcp").
+	Transport string `json:"transport,omitempty"`
+	// Machines is the full cluster member list.
+	Machines []string `json:"machines,omitempty"`
+	// Local is the subset of machines this node hosts.
+	Local []string `json:"local,omitempty"`
 }

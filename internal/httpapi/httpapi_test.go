@@ -319,3 +319,53 @@ func TestIngestRejectsGet(t *testing.T) {
 		t.Fatalf("status = %d, want 405", resp.StatusCode)
 	}
 }
+
+// nodeEngine adds the NodeInfo surface to the fake.
+type nodeEngine struct {
+	fakeEngine
+}
+
+func (n *nodeEngine) TransportName() string  { return "tcp" }
+func (n *nodeEngine) MachineNames() []string { return []string{"machine-00", "machine-01"} }
+func (n *nodeEngine) LocalNames() []string   { return []string{"machine-00"} }
+
+func TestStatusReportsNodeInfo(t *testing.T) {
+	srv := httptest.NewServer(Handler(&nodeEngine{}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Transport string   `json:"transport"`
+		Machines  []string `json:"machines"`
+		Local     []string `json:"local"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Transport != "tcp" {
+		t.Fatalf("transport = %q", st.Transport)
+	}
+	if len(st.Machines) != 2 || st.Machines[0] != "machine-00" {
+		t.Fatalf("machines = %v", st.Machines)
+	}
+	if len(st.Local) != 1 || st.Local[0] != "machine-00" {
+		t.Fatalf("local = %v", st.Local)
+	}
+}
+
+func TestStatusOmitsNodeInfoWhenUnsupported(t *testing.T) {
+	srv, _ := newServer()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(body), `"transport"`) {
+		t.Fatalf("transport reported by an engine without NodeInfo: %s", body)
+	}
+}

@@ -1,24 +1,3 @@
-// Package ingress is the shared front door of both Muppet engines:
-// the batched, error-returning ingestion surface the streaming API
-// redesign is built on.
-//
-// The paper's interface to the outside world (Sections 3 and 5) is a
-// fire-and-forget Ingest(event): every external event pays a ring
-// lookup, a cluster send (liveness check plus latency charge), and a
-// destination queue lock on its own. At "heavy traffic from millions
-// of users" those per-event costs dominate the hot path. This package
-// provides the pieces that amortize them per batch instead:
-//
-//   - Plan groups a batch's deliveries by destination machine while
-//     preserving arrival order, so one cluster.SendBatch (one liveness
-//     check, one latency charge) and one queue.PutBatch per local
-//     queue (one mutex acquisition) carry the whole group;
-//   - the error types (BatchError, ErrStopped, NotInputError,
-//     ErrBackpressure) that make ingestion report overflow and
-//     backpressure instead of silently dropping;
-//   - the pull-based Source abstraction and Pump driver that feed an
-//     engine in batches — used by cmd/muppet, the examples, the
-//     experiment harness, and the httpapi POST /ingest endpoint.
 package ingress
 
 import (

@@ -1,23 +1,3 @@
-// Package kvstore is a from-scratch, stdlib-only stand-in for the
-// Cassandra cluster Muppet persists slates to (Section 4.2 of the
-// paper). It reproduces the pieces of Cassandra the paper's arguments
-// depend on:
-//
-//   - a log-structured write path: writes land in an in-memory memtable
-//     and are flushed as immutable sorted runs ("sstables"); the more
-//     runs a row is spread over, the more files a read must check —
-//     exactly the §4.2 observation about delayed flushing;
-//   - size-tiered compaction that merges runs, drops tombstones, and
-//     garbage-collects TTL-expired rows;
-//   - per-write time-to-live, used by Muppet to bound slate storage;
-//   - column-family addressing: a value is indexed by <row key, column>,
-//     and Muppet stores slate S(U,k) at row k, column U;
-//   - tunable consistency (ONE / QUORUM / ALL) over N-way replication
-//     (see cluster.go);
-//   - per-SSTable bloom filters on the read path.
-//
-// Real disks are replaced by the internal/storage cost model so that
-// the SSD-vs-HDD argument of §4.2 is measurable without hardware.
 package kvstore
 
 import (

@@ -1,0 +1,27 @@
+// Package queue implements the bounded incoming-event queues that
+// every Muppet worker owns, together with the three queue-overflow
+// mechanisms the paper describes in Section 4.3: dropping (with
+// logging), diverting to an overflow stream for degraded service, and
+// slowing down the event pace (backpressure / source throttling).
+//
+// # Contract
+//
+// A queue accepts envelopes until its capacity is reached, then
+// applies its overflow policy: Drop rejects with ErrOverflow, Divert
+// rejects likewise but counts the envelope for redirection to the
+// caller's overflow stream, Block parks the producer until space
+// frees. Offered == Accepted + Dropped + Diverted holds at all times. PutBatch admits a whole batch under
+// one lock acquisition and reports per-envelope outcomes. ErrOverflow
+// and ErrClosed are sentinel errors; they are part of the wire
+// contract — the TCP transport round-trips them across nodes so a
+// remote rejection is errors.Is-comparable to a local one.
+//
+// # Concurrency
+//
+// Each queue is a mutex plus two condition variables (not-empty,
+// not-full); any number of producers and consumers may share it.
+// Close wakes all waiters; a Get on a closed, drained queue and a Put
+// on a closed queue both return ErrClosed rather than blocking
+// forever — the engines rely on this to shut down and to tear down
+// crashed machines without leaking goroutines.
+package queue

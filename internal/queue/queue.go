@@ -1,8 +1,3 @@
-// Package queue implements the bounded incoming-event queues that every
-// Muppet worker owns, together with the three queue-overflow mechanisms
-// the paper describes in Section 4.3: dropping (with logging), diverting
-// to an overflow stream for degraded service, and slowing down the event
-// pace (backpressure / source throttling).
 package queue
 
 import (

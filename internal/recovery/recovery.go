@@ -1,25 +1,3 @@
-// Package recovery owns Muppet's crash-to-healthy lifecycle
-// (Section 4.3 of the paper) for both execution engines: failure
-// detection on failed sends, the master-coordinated failover protocol
-// (ring update, slate group-commit WAL replay, redelivery of
-// unacknowledged events, loss accounting), and machine revival —
-// rejoining the ring and warming the rejoined shard's slate cache from
-// the durable store.
-//
-// The paper's protocol is: a worker that fails to contact a machine
-// reports it to the master; the master broadcasts the failure to every
-// worker; each worker removes the machine from its hash ring, so the
-// dead machine's keys move to ring successors. This package adds the
-// two recovery capabilities the paper leaves open — replaying the
-// slate group-commit WAL so in-flight flush batches reach the
-// key-value store before the keys' new owners read them, and
-// redelivering unacknowledged events from the per-machine replay log —
-// plus the rejoin path the stock system lacks entirely.
-//
-// Both engines delegate their crash paths here through a small Adapter
-// interface, so the ordering guarantees (cleanup and WAL replay before
-// the ring reroutes, ring reroute before redelivery) are enforced in
-// exactly one place.
 package recovery
 
 import (

@@ -1,20 +1,3 @@
-// Package wal implements the event replay log the paper names as
-// future work: "Developing a replay capability to recover the lost
-// events is a subject of future work" (Section 4.3).
-//
-// Each machine appends every delivery it accepts to a log and
-// acknowledges it once the event is fully processed. When the machine
-// dies, the unacknowledged suffix is exactly the set of events the
-// stock Muppet would lose (queued plus in-flight); the engine replays
-// them to the keys' new owners.
-//
-// Substitution note: in a real deployment the log would live on
-// durable local storage or a replicated log service so it survives the
-// crash; here it survives because the "machine" is simulated. The
-// preserved behavior is the recovery protocol, not the storage medium.
-// Replay is at-least-once: an event processed but not yet acknowledged
-// at crash time is replayed and applied twice. Exactly-once would
-// additionally need idempotence or deduplication in the updaters.
 package wal
 
 import (

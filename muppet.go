@@ -384,6 +384,74 @@ type Config struct {
 	// replay during failover, and slate-cache warm-up when a machine
 	// rejoins. The zero value enables all three.
 	Recovery RecoveryConfig
+	// Network, when non-nil, switches the engine into node mode: this
+	// process hosts one machine of a real networked cluster and reaches
+	// the others over TCP. Machines is then ignored — the cluster size
+	// is the member list Network implies — and every node of the
+	// cluster must be configured with the same member list. Nil keeps
+	// the single-process simulation.
+	Network *NetworkConfig
+}
+
+// NetworkConfig wires one process into a real networked Muppet
+// cluster. The member list is Node plus the keys of Peers; it must be
+// identical (same names) on every node so the hash rings agree on key
+// ownership. Failure semantics are unchanged from the simulation:
+// sends to an unreachable node fail at the sender with machine-down,
+// which feeds the same detect-on-send recovery path.
+type NetworkConfig struct {
+	// Node is the machine this process hosts, e.g. "machine-00". It
+	// must not appear in Peers.
+	Node string
+	// Listen is the TCP address peer nodes dial, e.g. "127.0.0.1:7070"
+	// or ":0" (ephemeral). Empty disables serving (a send-only node —
+	// only useful for tooling).
+	Listen string
+	// Peers maps every other member machine to its node's listen
+	// address.
+	Peers map[string]string
+	// DialTimeout, IOTimeout, RetryBackoff and MaxBackoff tune the
+	// transport's connection handling; zero values pick the defaults
+	// (1s, 10s, 50ms, 2s).
+	DialTimeout  time.Duration
+	IOTimeout    time.Duration
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+}
+
+// buildNode binds the TCP transport, builds this node's view of the
+// cluster, and starts serving peer traffic into it.
+func (n *NetworkConfig) buildNode(sendLatency time.Duration) (*cluster.Cluster, error) {
+	if n.Node == "" {
+		return nil, fmt.Errorf("muppet: network config: Node must name the machine this process hosts")
+	}
+	if _, ok := n.Peers[n.Node]; ok {
+		return nil, fmt.Errorf("muppet: network config: local node %s must not be listed in Peers", n.Node)
+	}
+	names := make([]string, 0, len(n.Peers)+1)
+	names = append(names, n.Node)
+	for name := range n.Peers {
+		names = append(names, name)
+	}
+	tr, err := cluster.NewTCP(cluster.TCPConfig{
+		Listen:       n.Listen,
+		Peers:        n.Peers,
+		DialTimeout:  n.DialTimeout,
+		IOTimeout:    n.IOTimeout,
+		RetryBackoff: n.RetryBackoff,
+		MaxBackoff:   n.MaxBackoff,
+	})
+	if err != nil {
+		return nil, err
+	}
+	clu := cluster.New(cluster.Config{
+		Names:       names,
+		Local:       []string{n.Node},
+		Transport:   tr,
+		SendLatency: sendLatency,
+	})
+	tr.Serve(clu)
+	return clu, nil
 }
 
 // RecoveryConfig holds the recovery subsystem's knobs: DisableDetector,
@@ -491,7 +559,16 @@ type LostLog = engine.LostLog
 type LostEvent = engine.LostEvent
 
 // NewEngine builds and starts an engine for a validated application.
+// With Config.Network set, the engine becomes one node of a real
+// networked cluster (see NetworkConfig).
 func NewEngine(app *App, cfg Config) (Engine, error) {
+	var clu *cluster.Cluster
+	if cfg.Network != nil {
+		var err error
+		if clu, err = cfg.Network.buildNode(cfg.SendLatency); err != nil {
+			return nil, err
+		}
+	}
 	switch cfg.Engine {
 	case EngineV1:
 		e, err := engine1.New(app, engine1.Config{
@@ -511,8 +588,10 @@ func NewEngine(app *App, cfg Config) (Engine, error) {
 			SourceThrottle:      cfg.SourceThrottle,
 			SendLatency:         cfg.SendLatency,
 			Recovery:            cfg.Recovery,
+			Cluster:             clu,
 		})
 		if err != nil {
+			closeCluster(clu)
 			return nil, err
 		}
 		return e, nil
@@ -536,13 +615,22 @@ func NewEngine(app *App, cfg Config) (Engine, error) {
 			DisableDualQueue:  cfg.DisableDualQueue,
 			ReplayLog:         cfg.ReplayLog,
 			Recovery:          cfg.Recovery,
+			Cluster:           clu,
 		})
 		if err != nil {
+			closeCluster(clu)
 			return nil, err
 		}
 		return e, nil
 	default:
+		closeCluster(clu)
 		return nil, fmt.Errorf("muppet: unknown engine version %d", cfg.Engine)
+	}
+}
+
+func closeCluster(c *cluster.Cluster) {
+	if c != nil {
+		c.Close()
 	}
 }
 
@@ -567,6 +655,9 @@ func (r slateReader) IngestBatch(evs []Event) (int, error) {
 	return r.e.IngestBatch(evs)
 }
 func (r slateReader) LargestQueues() map[string]int   { return r.e.LargestQueues() }
+func (r slateReader) TransportName() string           { return r.e.Cluster().TransportName() }
+func (r slateReader) MachineNames() []string          { return r.e.Cluster().MachineNames() }
+func (r slateReader) LocalNames() []string            { return r.e.Cluster().LocalNames() }
 func (r slateReader) Updaters() []string              { return r.e.Updaters() }
 func (r slateReader) FlushSlates()                    { r.e.FlushSlates() }
 func (r slateReader) RecoveryStatus() recovery.Status { return r.e.RecoveryStatus() }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Doc hygiene: every internal/* package must carry a package (doc)
+# comment — a comment block immediately preceding its package clause
+# in some non-test file (conventionally doc.go).
+set -eu
+cd "$(dirname "$0")/.."
+
+missing=0
+for dir in internal/*/; do
+    found=0
+    for f in "$dir"*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        if awk '
+            /^package / { if (prev ~ /^\/\//) found = 1; exit }
+            { prev = $0 }
+            END { exit found ? 0 : 1 }
+        ' "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "FAIL: package ${dir%/} has no package comment" >&2
+        missing=1
+    fi
+done
+
+if [ "$missing" -ne 0 ]; then
+    echo "add a doc.go stating the package's contract and its concurrency/failure invariants" >&2
+    exit 1
+fi
+echo "doc hygiene: all internal packages carry a package comment"

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Multi-process TCP smoke test: a three-node muppet cluster on
+# localhost runs the retailer application end to end. Each node is a
+# real OS process hosting one machine; inter-machine deliveries cross
+# real TCP sockets. Checkins are ingested at every node and the
+# per-retailer counts are asserted exact — zero lost updates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    kill "${pids[@]}" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/muppet" ./cmd/muppet
+
+base=${SMOKE_BASE_PORT:-17070}
+hbase=$((base + 1000))
+cat > "$workdir/cluster.json" <<EOF
+{
+  "nodes": {
+    "machine-00": "127.0.0.1:$base",
+    "machine-01": "127.0.0.1:$((base + 1))",
+    "machine-02": "127.0.0.1:$((base + 2))"
+  },
+  "retry_backoff": "20ms"
+}
+EOF
+
+for i in 0 1 2; do
+    "$workdir/muppet" -app retailer -node "machine-0$i" -join "$workdir/cluster.json" \
+        -http "127.0.0.1:$((hbase + i))" -events 0 -linger 120s \
+        > "$workdir/node$i.log" 2>&1 &
+    pids+=($!)
+done
+
+# Wait until every node's HTTP API answers and reports the TCP transport.
+for i in 0 1 2; do
+    for _ in $(seq 1 100); do
+        if curl -sf "127.0.0.1:$((hbase + i))/status" 2>/dev/null | grep -q '"transport":"tcp"'; then
+            continue 2
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: node $i never came up"; cat "$workdir/node$i.log"; exit 1
+done
+echo "3 nodes up: $(curl -sf "127.0.0.1:$hbase/status" | tr -d '\n')"
+
+# ingest NODE VENUE COUNT: POST checkins to one node, assert all accepted.
+ingest() {
+    local node=$1 venue=$2 count=$3 events="" j
+    for j in $(seq 1 "$count"); do
+        events+="{\"stream\":\"S1\",\"key\":\"u$j\",\"value\":\"{\\\"id\\\":$j,\\\"user\\\":\\\"u$j\\\",\\\"venue\\\":\\\"$venue\\\"}\"},"
+    done
+    local reply
+    reply=$(curl -sf -X POST "127.0.0.1:$((hbase + node))/ingest" \
+        -H 'Content-Type: application/json' -d "[${events%,}]")
+    if ! grep -q "\"accepted\":$count" <<< "$reply"; then
+        echo "FAIL: node $node accepted fewer than $count: $reply"; exit 1
+    fi
+}
+
+# Spread the load: every node ingests, so whichever machines own the
+# three retailer keys, sends cross the network in multiple directions.
+ingest 0 "Walmart Supercenter" 4
+ingest 1 "wal-mart"            3
+ingest 2 "WALMART"             3
+ingest 0 "sams club"           2
+ingest 1 "Sam's Club"          4
+ingest 2 "Target"              5
+
+# expect RETAILER COUNT: the owning node's slate must converge to the
+# exact count; the other nodes answer 404 from their local stores.
+expect() {
+    local retailer=$1 want=$2 path got i
+    path=$(printf '%s' "$retailer" | sed 's/ /%20/g')
+    for _ in $(seq 1 100); do
+        for i in 0 1 2; do
+            got=$(curl -sf "127.0.0.1:$((hbase + i))/slate/U1/$path" 2>/dev/null) || continue
+            if [ "$got" = "$want" ]; then
+                echo "ok: count($retailer) = $want (answered by node $i)"
+                return 0
+            fi
+        done
+        sleep 0.1
+    done
+    echo "FAIL: count($retailer) never reached $want (last seen: ${got:-none})"
+    exit 1
+}
+
+expect "Walmart"    10
+expect "Sam's Club" 6
+expect "Target"     5
+
+echo "tcp smoke: 3-process cluster converged with zero lost updates"
