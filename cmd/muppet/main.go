@@ -7,6 +7,7 @@
 //
 //	muppet -app retailer -events 100000 -machines 4 -engine 2 -http :8080
 //	muppet -app retailer -rate 50000 -batch 512       # paced source
+//	muppet -app retailer -http :8080 -pprof -trace    # pprof + lifecycle tracing
 //
 // Node mode runs ONE machine of a real TCP cluster instead of the
 // whole simulation: every process gets the same member-list file and
@@ -34,6 +35,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"time"
@@ -46,22 +48,25 @@ import (
 
 func main() {
 	var (
-		appName  = flag.String("app", "retailer", "application: retailer | hottopics | reputation | topurls | httphits")
-		events   = flag.Int("events", 100_000, "events to stream")
-		machines = flag.Int("machines", 4, "simulated machines")
-		threads  = flag.Int("threads", 4, "worker threads per machine (engine 2)")
-		workers  = flag.Int("workers", 0, "workers per function (engine 1; default = machines)")
-		engineV  = flag.Int("engine", 2, "engine version: 1 (process workers) or 2 (thread pool)")
-		persist  = flag.Bool("persist", true, "persist slates to a replicated key-value store")
-		ssd      = flag.Bool("ssd", true, "simulate SSDs (vs HDDs) for the store")
-		httpAddr = flag.String("http", "", "serve the slate-fetch API on this address while running (e.g. 127.0.0.1:8080)")
-		seed     = flag.Int64("seed", 2012, "workload seed")
-		linger   = flag.Duration("linger", 0, "keep serving HTTP for this long after the stream ends")
-		rate     = flag.Float64("rate", 0, "pace the source to this many events/s (0 = unthrottled)")
-		batch    = flag.Int("batch", 256, "events per IngestBatch call")
-		node     = flag.String("node", "", "node mode: the machine this process hosts (e.g. machine-00); requires -join")
-		join     = flag.String("join", "", "node mode: JSON file with the cluster member list (bare {\"nodes\": ...} or a full app config)")
-		listen   = flag.String("listen", "", "node mode: override the TCP listen address (default: this machine's member-list entry)")
+		appName   = flag.String("app", "retailer", "application: retailer | hottopics | reputation | topurls | httphits")
+		events    = flag.Int("events", 100_000, "events to stream")
+		machines  = flag.Int("machines", 4, "simulated machines")
+		threads   = flag.Int("threads", 4, "worker threads per machine (engine 2)")
+		workers   = flag.Int("workers", 0, "workers per function (engine 1; default = machines)")
+		engineV   = flag.Int("engine", 2, "engine version: 1 (process workers) or 2 (thread pool)")
+		persist   = flag.Bool("persist", true, "persist slates to a replicated key-value store")
+		ssd       = flag.Bool("ssd", true, "simulate SSDs (vs HDDs) for the store")
+		httpAddr  = flag.String("http", "", "serve the slate-fetch API on this address while running (e.g. 127.0.0.1:8080)")
+		seed      = flag.Int64("seed", 2012, "workload seed")
+		linger    = flag.Duration("linger", 0, "keep serving HTTP for this long after the stream ends")
+		rate      = flag.Float64("rate", 0, "pace the source to this many events/s (0 = unthrottled)")
+		batch     = flag.Int("batch", 256, "events per IngestBatch call")
+		node      = flag.String("node", "", "node mode: the machine this process hosts (e.g. machine-00); requires -join")
+		join      = flag.String("join", "", "node mode: JSON file with the cluster member list (bare {\"nodes\": ...} or a full app config)")
+		listen    = flag.String("listen", "", "node mode: override the TCP listen address (default: this machine's member-list entry)")
+		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -http address")
+		trace     = flag.Bool("trace", false, "enable sampled event-lifecycle tracing (muppet_trace_* metrics)")
+		traceRate = flag.Int("trace-sample", 0, "trace one in N deliveries (default 256; implies -trace when set)")
 	)
 	flag.Parse()
 
@@ -82,6 +87,9 @@ func main() {
 	}
 	if *engineV == 1 {
 		cfg.Engine = muppet.EngineV1
+	}
+	if *trace || *traceRate > 0 {
+		cfg.Observability = muppet.ObservabilityConfig{Tracing: true, SampleRate: *traceRate}
 	}
 	if *persist {
 		cfg.Store = muppet.NewStore(muppet.StoreConfig{Nodes: 3, ReplicationFactor: 3, UseSSD: *ssd})
@@ -115,10 +123,24 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv := &http.Server{Handler: muppet.Handler(eng)}
+		handler := muppet.Handler(eng)
+		if *withPprof {
+			// Mount the engine API beside the stock pprof handlers so one
+			// port serves both; DefaultServeMux is deliberately avoided.
+			mux := http.NewServeMux()
+			mux.Handle("/", handler)
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			handler = mux
+			fmt.Printf("pprof: http://%s/debug/pprof/\n", ln.Addr())
+		}
+		srv := &http.Server{Handler: handler}
 		go srv.Serve(ln)
 		defer srv.Close()
-		fmt.Printf("slate API: http://%s/slate/{updater}/{key}  |  http://%s/status\n", ln.Addr(), ln.Addr())
+		fmt.Printf("slate API: http://%s/slate/{updater}/{key}  |  http://%s/status  |  http://%s/metrics\n", ln.Addr(), ln.Addr(), ln.Addr())
 	}
 
 	// The workload is a pull Source pumped through the batched ingress

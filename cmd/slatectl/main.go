@@ -9,7 +9,14 @@
 //	slatectl -addr 127.0.0.1:8080 -raw slate U2 "music_20"
 //	slatectl -addr 127.0.0.1:8080 dump U1
 //	slatectl -addr 127.0.0.1:8080 recovery
+//	slatectl -addr 127.0.0.1:8080 stats
+//	slatectl -addr 127.0.0.1:8080 -watch stats
 //	slatectl -addr 127.0.0.1:8080 -batch 500 ingest < events.json
+//
+// The stats command fetches /statsz and renders every metric as a
+// table row — counters and gauges with their value, latency summaries
+// with count/p50/p95/p99/max. -watch clears the screen and refreshes
+// every two seconds, a live top-like view of a running node.
 //
 // The recovery command prints the engine's recovery-subsystem status:
 // ring membership, failover and rejoin counts, WAL replay totals, and
@@ -35,12 +42,18 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "engine HTTP address")
 	batch := flag.Int("batch", 500, "events per POST /ingest request")
 	raw := flag.Bool("raw", false, "print slate payloads verbatim instead of pretty-printing JSON")
+	watch := flag.Bool("watch", false, "stats: refresh the table every two seconds")
+	every := flag.Duration("every", 2*time.Second, "stats: -watch refresh interval")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -51,6 +64,8 @@ func main() {
 		get(fmt.Sprintf("http://%s/status", *addr))
 	case "recovery":
 		get(fmt.Sprintf("http://%s/recovery", *addr))
+	case "stats":
+		stats(fmt.Sprintf("http://%s/statsz", *addr), *watch, *every)
 	case "slate":
 		if len(args) != 3 {
 			usage()
@@ -212,6 +227,92 @@ func get(u string) {
 	fmt.Printf("%s\n", fetch(u))
 }
 
+// statsEntry mirrors obs.SnapshotEntry, the /statsz wire shape.
+type statsEntry struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Count  *uint64           `json:"count,omitempty"`
+	Sum    *float64          `json:"sum,omitempty"`
+	Min    *float64          `json:"min,omitempty"`
+	Max    *float64          `json:"max,omitempty"`
+	P50    *float64          `json:"p50,omitempty"`
+	P95    *float64          `json:"p95,omitempty"`
+	P99    *float64          `json:"p99,omitempty"`
+}
+
+// stats renders the /statsz snapshot as a table; watch loops forever,
+// clearing the screen before each refresh (a top-like live view).
+func stats(u string, watch bool, every time.Duration) {
+	for {
+		var entries []statsEntry
+		if err := json.Unmarshal(fetch(u), &entries); err != nil {
+			fmt.Fprintf(os.Stderr, "slatectl: bad /statsz payload: %v\n", err)
+			os.Exit(1)
+		}
+		var b strings.Builder
+		renderStats(&b, entries)
+		if watch {
+			// ANSI clear + home keeps the refresh flicker-free without
+			// pulling in a terminal library.
+			fmt.Print("\x1b[2J\x1b[H")
+			fmt.Printf("%s  (refreshing every %v, ^C to stop)\n", time.Now().Format(time.TimeOnly), every)
+		}
+		fmt.Print(b.String())
+		if !watch {
+			return
+		}
+		time.Sleep(every)
+	}
+}
+
+// renderStats writes one aligned row per metric: counters and gauges
+// with their value, summaries with count/p50/p95/p99/max.
+func renderStats(w io.Writer, entries []statsEntry) {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "METRIC\tTYPE\tVALUE\tCOUNT\tP50\tP95\tP99\tMAX")
+	for _, e := range entries {
+		name := e.Name
+		if len(e.Labels) > 0 {
+			keys := make([]string, 0, len(e.Labels))
+			for k := range e.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, fmt.Sprintf("%s=%s", k, e.Labels[k]))
+			}
+			name += "{" + strings.Join(parts, ",") + "}"
+		}
+		if e.Count != nil {
+			fmt.Fprintf(tw, "%s\t%s\t\t%d\t%s\t%s\t%s\t%s\n", name, e.Type,
+				*e.Count, num(e.P50), num(e.P95), num(e.P99), num(e.Max))
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t\t\t\t\t\n", name, e.Type, num(e.Value))
+	}
+	tw.Flush()
+}
+
+// num renders an optional float compactly: integers without decimals,
+// small fractions (latency seconds) with enough precision to read.
+func num(v *float64) string {
+	if v == nil {
+		return ""
+	}
+	f := *v
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	if f < 1 {
+		return fmt.Sprintf("%.6f", f)
+	}
+	return fmt.Sprintf("%.3f", f)
+}
+
 // slate prints one slate payload. Slates are codec output — JSON for
 // every JSONCodec (and hand-rolled JSON) slate — so by default a JSON
 // payload is pretty-printed; -raw restores the verbatim dump for
@@ -245,6 +346,6 @@ func fetch(u string) []byte {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: slatectl [-addr host:port] [-batch n] [-raw] status | recovery | slate <updater> <key> | dump <updater> | ingest")
+	fmt.Fprintln(os.Stderr, "usage: slatectl [-addr host:port] [-batch n] [-raw] [-watch] status | recovery | stats | slate <updater> <key> | dump <updater> | ingest")
 	os.Exit(2)
 }

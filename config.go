@@ -146,6 +146,11 @@ type EngineConfig struct {
 	// ReplayLog enables the event replay log (engine 2): failover then
 	// redelivers a dead machine's unacknowledged events.
 	ReplayLog bool `json:"replay_log,omitempty"`
+	// Tracing enables the sampled event-lifecycle tracer feeding the
+	// muppet_trace_* latency histograms; TraceSampleRate traces one in
+	// N deliveries (default 256).
+	Tracing         bool `json:"tracing,omitempty"`
+	TraceSampleRate int  `json:"trace_sample_rate,omitempty"`
 	// Recovery holds the recovery-subsystem knobs; omit for defaults
 	// (detector, WAL replay, and rejoin warm-up all enabled).
 	Recovery *RecoveryFileConfig `json:"recovery,omitempty"`
@@ -293,6 +298,10 @@ func (c *AppConfig) engineConfig() (Config, error) {
 		OverflowStream:     e.OverflowStream,
 		SourceThrottle:     e.SourceThrottle,
 		ReplayLog:          e.ReplayLog,
+		Observability: ObservabilityConfig{
+			Tracing:    e.Tracing,
+			SampleRate: e.TraceSampleRate,
+		},
 	}
 	if r := e.Recovery; r != nil {
 		cfg.Recovery = RecoveryConfig{

@@ -14,6 +14,7 @@ import (
 	"muppet/internal/hashring"
 	"muppet/internal/ingress"
 	"muppet/internal/kvstore"
+	"muppet/internal/obs"
 	"muppet/internal/queue"
 	"muppet/internal/recovery"
 	"muppet/internal/slate"
@@ -76,6 +77,10 @@ type Config struct {
 	// simulation from Machines/SendLatency. The engine owns the
 	// cluster's lifecycle either way: Stop closes it.
 	Cluster *cluster.Cluster
+	// Observability tunes the sampled event-lifecycle tracer. The zero
+	// value disables tracing entirely (nil tracer, zero hot-path cost);
+	// the metrics registry is always on — collectors are lazy.
+	Observability obs.TracerConfig
 }
 
 func (c *Config) fill() {
@@ -161,6 +166,8 @@ type Engine struct {
 
 	rec      *recovery.Manager
 	ing      *ingress.Driver
+	reg      *obs.Registry
+	tracer   *obs.Tracer
 	counters *engine.Counters
 	tracker  *engine.Tracker
 	sink     *engine.Sink
@@ -193,6 +200,8 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		workers:       make(map[string]*worker),
 		workerMachine: make(map[string]string),
 		workerFn:      make(map[string]string),
+		reg:           obs.NewRegistry(),
+		tracer:        obs.NewTracer(app.Name(), cfg.Observability),
 		counters:      engine.NewCounters(),
 		tracker:       engine.NewTracker(),
 		sink:          engine.NewSink(cfg.OutputCapacity),
@@ -273,7 +282,9 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		Policy:         cfg.QueuePolicy,
 		OverflowStream: cfg.OverflowStream,
 		SourceThrottle: cfg.SourceThrottle,
+		Tracer:         e.tracer,
 	}
+	e.registerObs()
 	e.start()
 	return e, nil
 }
@@ -327,6 +338,10 @@ func (e *Engine) conductorLoop(w *worker, q *queue.Queue[event.Event], req chan 
 			e.tracker.Dec()
 			continue
 		}
+		var sp *obs.Span
+		if ev.TraceEnq != 0 {
+			sp = e.tracer.Start(ev.Stream, ev.Ingress, ev.TraceEnq)
+		}
 		r := taskRequest{ev: ev, isUpdate: w.fn.Kind == core.KindUpdate}
 		codec := w.fn.Codec
 		if r.isUpdate {
@@ -361,9 +376,12 @@ func (e *Engine) conductorLoop(w *worker, q *queue.Queue[event.Event], req chan 
 			e.counters.SlateUpdates.Add(1)
 			e.counters.ObserveLatency(ev)
 		}
+		sp.MarkExec()
 		for _, out := range rsp.outputs {
 			e.route(e.derive(out, rsp.arena, ev))
 		}
+		sp.MarkEmit()
+		e.tracer.Finish(sp)
 		e.counters.Processed.Add(1)
 		e.tracker.Dec()
 	}
@@ -409,7 +427,13 @@ func (e *Engine) flusherLoop(w *worker) {
 		case <-e.flushers:
 			return
 		case <-ticker.C:
-			w.cache.FlushDirty()
+			if e.tracer != nil {
+				start := time.Now()
+				w.cache.FlushDirty()
+				e.tracer.ObserveFlushSettle(time.Since(start))
+			} else {
+				w.cache.FlushDirty()
+			}
 		}
 	}
 }
@@ -496,6 +520,9 @@ func (e *Engine) deliverLocal(workerID string, ev event.Event) error {
 	if w == nil {
 		return fmt.Errorf("engine1: unknown worker %s", workerID)
 	}
+	if e.tracer.Sample() {
+		ev.TraceEnq = time.Now().UnixNano()
+	}
 	return w.queue().Put(ev)
 }
 
@@ -518,6 +545,9 @@ func (e *Engine) deliverLocalBatch(ds []cluster.Delivery) []error {
 			evs := make([]event.Event, len(idxs))
 			for j, i := range idxs {
 				evs[j] = ds[i].Ev
+				if e.tracer.Sample() {
+					evs[j].TraceEnq = time.Now().UnixNano()
+				}
 			}
 			n, err = w.queue().PutBatch(evs)
 		}

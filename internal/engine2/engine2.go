@@ -14,6 +14,7 @@ import (
 	"muppet/internal/hashring"
 	"muppet/internal/ingress"
 	"muppet/internal/kvstore"
+	"muppet/internal/obs"
 	"muppet/internal/queue"
 	"muppet/internal/recovery"
 	"muppet/internal/slate"
@@ -85,6 +86,9 @@ type Config struct {
 	// The engine owns the cluster's lifecycle either way: Stop closes
 	// it.
 	Cluster *cluster.Cluster
+	// Observability is the sampled event-lifecycle tracing knob; the
+	// zero value disables tracing (the registry is always on).
+	Observability obs.TracerConfig
 }
 
 func (c *Config) fill() {
@@ -321,6 +325,8 @@ type Engine struct {
 	tracker  *engine.Tracker
 	sink     *engine.Sink
 	lost     *engine.LostLog
+	reg      *obs.Registry
+	tracer   *obs.Tracer
 	seq      atomic.Uint64
 	stopped  atomic.Bool
 	done     chan struct{}
@@ -350,6 +356,8 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		tracker:  engine.NewTracker(),
 		sink:     engine.NewSink(cfg.OutputCapacity),
 		lost:     engine.NewLostLog(0),
+		reg:      obs.NewRegistry(),
+		tracer:   obs.NewTracer(app.Name(), cfg.Observability),
 		done:     make(chan struct{}),
 	}
 	// The ring spans the full member list — every node derives the same
@@ -419,11 +427,13 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		Counters:       e.counters,
 		Tracker:        e.tracker,
 		Lost:           e.lost,
+		Tracer:         e.tracer,
 		Machines:       len(e.clu.MachineNames()),
 		Policy:         cfg.QueuePolicy,
 		OverflowStream: cfg.OverflowStream,
 		SourceThrottle: cfg.SourceThrottle,
 	}
+	e.registerObs()
 	e.start()
 	return e, nil
 }
@@ -461,7 +471,13 @@ func (e *Engine) flusherLoop(m *machine) {
 		case <-e.done:
 			return
 		case <-ticker.C:
-			m.cache.FlushDirty()
+			if e.tracer != nil {
+				t0 := time.Now()
+				m.cache.FlushDirty()
+				e.tracer.ObserveFlushSettle(time.Since(t0))
+			} else {
+				m.cache.FlushDirty()
+			}
 		}
 	}
 }
@@ -506,6 +522,9 @@ func (e *Engine) dispatchLocal(m *machine, function string, ev event.Event) erro
 		return m.threads[i].queue().Len()
 	})
 	env := engine.Envelope{Func: function, Ev: ev}
+	if e.tracer.Sample() {
+		env.Ev.TraceEnq = time.Now().UnixNano()
+	}
 	if m.log != nil {
 		// Log before enqueueing so the consumer can acknowledge as
 		// soon as it finishes, whatever the interleaving.
@@ -556,6 +575,9 @@ func (e *Engine) dispatchLocalBatch(m *machine, ds []cluster.Delivery) []error {
 	for i := range ds {
 		t := sc.targets[i]
 		env := engine.Envelope{Func: ds[i].Worker, Ev: ds[i].Ev}
+		if e.tracer.Sample() {
+			env.Ev.TraceEnq = time.Now().UnixNano()
+		}
 		if m.log != nil {
 			env.WalSeq = m.log.Append(env)
 		}
@@ -642,9 +664,14 @@ func (e *Engine) threadLoop(m *machine, th *thread, q *queue.Queue[engine.Envelo
 			continue
 		}
 		k := fk{fn: env.Func, key: env.Ev.Key}
+		var sp *obs.Span
+		if env.Ev.TraceEnq != 0 {
+			sp = e.tracer.Start(env.Ev.Stream, env.Ev.Ingress, env.Ev.TraceEnq)
+		}
 		m.markRunning(k, th.idx, +1)
-		e.process(m, &em, env)
+		e.process(m, &em, env, sp)
 		m.markRunning(k, th.idx, -1)
+		e.tracer.Finish(sp)
 		if m.log != nil && env.WalSeq != 0 {
 			m.log.Ack(env.WalSeq)
 		}
@@ -653,7 +680,7 @@ func (e *Engine) threadLoop(m *machine, th *thread, q *queue.Queue[engine.Envelo
 	}
 }
 
-func (e *Engine) process(m *machine, em *collectEmitter, env engine.Envelope) {
+func (e *Engine) process(m *machine, em *collectEmitter, env engine.Envelope, sp *obs.Span) {
 	f := e.app.Function(env.Func)
 	if f == nil {
 		return
@@ -695,6 +722,7 @@ func (e *Engine) process(m *machine, em *collectEmitter, env engine.Envelope) {
 		}
 		e.releaseSlate(m, sk, lock)
 	}
+	sp.MarkExec()
 	if len(em.outputs) == 0 {
 		return
 	}
@@ -711,6 +739,7 @@ func (e *Engine) process(m *machine, em *collectEmitter, env engine.Envelope) {
 	for _, out := range em.outputs {
 		e.route(e.derive(out, arena, env.Ev))
 	}
+	sp.MarkEmit()
 }
 
 // acquireSlate takes the per-slate lock from the machine's striped

@@ -45,6 +45,13 @@ type Event struct {
 	// under 2 seconds", Section 5). Zero means unset. It is not part of
 	// the MapUpdate model.
 	Ingress int64
+	// TraceEnq is instrumentation metadata: when the observability
+	// tracer samples a delivery, the queue-admission wall-clock
+	// nanosecond is stamped here so the dequeuing worker can observe
+	// queue wait and trace the rest of the lifecycle. Zero means the
+	// delivery is untraced. Node-local (never crosses the wire); like
+	// Ingress, it is not part of the MapUpdate model.
+	TraceEnq int64
 }
 
 // Less reports whether e is ordered strictly before f in the global

@@ -18,9 +18,12 @@ import (
 	"net/http"
 	"strings"
 
+	"muppet/internal/cluster"
 	"muppet/internal/event"
 	"muppet/internal/ingress"
+	"muppet/internal/obs"
 	"muppet/internal/recovery"
+	"muppet/internal/slate"
 )
 
 // SlateReader is the engine-side surface the HTTP service needs. Both
@@ -99,12 +102,36 @@ type RecoveryReporter interface {
 	RecoveryStatus() recovery.Status
 }
 
+// MetricsSource is implemented by engines carrying an observability
+// registry; when available, GET /metrics serves the Prometheus text
+// exposition and GET /statsz a structured JSON snapshot of the same
+// collectors.
+type MetricsSource interface {
+	Metrics() *obs.Registry
+}
+
+// CacheReporter is implemented by engines that can aggregate their
+// slate-cache statistics; GET /status then includes the cache counters
+// (hits, misses, store traffic, codec errors).
+type CacheReporter interface {
+	SlateCacheStats() slate.CacheStats
+}
+
+// ClusterReporter is implemented by engines that expose their cluster
+// node; GET /status then includes delivery counters and — on a TCP
+// node — the transport's dial/frame/byte counters.
+type ClusterReporter interface {
+	Cluster() *cluster.Cluster
+}
+
 // Handler returns the HTTP handler serving slate fetches, status, and
 // batched ingestion.
 //
 //	GET  /slate/{updater}/{key} -> 200 slate bytes | 404
-//	GET  /status                -> 200 JSON {queues, updaters}
+//	GET  /status                -> 200 JSON {queues, updaters, cache, transport stats}
 //	GET  /recovery              -> 200 JSON recovery.Status | 501
+//	GET  /metrics               -> 200 Prometheus text exposition | 501
+//	GET  /statsz                -> 200 JSON []obs.SnapshotEntry | 501
 //	POST /ingest                -> 200 JSON IngestReply | 400 | 501
 func Handler(r SlateReader) http.Handler {
 	mux := http.NewServeMux()
@@ -213,6 +240,24 @@ func Handler(r SlateReader) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(rr.RecoveryStatus())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		ms, ok := r.(MetricsSource)
+		if !ok || ms.Metrics() == nil {
+			http.Error(w, "metrics not supported", http.StatusNotImplemented)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		ms.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, req *http.Request) {
+		ms, ok := r.(MetricsSource)
+		if !ok || ms.Metrics() == nil {
+			http.Error(w, "metrics not supported", http.StatusNotImplemented)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ms.Metrics().SnapshotJSON())
+	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
 		st := statusReply{Queues: r.LargestQueues()}
 		if u, ok := r.(Updaters); ok {
@@ -222,6 +267,21 @@ func Handler(r SlateReader) http.Handler {
 			st.Transport = n.TransportName()
 			st.Machines = n.MachineNames()
 			st.Local = n.LocalNames()
+		}
+		if cr, ok := r.(CacheReporter); ok {
+			cs := cr.SlateCacheStats()
+			st.Cache = &cs
+		}
+		if clr, ok := r.(ClusterReporter); ok {
+			if c := clr.Cluster(); c != nil {
+				sends, _ := c.NetworkStats()
+				st.Sends = sends
+				st.Recvs = c.Recvs()
+				if tcp, ok := c.Transport().(*cluster.TCP); ok {
+					ts := tcp.Stats()
+					st.TCP = &ts
+				}
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(st)
@@ -240,4 +300,13 @@ type statusReply struct {
 	Machines []string `json:"machines,omitempty"`
 	// Local is the subset of machines this node hosts.
 	Local []string `json:"local,omitempty"`
+	// Cache aggregates the node's slate-cache counters, including the
+	// codec decode/encode error totals.
+	Cache *slate.CacheStats `json:"cache,omitempty"`
+	// Sends and Recvs count this node's machine-addressed deliveries.
+	Sends uint64 `json:"sends,omitempty"`
+	Recvs uint64 `json:"recvs,omitempty"`
+	// TCP carries the transport's dial/frame/byte counters on a
+	// networked node.
+	TCP *cluster.TCPStats `json:"tcp,omitempty"`
 }

@@ -9,6 +9,7 @@ import (
 	"muppet/internal/cluster"
 	"muppet/internal/engine"
 	"muppet/internal/event"
+	"muppet/internal/obs"
 	"muppet/internal/queue"
 )
 
@@ -58,6 +59,9 @@ type Driver struct {
 	Counters *engine.Counters
 	Tracker  *engine.Tracker
 	Lost     *engine.LostLog
+	// Tracer, when non-nil, samples ingest calls into the
+	// ingest-accept span histogram.
+	Tracer *obs.Tracer
 	// Machines sizes the delivery plan's per-machine groups.
 	Machines int
 	// Policy and OverflowStream are the engine's queue-overflow
@@ -127,6 +131,11 @@ func (d *Driver) ingest(evs []event.Event, wait func() bool) (int, error) {
 			return 0, &NotInputError{Stream: evs[i].Stream}
 		}
 	}
+	var traceStart time.Time
+	traced := d.Tracer.Sample()
+	if traced {
+		traceStart = time.Now()
+	}
 	now := time.Now().UnixNano()
 	tally := NewDropTally(len(evs))
 	plan := NewPlan(len(evs), d.Machines)
@@ -185,6 +194,9 @@ func (d *Driver) ingest(evs []event.Event, wait func() bool) (int, error) {
 		}
 	})
 	plan.Release()
+	if traced {
+		d.Tracer.ObserveIngestAccept(time.Since(traceStart))
+	}
 	return tally.Result()
 }
 

@@ -27,13 +27,21 @@ func (h *IntHistogram) Sum() int64 {
 	return sum
 }
 
-// Mean reports the average of all observations.
+// Mean reports the average of all observations, computed from one
+// consistent snapshot (see Snapshot).
 func (h *IntHistogram) Mean() float64 {
-	count, sum := h.r.snapshot()
-	if count == 0 {
+	s := h.Snapshot()
+	if s.Count == 0 {
 		return 0
 	}
-	return float64(sum) / float64(count)
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot captures count/sum/min/max and the p50/p90/p95/p99
+// quantiles in one consistent read (a single lock acquisition), so
+// exporters do not take N racy reads per scrape.
+func (h *IntHistogram) Snapshot() Snapshot[int64] {
+	return h.r.snapshotAll()
 }
 
 // Max reports the largest observation.

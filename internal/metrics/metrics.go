@@ -42,17 +42,24 @@ func (h *Histogram) Observe(d time.Duration) { h.r.observe(d) }
 // Count reports the number of observations.
 func (h *Histogram) Count() uint64 { return h.r.observations() }
 
-// Mean reports the average of all observations.
+// Mean reports the average of all observations, computed from one
+// consistent snapshot (see Snapshot).
 func (h *Histogram) Mean() time.Duration {
-	count, sum := h.r.snapshot()
-	if count == 0 {
-		return 0
-	}
-	return time.Duration(uint64(sum) / count)
+	return h.Snapshot().Mean()
+}
+
+// Snapshot captures count/sum/min/max and the p50/p90/p95/p99
+// quantiles in one consistent read (a single lock acquisition), so
+// exporters do not take N racy reads per scrape.
+func (h *Histogram) Snapshot() Snapshot[time.Duration] {
+	return h.r.snapshotAll()
 }
 
 // Max reports the largest observation.
 func (h *Histogram) Max() time.Duration { return h.r.maximum() }
+
+// Min reports the smallest observation (zero when empty).
+func (h *Histogram) Min() time.Duration { return h.Snapshot().Min }
 
 // Quantile reports the q-quantile (0 <= q <= 1) over the retained
 // samples.

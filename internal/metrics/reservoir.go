@@ -15,6 +15,7 @@ type reservoir[T ~int64] struct {
 	samples []T
 	count   uint64
 	sum     T
+	min     T
 	max     T
 	cap     int
 	rngSeed uint64
@@ -32,6 +33,9 @@ func (r *reservoir[T]) observe(v T) {
 	defer r.mu.Unlock()
 	r.count++
 	r.sum += v
+	if r.count == 1 || v < r.min {
+		r.min = v
+	}
 	if v > r.max {
 		r.max = v
 	}
@@ -59,12 +63,62 @@ func (r *reservoir[T]) maximum() T {
 	return r.max
 }
 
+// Snapshot is a consistent point-in-time view of a reservoir-backed
+// histogram: every field is read (and the quantiles computed) under a
+// single lock acquisition, so exporters get mutually consistent
+// count/sum/min/max/percentiles instead of N racy reads per scrape.
+// Quantiles are over the retained samples.
+type Snapshot[T ~int64] struct {
+	Count              uint64
+	Sum, Min, Max      T
+	P50, P90, P95, P99 T
+}
+
+// Mean reports Sum/Count (zero when empty), consistent by construction
+// with the snapshot it was taken from.
+func (s Snapshot[T]) Mean() T {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / T(s.Count)
+}
+
+// snapshotAll captures the full snapshot under one lock.
+func (r *reservoir[T]) snapshotAll() Snapshot[T] {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot[T]{Count: r.count, Sum: r.sum, Min: r.min, Max: r.max}
+	if len(r.samples) == 0 {
+		return s
+	}
+	sorted := make([]T, len(r.samples))
+	copy(sorted, r.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.P50 = quantileOf(sorted, 0.50)
+	s.P90 = quantileOf(sorted, 0.90)
+	s.P95 = quantileOf(sorted, 0.95)
+	s.P99 = quantileOf(sorted, 0.99)
+	return s
+}
+
 // snapshot returns count and sum under one lock, so means computed
 // from them are mutually consistent.
 func (r *reservoir[T]) snapshot() (count uint64, sum T) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.count, r.sum
+}
+
+// quantileOf reports the q-quantile of an already sorted sample set.
+func quantileOf[T ~int64](sorted []T, q float64) T {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // quantile reports the q-quantile (0 <= q <= 1) over the retained
@@ -78,12 +132,5 @@ func (r *reservoir[T]) quantile(q float64) T {
 	s := make([]T, len(r.samples))
 	copy(s, r.samples)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(math.Ceil(q*float64(len(s)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(s) {
-		idx = len(s) - 1
-	}
-	return s[idx]
+	return quantileOf(s, q)
 }

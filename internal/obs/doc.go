@@ -1,0 +1,18 @@
+// Package obs is the unified observability layer: a central metrics
+// registry every subsystem registers into (engine counters, queue and
+// slate-cache accounting, kvstore/WAL/device stats, cluster transport
+// counters, recovery totals) and a sampled event-lifecycle tracer
+// (ingest accept, queue wait, map/update execution, emit, flush
+// settle) feeding end-to-end latency percentiles per app/stream.
+//
+// The registry is pull-based: collectors are closures sampled lazily
+// at scrape time, so registration costs nothing on the hot path and a
+// scrape sees one consistent snapshot per histogram (metrics.Snapshot).
+// Exposition is Prometheus text (WritePrometheus) and structured JSON
+// (SnapshotJSON), served by httpapi as /metrics and /statsz.
+//
+// The tracer is off by default and samples one in N deliveries when
+// enabled; a sampling miss costs one atomic add and no allocations,
+// keeping the zero-allocation ingest hot path intact. Span objects are
+// pooled and recycled on Finish.
+package obs

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"muppet/internal/metrics"
+)
+
+// Label is one name/value pair attached to a metric.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Labels is an ordered label set. Order is preserved in the
+// exposition, so register labels in a stable order.
+type Labels []Label
+
+// L builds a label set from alternating key/value strings:
+// L("machine", "m-00", "thread", "3").
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("obs: L requires an even number of strings")
+	}
+	ls := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return ls
+}
+
+func (ls Labels) key() string {
+	s := ""
+	for _, l := range ls {
+		s += l.Key + "\x00" + l.Value + "\x00"
+	}
+	return s
+}
+
+// Type classifies a metric for exposition.
+type Type int
+
+// The three exposition types: monotonic counters, point-in-time
+// gauges, and quantile summaries backed by metrics.Snapshot.
+const (
+	TypeCounter Type = iota
+	TypeGauge
+	TypeSummary
+)
+
+// String names the type as Prometheus spells it.
+func (t Type) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeSummary:
+		return "summary"
+	default:
+		return "untyped"
+	}
+}
+
+// Quantile is one (q, value) pair of a summary sample.
+type Quantile struct {
+	Q float64
+	V float64
+}
+
+// HistSample is a summary observation set sampled at scrape time from
+// one consistent metrics.Snapshot.
+type HistSample struct {
+	Count     uint64
+	Sum       float64
+	Min       float64
+	Max       float64
+	Quantiles []Quantile
+}
+
+// Metric is one exposition sample: a named counter/gauge value or a
+// summary (Hist non-nil).
+type Metric struct {
+	Name   string
+	Help   string
+	Type   Type
+	Labels Labels
+	Value  float64
+	Hist   *HistSample
+}
+
+// Collector emits metrics at scrape time. Implementations must be safe
+// for concurrent use; Collect may be called from multiple scrapes at
+// once.
+type Collector interface {
+	Collect(emit func(Metric))
+}
+
+// CollectorFunc adapts a closure to the Collector interface.
+type CollectorFunc func(emit func(Metric))
+
+// Collect calls f.
+func (f CollectorFunc) Collect(emit func(Metric)) { f(emit) }
+
+// Registry is the central metric registry. Subsystems register lazy
+// collectors once at construction; exporters call Gather (or the
+// exposition helpers in prom.go) per scrape. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a collector. Nil registries ignore the call so
+// subsystems can register unconditionally.
+func (r *Registry) Register(c Collector) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Counter registers a lazily-sampled monotonic counter.
+func (r *Registry) Counter(name, help string, labels Labels, fn func() uint64) {
+	r.Register(CollectorFunc(func(emit func(Metric)) {
+		emit(Metric{Name: name, Help: help, Type: TypeCounter, Labels: labels, Value: float64(fn())})
+	}))
+}
+
+// Gauge registers a lazily-sampled point-in-time gauge.
+func (r *Registry) Gauge(name, help string, labels Labels, fn func() float64) {
+	r.Register(CollectorFunc(func(emit func(Metric)) {
+		emit(Metric{Name: name, Help: help, Type: TypeGauge, Labels: labels, Value: fn()})
+	}))
+}
+
+// GaugeInt registers an integer-valued gauge.
+func (r *Registry) GaugeInt(name, help string, labels Labels, fn func() int64) {
+	r.Gauge(name, help, labels, func() float64 { return float64(fn()) })
+}
+
+// DurationSummary registers a duration histogram as a summary exported
+// in seconds. The histogram is snapshotted once per scrape.
+func (r *Registry) DurationSummary(name, help string, labels Labels, h *metrics.Histogram) {
+	r.Register(CollectorFunc(func(emit func(Metric)) {
+		emit(durationMetric(name, help, labels, h.Snapshot()))
+	}))
+}
+
+// IntSummary registers an integer histogram as a summary in raw units.
+// The histogram is snapshotted once per scrape.
+func (r *Registry) IntSummary(name, help string, labels Labels, h *metrics.IntHistogram) {
+	r.Register(CollectorFunc(func(emit func(Metric)) {
+		s := h.Snapshot()
+		emit(Metric{Name: name, Help: help, Type: TypeSummary, Labels: labels, Hist: &HistSample{
+			Count: s.Count,
+			Sum:   float64(s.Sum),
+			Min:   float64(s.Min),
+			Max:   float64(s.Max),
+			Quantiles: []Quantile{
+				{0.5, float64(s.P50)}, {0.9, float64(s.P90)},
+				{0.95, float64(s.P95)}, {0.99, float64(s.P99)},
+			},
+		}})
+	}))
+}
+
+// durationMetric converts a duration snapshot to a seconds summary.
+func durationMetric(name, help string, labels Labels, s metrics.Snapshot[time.Duration]) Metric {
+	return Metric{Name: name, Help: help, Type: TypeSummary, Labels: labels, Hist: &HistSample{
+		Count: s.Count,
+		Sum:   s.Sum.Seconds(),
+		Min:   s.Min.Seconds(),
+		Max:   s.Max.Seconds(),
+		Quantiles: []Quantile{
+			{0.5, s.P50.Seconds()}, {0.9, s.P90.Seconds()},
+			{0.95, s.P95.Seconds()}, {0.99, s.P99.Seconds()},
+		},
+	}}
+}
+
+// Gather samples every collector and returns the metrics sorted by
+// name then label set, ready for exposition.
+func (r *Registry) Gather() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	cs := make([]Collector, len(r.collectors))
+	copy(cs, r.collectors)
+	r.mu.RUnlock()
+	var ms []Metric
+	for _, c := range cs {
+		c.Collect(func(m Metric) { ms = append(ms, m) })
+	}
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].Name != ms[j].Name {
+			return ms[i].Name < ms[j].Name
+		}
+		return ms[i].Labels.key() < ms[j].Labels.key()
+	})
+	return ms
+}

@@ -70,6 +70,7 @@ import (
 	"muppet/internal/ingress"
 	"muppet/internal/kvstore"
 	"muppet/internal/metrics"
+	"muppet/internal/obs"
 	"muppet/internal/queue"
 	"muppet/internal/recovery"
 	"muppet/internal/slate"
@@ -391,7 +392,24 @@ type Config struct {
 	// cluster must be configured with the same member list. Nil keeps
 	// the single-process simulation.
 	Network *NetworkConfig
+	// Observability tunes the sampled event-lifecycle tracer feeding
+	// the muppet_trace_* latency histograms. The zero value disables
+	// tracing (zero hot-path cost); the metrics registry behind
+	// /metrics and /statsz is always on — its collectors only run at
+	// scrape time.
+	Observability ObservabilityConfig
 }
+
+// ObservabilityConfig is the event-lifecycle tracing knob: Tracing
+// enables sampled per-event spans, SampleRate traces one in N
+// deliveries (default 256).
+type ObservabilityConfig = obs.TracerConfig
+
+// MetricsRegistry is an engine's observability registry: every
+// subsystem's counters, gauges, and latency summaries, gathered lazily
+// at scrape time. Served as /metrics (Prometheus text) and /statsz
+// (JSON) by Handler.
+type MetricsRegistry = obs.Registry
 
 // NetworkConfig wires one process into a real networked Muppet
 // cluster. The member list is Node plus the keys of Peers; it must be
@@ -550,6 +568,11 @@ type Engine interface {
 	// LostEvents exposes the log of abandoned deliveries ("logged as
 	// lost", Section 4.3) for later processing and debugging.
 	LostEvents() *engine.LostLog
+	// Metrics exposes the engine's observability registry (served as
+	// /metrics and /statsz by Handler).
+	Metrics() *MetricsRegistry
+	// SlateCacheStats aggregates the engine's slate-cache counters.
+	SlateCacheStats() slate.CacheStats
 }
 
 // LostLog is the bounded log of abandoned deliveries.
@@ -589,6 +612,7 @@ func NewEngine(app *App, cfg Config) (Engine, error) {
 			SendLatency:         cfg.SendLatency,
 			Recovery:            cfg.Recovery,
 			Cluster:             clu,
+			Observability:       cfg.Observability,
 		})
 		if err != nil {
 			closeCluster(clu)
@@ -616,6 +640,7 @@ func NewEngine(app *App, cfg Config) (Engine, error) {
 			ReplayLog:         cfg.ReplayLog,
 			Recovery:          cfg.Recovery,
 			Cluster:           clu,
+			Observability:     cfg.Observability,
 		})
 		if err != nil {
 			closeCluster(clu)
@@ -654,7 +679,12 @@ func (r slateReader) Slate(updater, key string) []byte { return r.e.Slate(update
 func (r slateReader) IngestBatch(evs []Event) (int, error) {
 	return r.e.IngestBatch(evs)
 }
-func (r slateReader) LargestQueues() map[string]int   { return r.e.LargestQueues() }
+func (r slateReader) LargestQueues() map[string]int { return r.e.LargestQueues() }
+func (r slateReader) Metrics() *obs.Registry        { return r.e.Metrics() }
+func (r slateReader) SlateCacheStats() slate.CacheStats {
+	return r.e.SlateCacheStats()
+}
+func (r slateReader) Cluster() *cluster.Cluster       { return r.e.Cluster() }
 func (r slateReader) TransportName() string           { return r.e.Cluster().TransportName() }
 func (r slateReader) MachineNames() []string          { return r.e.Cluster().MachineNames() }
 func (r slateReader) LocalNames() []string            { return r.e.Cluster().LocalNames() }

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs the observability benchmarks — tracing overhead on the engine-2
+# hot-key path — and folds the `go test -bench` output into one JSON
+# artifact (default BENCH_obs.json): per-benchmark mean ns/op and
+# allocs/op plus the computed traced-vs-untraced overhead percentage.
+#
+# Usage:
+#   scripts/bench_summary.sh [OUT.json]
+#
+# Environment:
+#   BENCH_COUNT            runs per benchmark (default 3)
+#   BENCH_TIME             -benchtime value (default 200000x)
+#   BENCH_OBS_MAX_OVERHEAD when set, fail if the default-rate tracing
+#                          overhead exceeds this percentage (e.g. 5)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_obs.json}
+count=${BENCH_COUNT:-3}
+benchtime=${BENCH_TIME:-200000x}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkIngest(Untraced|Traced|TracedSampleAll)$' \
+    -benchmem -benchtime "$benchtime" -count "$count" \
+    ./internal/engine2/ | tee "$raw"
+
+awk -v max="${BENCH_OBS_MAX_OVERHEAD:-}" '
+/^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] += $3; allocs[name] += $7; n[name]++
+    if (!(name in seen)) { order[++k] = name; seen[name] = 1 }
+}
+END {
+    if (k == 0) { print "bench_summary: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"suite\": \"observability\",\n  \"benchmarks\": {\n"
+    for (i = 1; i <= k; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_op\": %.1f, \"allocs_op\": %.1f, \"runs\": %d}%s\n",
+            name, ns[name] / n[name], allocs[name] / n[name], n[name], (i < k ? "," : "")
+    }
+    printf "  }"
+    u = "BenchmarkIngestUntraced"; t = "BenchmarkIngestTraced"
+    if ((u in ns) && (t in ns)) {
+        overhead = (ns[t] / n[t] - ns[u] / n[u]) / (ns[u] / n[u]) * 100
+        extra = allocs[t] / n[t] - allocs[u] / n[u]
+        printf ",\n  \"tracing_overhead_pct\": %.2f,\n  \"tracing_extra_allocs_op\": %.1f", overhead, extra
+        if (max != "" && overhead > max + 0) {
+            printf "\n}\n"
+            printf "bench_summary: tracing overhead %.2f%% exceeds the %s%% budget\n", overhead, max > "/dev/stderr"
+            exit 2
+        }
+    }
+    printf "\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -96,4 +96,47 @@ expect "Walmart"    10
 expect "Sam's Club" 6
 expect "Target"     5
 
+# /metrics: every node serves Prometheus text with live engine
+# counters, and the cross-node delivery counters reconcile — sends are
+# synchronous request/response, so after convergence every request
+# frame one node wrote has been served by a peer.
+# metric_sum NAME: sum a counter across all three nodes' /metrics
+# (labelled or not).
+metric_sum() {
+    local name=$1 total=0 i v
+    for i in 0 1 2; do
+        v=$(curl -sf "127.0.0.1:$((hbase + i))/metrics" \
+            | awk -v n="$name" '$1 ~ "^"n"(\\{|$)" { s += $2 } END { printf "%d", s }')
+        total=$((total + v))
+    done
+    echo "$total"
+}
+
+# Every node ingested a batch above, so its own ingest counter must be
+# live (processing may all happen on the key-owning peers). The body is
+# captured first: grep -q on a live curl pipe would SIGPIPE curl and
+# trip pipefail even on a match.
+for i in 0 1 2; do
+    body=$(curl -sf "127.0.0.1:$((hbase + i))/metrics")
+    if ! grep -q '^muppet_engine_ingested_total [1-9]' <<< "$body"; then
+        echo "FAIL: node $i /metrics missing nonzero engine counters"
+        head -20 <<< "$body"
+        exit 1
+    fi
+done
+
+processed=$(metric_sum muppet_engine_processed_total)
+if [ "$processed" -eq 0 ]; then
+    echo "FAIL: no node processed any event"
+    exit 1
+fi
+
+frames_out=$(metric_sum muppet_transport_frames_out_total)
+frames_in=$(metric_sum muppet_transport_frames_in_total)
+if [ "$frames_out" -eq 0 ] || [ "$frames_out" -ne "$frames_in" ]; then
+    echo "FAIL: cross-node delivery counters do not reconcile: $frames_out frames written, $frames_in served"
+    exit 1
+fi
+echo "ok: /metrics up on 3 nodes; $frames_out cross-node frames written = $frames_in served"
+
 echo "tcp smoke: 3-process cluster converged with zero lost updates"
