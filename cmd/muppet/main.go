@@ -17,6 +17,12 @@
 //	muppet -app retailer -node machine-00 -join cluster.json -events 100000
 //	muppet -app retailer -node machine-01 -join cluster.json -events 0 -linger 1m
 //
+// Add -data-dir to either mode to keep slates in durable LSM files: a
+// node killed and restarted with the same -data-dir serves its
+// pre-crash slates without replaying from peers. In node mode each
+// node writes under <data-dir>/<node>/ so members may share the flag
+// value.
+//
 // where cluster.json holds the static member list:
 //
 //	{"nodes": {"machine-00": "127.0.0.1:7070", "machine-01": "127.0.0.1:7071"}}
@@ -37,6 +43,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 )
@@ -56,6 +63,7 @@ func main() {
 		engineV   = flag.Int("engine", 2, "engine version: 1 (process workers) or 2 (thread pool)")
 		persist   = flag.Bool("persist", true, "persist slates to a replicated key-value store")
 		ssd       = flag.Bool("ssd", true, "simulate SSDs (vs HDDs) for the store")
+		dataDir   = flag.String("data-dir", "", "durable store: keep slate data in LSM files under this directory (survives restarts); empty = in-memory")
 		httpAddr  = flag.String("http", "", "serve the slate-fetch API on this address while running (e.g. 127.0.0.1:8080)")
 		seed      = flag.Int64("seed", 2012, "workload seed")
 		linger    = flag.Duration("linger", 0, "keep serving HTTP for this long after the stream ends")
@@ -92,7 +100,19 @@ func main() {
 		cfg.Observability = muppet.ObservabilityConfig{Tracing: true, SampleRate: *traceRate}
 	}
 	if *persist {
-		cfg.Store = muppet.NewStore(muppet.StoreConfig{Nodes: 3, ReplicationFactor: 3, UseSSD: *ssd})
+		// In node mode every process owns a private store; give each its
+		// own subdirectory so several nodes can share one -data-dir (and
+		// one host) without clobbering each other's segment files.
+		dir := *dataDir
+		if dir != "" && *node != "" {
+			dir = filepath.Join(dir, *node)
+		}
+		store, err := muppet.OpenStore(muppet.StoreConfig{Nodes: 3, ReplicationFactor: 3, UseSSD: *ssd, Dir: dir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		cfg.Store = store
 	}
 	if *node != "" || *join != "" {
 		if *node == "" || *join == "" {

@@ -180,6 +180,11 @@ type StoreFileConfig struct {
 	Consistency string `json:"consistency,omitempty"`
 	// Device is "ssd", "hdd" or "none".
 	Device string `json:"device,omitempty"`
+	// Dir, when set, makes the store durable: each node persists its
+	// rows in an LSM engine under a per-node subdirectory of Dir and
+	// recovers them when reopened on the same path. Empty keeps the
+	// store purely in-memory.
+	Dir string `json:"dir,omitempty"`
 }
 
 // Registry maps code names to function constructors, the equivalent of
@@ -348,7 +353,7 @@ func (c *AppConfig) engineConfig() (Config, error) {
 	}
 	if c.Store != nil {
 		s := *c.Store
-		scfg := StoreConfig{Nodes: s.Nodes, ReplicationFactor: s.ReplicationFactor}
+		scfg := StoreConfig{Nodes: s.Nodes, ReplicationFactor: s.ReplicationFactor, Dir: s.Dir}
 		switch s.Device {
 		case "", "ssd":
 			scfg.UseSSD = true
@@ -358,7 +363,11 @@ func (c *AppConfig) engineConfig() (Config, error) {
 		default:
 			return Config{}, fmt.Errorf("muppet: unknown store device %q", s.Device)
 		}
-		cfg.Store = NewStore(scfg)
+		store, err := OpenStore(scfg)
+		if err != nil {
+			return Config{}, fmt.Errorf("muppet: open store: %w", err)
+		}
+		cfg.Store = store
 		switch s.Consistency {
 		case "one":
 			cfg.StoreLevel = One

@@ -6,6 +6,8 @@
 package bloom
 
 import (
+	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"math"
 )
@@ -82,3 +84,60 @@ func (f *Filter) MayContain(key string) bool {
 
 // SizeBytes reports the filter's bit-array footprint.
 func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Serialized form: a fixed header (version, hash count, bit count)
+// followed by the bit array as little-endian 64-bit words. The hash
+// function is part of the format contract — a filter unmarshalled by a
+// future version must probe the same positions — so marshalVersion
+// must change if positions() ever does.
+const (
+	marshalVersion = 1
+	marshalHeader  = 1 + 1 + 8 // version, hashes, nbits
+)
+
+// MarshaledSize reports the exact length of Marshal's output.
+func (f *Filter) MarshaledSize() int { return marshalHeader + len(f.bits)*8 }
+
+// Marshal serializes the filter for storage (e.g. in a segment file
+// footer). The encoding is versioned and fixed-width; Unmarshal
+// reverses it exactly.
+func (f *Filter) Marshal() []byte {
+	return f.AppendMarshal(make([]byte, 0, f.MarshaledSize()))
+}
+
+// AppendMarshal appends the serialized filter to dst and returns the
+// extended buffer, allocating nothing when dst has room.
+func (f *Filter) AppendMarshal(dst []byte) []byte {
+	dst = append(dst, marshalVersion, byte(f.hashes))
+	dst = binary.LittleEndian.AppendUint64(dst, f.nbits)
+	for _, w := range f.bits {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// Unmarshal reconstructs a filter from Marshal's output. The data must
+// be exactly one serialized filter; trailing bytes are an error, so
+// corruption cannot silently widen or narrow the bit array.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < marshalHeader {
+		return nil, fmt.Errorf("bloom: unmarshal: %d bytes is shorter than the %d-byte header", len(data), marshalHeader)
+	}
+	if v := data[0]; v != marshalVersion {
+		return nil, fmt.Errorf("bloom: unmarshal: unsupported version %d", v)
+	}
+	hashes := int(data[1])
+	if hashes < 1 || hashes > 16 {
+		return nil, fmt.Errorf("bloom: unmarshal: hash count %d out of range [1,16]", hashes)
+	}
+	nbits := binary.LittleEndian.Uint64(data[2:])
+	words := int((nbits + 63) / 64)
+	if nbits == 0 || len(data) != marshalHeader+words*8 {
+		return nil, fmt.Errorf("bloom: unmarshal: %d bits needs %d bytes, got %d", nbits, marshalHeader+words*8, len(data))
+	}
+	f := &Filter{bits: make([]uint64, words), nbits: nbits, hashes: hashes}
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(data[marshalHeader+i*8:])
+	}
+	return f, nil
+}

@@ -67,3 +67,66 @@ func TestSizeBytesPositive(t *testing.T) {
 		t.Fatal("SizeBytes must be positive")
 	}
 }
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 10, 1000, 50_000} {
+		f := New(n, 0.01)
+		for i := 0; i < n; i++ {
+			f.Add(fmt.Sprintf("key-%d", i))
+		}
+		data := f.Marshal()
+		if len(data) != f.MarshaledSize() {
+			t.Fatalf("n=%d: Marshal wrote %d bytes, MarshaledSize says %d", n, len(data), f.MarshaledSize())
+		}
+		g, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("n=%d: Unmarshal: %v", n, err)
+		}
+		// The round-tripped filter must answer identically: every added
+		// key still present, and absent-key probes agree bit for bit.
+		for i := 0; i < n; i++ {
+			if !g.MayContain(fmt.Sprintf("key-%d", i)) {
+				t.Fatalf("n=%d: round-trip lost key-%d", n, i)
+			}
+		}
+		for i := 0; i < 1000; i++ {
+			k := fmt.Sprintf("absent-%d", i)
+			if f.MayContain(k) != g.MayContain(k) {
+				t.Fatalf("n=%d: round-trip changed the answer for %q", n, k)
+			}
+		}
+	}
+}
+
+func TestAppendMarshalReusesBuffer(t *testing.T) {
+	f := New(100, 0.01)
+	f.Add("k")
+	buf := make([]byte, 0, f.MarshaledSize()+16)
+	out := f.AppendMarshal(buf)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendMarshal reallocated despite sufficient capacity")
+	}
+	if _, err := Unmarshal(out); err != nil {
+		t.Fatalf("Unmarshal(AppendMarshal(...)): %v", err)
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	f := New(100, 0.01)
+	f.Add("k")
+	good := f.Marshal()
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short header":   good[:marshalHeader-1],
+		"bad version":    append([]byte{marshalVersion + 1}, good[1:]...),
+		"zero hashes":    append([]byte{marshalVersion, 0}, good[2:]...),
+		"truncated bits": good[:len(good)-8],
+		"trailing bytes": append(append([]byte(nil), good...), 0xAA),
+		"zero bit count": append([]byte{marshalVersion, 1, 0, 0, 0, 0, 0, 0, 0, 0}, good[marshalHeader:]...),
+	}
+	for name, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("%s: Unmarshal accepted corrupt input", name)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -73,6 +74,10 @@ type ClusterConfig struct {
 	RTTJitter time.Duration
 	// Seed makes the jitter deterministic.
 	Seed int64
+	// Dir, when non-empty, makes every node durable: node-NN stores its
+	// data in Dir/node-NN via the internal/lsm engine. A cluster
+	// reopened on the same Dir recovers every node's acknowledged rows.
+	Dir string
 	// Node is the per-node configuration template. Each node gets its
 	// own device instance with the same profile.
 	Node NodeConfig
@@ -96,7 +101,20 @@ type Cluster struct {
 }
 
 // NewCluster builds a cluster of cfg.Nodes nodes named node-00..node-NN.
+// It panics if cfg.Dir is set and a durable node fails to open; use
+// OpenCluster when the caller can handle the error.
 func NewCluster(cfg ClusterConfig) *Cluster {
+	c, err := OpenCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// OpenCluster builds a cluster of cfg.Nodes nodes named
+// node-00..node-NN, opening (and recovering) per-node durable storage
+// under cfg.Dir when it is set.
+func OpenCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 3
 	}
@@ -123,10 +141,32 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		if cfg.DeviceProfile != nil {
 			ncfg.Device = storage.NewDevice(*cfg.DeviceProfile)
 		}
-		c.nodes[name] = NewNode(name, ncfg)
+		if cfg.Dir != "" {
+			ncfg.Dir = filepath.Join(cfg.Dir, name)
+		}
+		n, err := OpenNode(name, ncfg)
+		if err != nil {
+			for _, opened := range c.nodes {
+				opened.Close()
+			}
+			return nil, err
+		}
+		c.nodes[name] = n
 	}
 	c.ring = hashring.New(names, 0)
-	return c
+	return c, nil
+}
+
+// Close releases every node's durable storage (no-op for in-memory
+// clusters).
+func (c *Cluster) Close() error {
+	var first error
+	for _, name := range c.Nodes() {
+		if err := c.nodes[name].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Node returns the named node, or nil.
@@ -364,6 +404,12 @@ func (c *Cluster) TotalStats() NodeStats {
 		total.BloomSkips += s.BloomSkips
 		total.ExpiredDropped += s.ExpiredDropped
 		total.LiveRows += s.LiveRows
+		total.Durable = total.Durable || s.Durable
+		total.Fsyncs += s.Fsyncs
+		total.DiskBytesWritten += s.DiskBytesWritten
+		total.DiskBytesRead += s.DiskBytesRead
+		total.WALBytes += s.WALBytes
+		total.CompactionBacklog += s.CompactionBacklog
 	}
 	return total
 }

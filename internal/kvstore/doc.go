@@ -19,6 +19,22 @@
 // Real disks are replaced by the internal/storage cost model so that
 // the SSD-vs-HDD argument of §4.2 is measurable without hardware.
 //
+// # Durable mode
+//
+// Setting NodeConfig.Dir (or ClusterConfig.Dir) mounts the
+// internal/lsm engine under each node instead of the in-memory
+// tables: acknowledged writes are fsync'd into a write-ahead log
+// before Put returns, memtables flush to real segment files, and a
+// node reopened on the same directory recovers exactly its
+// acknowledged rows — including ones that were only in the WAL. The
+// simulated device cost model still applies on top; real bytes and
+// fsyncs are reported in the NodeStats durable extras. Visibility
+// rules (newest write wins, tombstones, TTL expiry) are identical in
+// both modes — lsm_conformance_test.go drives the same workload
+// through each and asserts agreement. The one sanctioned difference
+// is iteration order: Scan/ScanUntil on an in-memory node is
+// unspecified, while a durable node scans in ascending row-key order.
+//
 // # Contract
 //
 // A Cluster places each row on ReplicationFactor nodes by consistent

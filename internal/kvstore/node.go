@@ -8,6 +8,7 @@ import (
 
 	"muppet/internal/bloom"
 	"muppet/internal/clock"
+	"muppet/internal/lsm"
 	"muppet/internal/storage"
 )
 
@@ -101,7 +102,14 @@ type NodeConfig struct {
 	// CompactionThreshold compacts all sstables into one when the run
 	// count reaches this value.
 	CompactionThreshold int
+	// Dir, when non-empty, mounts a durable internal/lsm engine at that
+	// directory instead of the in-memory tables: rows survive process
+	// restarts, puts are fsync'd before acknowledgement, and Scan order
+	// becomes sorted. Empty keeps the historical in-memory node.
+	Dir string
 	// Device models the node's disk; nil means a free (instant) device.
+	// The device remains a simulated cost model even with Dir set — real
+	// I/O byte counts are reported separately in NodeStats.
 	Device *storage.Device
 	// Clock supplies time for TTL bookkeeping; nil means the real clock.
 	Clock clock.Clock
@@ -136,6 +144,14 @@ type NodeStats struct {
 	BloomSkips     uint64 // sstables skipped thanks to the bloom filter
 	ExpiredDropped uint64 // rows GC'd by compaction (TTL or tombstone)
 	LiveRows       int    // live rows across memtable+sstables (post-merge view)
+
+	// Durable-engine extras, zero for in-memory nodes.
+	Durable           bool   // node is backed by an on-disk lsm engine
+	Fsyncs            uint64 // real fsyncs issued
+	DiskBytesWritten  int64  // real bytes written (WAL + segments)
+	DiskBytesRead     int64  // real bytes read off segments
+	WALBytes          int64  // bytes in the active write-ahead log
+	CompactionBacklog int    // segments past the compaction threshold
 }
 
 // Node is one storage server. It is safe for concurrent use and can be
@@ -146,15 +162,54 @@ type Node struct {
 
 	mu     sync.Mutex
 	mem    *memtable
-	tables []*sstable // newest first
+	tables []*sstable  // newest first
+	eng    *lsm.Engine // non-nil when cfg.Dir is set (durable mode)
 	down   bool
 	stats  NodeStats
 }
 
-// NewNode returns a node with the given name and configuration.
+// NewNode returns a node with the given name and configuration. It
+// panics if cfg.Dir is set and the durable engine fails to open; use
+// OpenNode when the caller can handle the error.
 func NewNode(name string, cfg NodeConfig) *Node {
+	n, err := OpenNode(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// OpenNode returns a node with the given name and configuration. With
+// cfg.Dir set it opens (recovering if needed) a durable lsm engine at
+// that directory; otherwise the node is purely in-memory and OpenNode
+// cannot fail.
+func OpenNode(name string, cfg NodeConfig) (*Node, error) {
 	cfg.fill()
-	return &Node{name: name, cfg: cfg, mem: newMemtable()}
+	n := &Node{name: name, cfg: cfg, mem: newMemtable()}
+	if cfg.Dir != "" {
+		eng, err := lsm.Open(cfg.Dir, lsm.Options{
+			MemtableFlushBytes:  cfg.MemtableFlushBytes,
+			CompactionThreshold: cfg.CompactionThreshold,
+			Clock:               cfg.Clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.eng = eng
+	}
+	return n, nil
+}
+
+// Durable reports whether the node is backed by an on-disk engine.
+func (n *Node) Durable() bool { return n.eng != nil }
+
+// Close releases the durable engine's files and stops its background
+// work. It is a no-op for in-memory nodes.
+func (n *Node) Close() error {
+	if n.eng != nil {
+		return n.eng.Close()
+	}
+	return nil
 }
 
 // Name returns the node's name.
@@ -163,15 +218,17 @@ func (n *Node) Name() string { return n.name }
 // Device returns the node's simulated storage device.
 func (n *Node) Device() *storage.Device { return n.cfg.Device }
 
-// SetDown marks the node crashed (true) or recovered (false). A
-// recovering node keeps its sstables — they are durable — but loses its
-// memtable, exactly like a Cassandra restart without a commit log
-// replay. (Muppet tolerates this: unflushed slate changes are lost on
-// failure, §4.3.)
+// SetDown marks the node crashed (true) or recovered (false). An
+// in-memory node that recovers keeps its sstables — they are durable —
+// but loses its memtable, exactly like a Cassandra restart without a
+// commit log replay. (Muppet tolerates this: unflushed slate changes
+// are lost on failure, §4.3.) A durable node keeps its memtable too:
+// every acknowledged write is already in the write-ahead log, so a
+// restart replays it — nothing acknowledged is ever lost.
 func (n *Node) SetDown(down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if down && !n.down {
+	if down && !n.down && n.eng == nil {
 		n.mem = newMemtable()
 	}
 	n.down = down
@@ -200,11 +257,39 @@ func (n *Node) Put(key, column string, value []byte, ttl time.Duration) (time.Du
 	now := n.cfg.Clock.Now()
 	// Commit-log append: sequential write of the mutation.
 	cost := n.cfg.Device.SequentialWrite(int64(len(key) + len(column) + len(value)))
-	n.mem.put(rowKey(key, column), Row{Value: append([]byte(nil), value...), WriteTime: now, TTL: ttl})
+	row := Row{Value: append([]byte(nil), value...), WriteTime: now, TTL: ttl}
+	if n.eng != nil {
+		return n.putEngineLocked(cost, []lsm.Row{toEngineRow(rowKey(key, column), row)})
+	}
+	n.mem.put(rowKey(key, column), row)
 	if n.mem.size >= n.cfg.MemtableFlushBytes {
 		cost += n.flushLocked()
 	}
 	return cost, nil
+}
+
+// putEngineLocked forwards rows to the durable engine — one WAL group
+// commit, fsync'd before acknowledgement — and folds any triggered
+// memtable flush into the simulated device cost.
+func (n *Node) putEngineLocked(cost time.Duration, rows []lsm.Row) (time.Duration, error) {
+	flushed, err := n.eng.Put(rows)
+	if err != nil {
+		return 0, err
+	}
+	if flushed > 0 {
+		cost += n.cfg.Device.SequentialWrite(flushed)
+	}
+	return cost, nil
+}
+
+// toEngineRow converts a node row to the engine's representation.
+func toEngineRow(rk string, r Row) lsm.Row {
+	return lsm.Row{Key: rk, Value: r.Value, WriteTime: r.WriteTime, TTL: r.TTL, Tombstone: r.Tombstone}
+}
+
+// fromEngineRow converts back; the row key is returned separately.
+func fromEngineRow(r lsm.Row) Row {
+	return Row{Value: r.Value, WriteTime: r.WriteTime, TTL: r.TTL, Tombstone: r.Tombstone}
 }
 
 // BatchEntry is one write inside a multi-put batch.
@@ -235,6 +320,14 @@ func (n *Node) PutBatch(entries []BatchEntry) (time.Duration, error) {
 		logBytes += int64(len(e.Key) + len(e.Column) + len(e.Value))
 	}
 	cost := n.cfg.Device.SequentialWrite(logBytes)
+	if n.eng != nil {
+		rows := make([]lsm.Row, len(entries))
+		for i, e := range entries {
+			rows[i] = toEngineRow(rowKey(e.Key, e.Column),
+				Row{Value: append([]byte(nil), e.Value...), WriteTime: now, TTL: e.TTL})
+		}
+		return n.putEngineLocked(cost, rows)
+	}
 	for _, e := range entries {
 		n.mem.put(rowKey(e.Key, e.Column), Row{Value: append([]byte(nil), e.Value...), WriteTime: now, TTL: e.TTL})
 	}
@@ -252,7 +345,11 @@ func (n *Node) Delete(key, column string) (time.Duration, error) {
 		return 0, ErrNodeDown{n.name}
 	}
 	cost := n.cfg.Device.SequentialWrite(int64(len(key) + len(column)))
-	n.mem.put(rowKey(key, column), Row{WriteTime: n.cfg.Clock.Now(), Tombstone: true})
+	row := Row{WriteTime: n.cfg.Clock.Now(), Tombstone: true}
+	if n.eng != nil {
+		return n.putEngineLocked(cost, []lsm.Row{toEngineRow(rowKey(key, column), row)})
+	}
+	n.mem.put(rowKey(key, column), row)
 	if n.mem.size >= n.cfg.MemtableFlushBytes {
 		cost += n.flushLocked()
 	}
@@ -267,9 +364,27 @@ func (n *Node) Get(key, column string) ([]byte, Row, bool, time.Duration, error)
 	if n.down {
 		return nil, Row{}, false, 0, ErrNodeDown{n.name}
 	}
-	n.stats.Reads++
 	rk := rowKey(key, column)
 	now := n.cfg.Clock.Now()
+	if n.eng != nil {
+		er, ok, bytesRead, err := n.eng.Get(rk)
+		if err != nil {
+			return nil, Row{}, false, 0, err
+		}
+		var cost time.Duration
+		if bytesRead > 0 {
+			cost = n.cfg.Device.Read(bytesRead)
+		}
+		if !ok {
+			return nil, Row{}, false, cost, nil
+		}
+		r := fromEngineRow(er)
+		if r.Tombstone || r.expired(now) {
+			return nil, r, false, cost, nil
+		}
+		return r.Value, r, true, cost, nil
+	}
+	n.stats.Reads++
 	if r, ok := n.mem.rows[rk]; ok {
 		n.stats.ReadsFromMem++
 		if r.Tombstone || r.expired(now) {
@@ -311,6 +426,13 @@ func (n *Node) Flush() time.Duration {
 }
 
 func (n *Node) flushLocked() time.Duration {
+	if n.eng != nil {
+		written, err := n.eng.Flush()
+		if err != nil || written == 0 {
+			return 0
+		}
+		return n.cfg.Device.SequentialWrite(written)
+	}
 	if len(n.mem.rows) == 0 {
 		return 0
 	}
@@ -337,6 +459,13 @@ func (n *Node) Compact() time.Duration {
 }
 
 func (n *Node) compactLocked() time.Duration {
+	if n.eng != nil {
+		read, written, err := n.eng.Compact()
+		if err != nil {
+			return 0
+		}
+		return n.cfg.Device.Read(read) + n.cfg.Device.SequentialWrite(written)
+	}
 	if len(n.tables) == 0 {
 		return 0
 	}
@@ -375,6 +504,33 @@ func (n *Node) compactLocked() time.Duration {
 func (n *Node) Stats() NodeStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.eng != nil {
+		es := n.eng.Stats()
+		s := NodeStats{
+			MemtableRows:   es.MemtableRows,
+			MemtableBytes:  es.MemtableBytes,
+			SSTables:       es.Segments,
+			SSTableBytes:   es.SegmentBytes,
+			Flushes:        uint64(es.Flushes),
+			Compactions:    uint64(es.Compactions),
+			Reads:          uint64(es.Reads),
+			ReadsFromMem:   uint64(es.ReadsFromMem),
+			SSTableProbes:  uint64(es.SegmentProbes),
+			BloomSkips:     uint64(es.BloomSkips),
+			ExpiredDropped: uint64(es.ExpiredDropped),
+
+			Durable:           true,
+			Fsyncs:            uint64(es.Fsyncs),
+			DiskBytesWritten:  es.BytesWritten,
+			DiskBytesRead:     es.BytesRead,
+			WALBytes:          es.WALBytes,
+			CompactionBacklog: es.CompactionBacklog,
+		}
+		if live, err := n.eng.LiveRows(); err == nil {
+			s.LiveRows = live
+		}
+		return s
+	}
 	s := n.stats
 	s.MemtableRows = len(n.mem.rows)
 	s.MemtableBytes = n.mem.size
@@ -401,8 +557,10 @@ func (n *Node) Stats() NodeStats {
 }
 
 // Scan calls fn for every live row in the node whose column matches
-// the given column (the bulk slate-read path of Section 5). Iteration
-// order is unspecified.
+// the given column (the bulk slate-read path of Section 5). On an
+// in-memory node the iteration order is unspecified; on a durable node
+// (NodeConfig.Dir set) rows arrive in ascending row-key order — the
+// lsm engine's merged-segment order.
 func (n *Node) Scan(column string, fn func(key string, value []byte)) {
 	n.ScanUntil(column, func(k string, v []byte) bool {
 		fn(k, v)
@@ -417,6 +575,16 @@ func (n *Node) ScanUntil(column string, fn func(key string, value []byte) bool) 
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.down {
+		return
+	}
+	if n.eng != nil {
+		n.eng.Scan(func(r lsm.Row) bool {
+			k, col := splitRowKey(r.Key)
+			if col != column {
+				return true
+			}
+			return fn(k, r.Value)
+		})
 		return
 	}
 	now := n.cfg.Clock.Now()

@@ -1,0 +1,41 @@
+// Package lsm is a durable log-structured merge storage engine: the
+// persistence layer kvstore.Node mounts when given a data directory,
+// standing in for the Cassandra commitlog/SSTable machinery the paper
+// persists slates in (Section 4.2).
+//
+// # Structure
+//
+// Writes land in a CRC-guarded write-ahead log (one fsync per Put
+// batch — group commit) and an in-memory memtable. When the memtable
+// passes its size budget (or age bound) it is flushed to an immutable
+// sorted segment file: framed rows, a sparse index block, and a
+// serialized bloom filter, bounded by a fixed footer. A background
+// compactor merges all segments into one once their count passes the
+// threshold, dropping overwritten versions, tombstones, and
+// TTL-expired rows. Reads consult the memtable, then segments newest
+// to oldest, with the bloom filter gating each probe and the sparse
+// index bounding the disk read to one block.
+//
+// # Durability contract
+//
+// When Put returns nil, the batch is on stable storage and survives
+// any crash; on error nothing is acknowledged. The MANIFEST file is
+// the root pointer, replaced only by write-temp → fsync → atomic
+// rename → directory fsync, so flushes and compactions commit with a
+// single rename: a crash at any instant leaves either the old segment
+// set or the new one, never a mix. Open recovers exactly the
+// acknowledged state — manifest segments, plus intact WAL records
+// (a torn tail is dropped; those bytes were never acknowledged) — and
+// sweeps orphan files from interrupted flushes or compactions.
+//
+// The FS interface abstracts the filesystem so crash tests can inject
+// faults at any Create/Write/Sync/Rename/SyncDir and simulate power
+// cuts (MemFS discards unsynced bytes); production uses OSFS.
+//
+// # Concurrency
+//
+// One mutex guards engine state. Segments are immutable once written,
+// so compaction merges outside the lock (concurrent flushes only
+// prepend segments) and swaps the list under it. Scan holds the lock
+// across its callbacks, mirroring kvstore's documented scan semantics.
+package lsm

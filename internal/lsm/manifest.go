@@ -1,0 +1,87 @@
+package lsm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// manifest is the engine's root pointer: the set of live segment files
+// (newest first), the active WAL sequence, and the next sequence
+// number to allocate. It is replaced wholesale via write-temp → fsync →
+// rename → fsync-dir, so a crash anywhere leaves either the old
+// manifest or the new one, never a mix — the rename is the single
+// commit point for flushes and compactions.
+type manifest struct {
+	Version  int      `json:"version"`
+	Next     uint64   `json:"next"`
+	WALSeq   uint64   `json:"wal"`
+	Segments []uint64 `json:"segments"`
+}
+
+const (
+	manifestName    = "MANIFEST"
+	manifestTmpName = "MANIFEST.tmp"
+	manifestVersion = 1
+)
+
+// writeManifest commits m as dir's manifest atomically and durably.
+func writeManifest(fs FS, dir string, m manifest) error {
+	m.Version = manifestVersion
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("lsm: manifest: %w", err)
+	}
+	tmp := dir + "/" + manifestTmpName
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: manifest: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if err := fs.Rename(tmp, dir+"/"+manifestName); err != nil {
+		return fmt.Errorf("lsm: manifest: commit: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("lsm: manifest: sync dir: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads dir's manifest. ok is false when no manifest
+// exists yet (a fresh directory).
+func readManifest(fs FS, dir string) (m manifest, ok bool, err error) {
+	f, err := fs.Open(dir + "/" + manifestName)
+	if err != nil {
+		return manifest{}, false, nil
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return manifest{}, false, err
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		n, err := f.ReadAt(data, 0)
+		if err != nil && err != io.EOF {
+			return manifest{}, false, fmt.Errorf("lsm: manifest: %w", err)
+		}
+		data = data[:n]
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return manifest{}, false, fmt.Errorf("lsm: manifest: unsupported version %d", m.Version)
+	}
+	return m, true, nil
+}

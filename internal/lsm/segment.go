@@ -1,0 +1,341 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"muppet/internal/bloom"
+	"muppet/internal/frame"
+)
+
+// Row is one versioned cell as the engine stores it: the composed
+// <key,column> row key, the value bytes, and the write metadata the
+// read path needs for newest-wins resolution and TTL expiry.
+type Row struct {
+	Key   string
+	Value []byte
+	// WriteTime orders versions of the same key across runs and anchors
+	// the TTL.
+	WriteTime time.Time
+	// TTL of zero means the row lives forever.
+	TTL       time.Duration
+	Tombstone bool
+}
+
+// expired reports whether the row's TTL has lapsed at time now.
+func (r Row) expired(now time.Time) bool {
+	return r.TTL > 0 && now.Sub(r.WriteTime) > r.TTL
+}
+
+// deleted reports whether the row reads as absent at time now.
+func (r Row) deleted(now time.Time) bool { return r.Tombstone || r.expired(now) }
+
+// Row encoding — shared by WAL records and segment data blocks:
+//
+//	uvarint keyLen | key | uvarint writeTime (unixnano as uint64)
+//	| uvarint ttl (nanoseconds) | flags (bit0 = tombstone)
+//	| uvarint frameLen | frame(value)
+//
+// The value travels through the internal/frame codec (the PR 4 framed
+// pooled deflate), so large compressible slates shrink on disk and the
+// encode path allocates nothing beyond the destination buffer.
+const rowFlagTombstone = 0x01
+
+// appendRow appends r's encoding to dst. scratch is reusable working
+// memory for the value framing; the (possibly grown) scratch is
+// returned for reuse.
+func appendRow(dst, scratch []byte, r Row) (out, scratchOut []byte) {
+	dst = binary.AppendUvarint(dst, uint64(len(r.Key)))
+	dst = append(dst, r.Key...)
+	dst = binary.AppendUvarint(dst, uint64(r.WriteTime.UnixNano()))
+	dst = binary.AppendUvarint(dst, uint64(r.TTL))
+	var flags byte
+	if r.Tombstone {
+		flags |= rowFlagTombstone
+	}
+	dst = append(dst, flags)
+	scratch = frame.AppendEncode(scratch[:0], r.Value)
+	dst = binary.AppendUvarint(dst, uint64(len(scratch)))
+	dst = append(dst, scratch...)
+	return dst, scratch
+}
+
+// decodeRow decodes one row from the front of data, returning the row
+// and the remaining bytes. The value is decoded out of its frame into
+// fresh memory (rows outlive the read buffer).
+func decodeRow(data []byte) (Row, []byte, error) {
+	var r Row
+	klen, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < klen {
+		return r, nil, fmt.Errorf("lsm: row: truncated key")
+	}
+	r.Key = string(data[n : n+int(klen)])
+	data = data[n+int(klen):]
+	wt, n := binary.Uvarint(data)
+	if n <= 0 {
+		return r, nil, fmt.Errorf("lsm: row: truncated write time")
+	}
+	r.WriteTime = time.Unix(0, int64(wt))
+	data = data[n:]
+	ttl, n := binary.Uvarint(data)
+	if n <= 0 {
+		return r, nil, fmt.Errorf("lsm: row: truncated ttl")
+	}
+	r.TTL = time.Duration(ttl)
+	data = data[n:]
+	if len(data) < 1 {
+		return r, nil, fmt.Errorf("lsm: row: truncated flags")
+	}
+	r.Tombstone = data[0]&rowFlagTombstone != 0
+	data = data[1:]
+	vlen, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < vlen {
+		return r, nil, fmt.Errorf("lsm: row: truncated value")
+	}
+	enc := data[n : n+int(vlen)]
+	data = data[n+int(vlen):]
+	if vlen > 0 || !r.Tombstone {
+		v, err := frame.Decode(enc)
+		if err != nil {
+			return r, nil, fmt.Errorf("lsm: row %q: %w", r.Key, err)
+		}
+		r.Value = v
+	}
+	return r, data, nil
+}
+
+// Segment file layout
+//
+//	"MUPSEG01" | rows (sorted by key) | index block | bloom block | footer
+//
+// index block: uvarint entryCount, then per entry uvarint keyLen, key,
+// uvarint absolute file offset of the row. Every IndexEvery-th row is
+// indexed (always including the first), so a point read seeks at most
+// one index gap of rows. bloom block: a marshalled internal/bloom
+// filter over every row key. footer (32 bytes, fixed): index offset,
+// bloom offset, row count as little-endian uint64, then the magic
+// again — Open validates both magics before trusting any offset.
+const (
+	segMagic      = "MUPSEG01"
+	segFooterSize = 8*3 + len(segMagic)
+)
+
+// segment is one immutable sorted run, open for positional reads.
+type segment struct {
+	seq  uint64
+	path string
+	f    File
+
+	indexKeys []string
+	indexOffs []int64
+	dataEnd   int64 // first byte past the row region (= index offset)
+	filter    *bloom.Filter
+	rows      int
+	bytes     int64 // total file size
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("seg-%06d.sst", seq) }
+
+// buildSegment encodes sorted rows into a complete segment file image.
+// Rows must be sorted by Key and contain no duplicates.
+func buildSegment(rows []Row, indexEvery int, fpRate float64) []byte {
+	filter := bloom.New(len(rows), fpRate)
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, segMagic...)
+	var scratch []byte
+	var idxKeys []string
+	var idxOffs []int64
+	for i, r := range rows {
+		if i%indexEvery == 0 {
+			idxKeys = append(idxKeys, r.Key)
+			idxOffs = append(idxOffs, int64(len(buf)))
+		}
+		filter.Add(r.Key)
+		buf, scratch = appendRow(buf, scratch, r)
+	}
+	indexOff := int64(len(buf))
+	buf = binary.AppendUvarint(buf, uint64(len(idxKeys)))
+	for i, k := range idxKeys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, uint64(idxOffs[i]))
+	}
+	bloomOff := int64(len(buf))
+	buf = filter.AppendMarshal(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(indexOff))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(bloomOff))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(rows)))
+	buf = append(buf, segMagic...)
+	return buf
+}
+
+// writeSegment persists sorted rows as segment file seq under dir,
+// fsyncing file and directory, and returns the opened segment. The
+// caller owns removing the file again if a later step of its state
+// change fails.
+func writeSegment(fs FS, dir string, seq uint64, rows []Row, indexEvery int, fpRate float64) (*segment, int64, error) {
+	img := buildSegment(rows, indexEvery, fpRate)
+	path := dir + "/" + segName(seq)
+	f, err := fs.Create(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, 0, err
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return nil, 0, err
+	}
+	seg, err := openSegment(fs, dir, seq)
+	if err != nil {
+		return nil, 0, err
+	}
+	return seg, int64(len(img)), nil
+}
+
+// openSegment opens segment file seq under dir, reading its footer,
+// sparse index, and bloom filter; row data stays on disk.
+func openSegment(fs FS, dir string, seq uint64) (*segment, error) {
+	path := dir + "/" + segName(seq)
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fail := func(format string, args ...any) (*segment, error) {
+		f.Close()
+		return nil, fmt.Errorf("lsm: segment %s: %s", path, fmt.Sprintf(format, args...))
+	}
+	if size < int64(len(segMagic)+segFooterSize) {
+		return fail("file too short (%d bytes)", size)
+	}
+	head := make([]byte, len(segMagic))
+	if _, err := f.ReadAt(head, 0); err != nil {
+		return fail("read header: %v", err)
+	}
+	footer := make([]byte, segFooterSize)
+	if _, err := f.ReadAt(footer, size-int64(segFooterSize)); err != nil {
+		return fail("read footer: %v", err)
+	}
+	if string(head) != segMagic || string(footer[24:]) != segMagic {
+		return fail("bad magic")
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(footer[0:]))
+	bloomOff := int64(binary.LittleEndian.Uint64(footer[8:]))
+	rowCount := int64(binary.LittleEndian.Uint64(footer[16:]))
+	if indexOff < int64(len(segMagic)) || bloomOff < indexOff || bloomOff > size-int64(segFooterSize) {
+		return fail("corrupt footer offsets")
+	}
+	meta := make([]byte, size-int64(segFooterSize)-indexOff)
+	if _, err := f.ReadAt(meta, indexOff); err != nil {
+		return fail("read index/bloom: %v", err)
+	}
+	idx := meta[:bloomOff-indexOff]
+	count, n := binary.Uvarint(idx)
+	if n <= 0 {
+		return fail("corrupt index count")
+	}
+	idx = idx[n:]
+	keys := make([]string, 0, count)
+	offs := make([]int64, 0, count)
+	for i := uint64(0); i < count; i++ {
+		klen, n := binary.Uvarint(idx)
+		if n <= 0 || uint64(len(idx)-n) < klen {
+			return fail("corrupt index entry %d", i)
+		}
+		key := string(idx[n : n+int(klen)])
+		idx = idx[n+int(klen):]
+		off, n := binary.Uvarint(idx)
+		if n <= 0 {
+			return fail("corrupt index offset %d", i)
+		}
+		idx = idx[n:]
+		keys = append(keys, key)
+		offs = append(offs, int64(off))
+	}
+	filter, err := bloom.Unmarshal(meta[bloomOff-indexOff:])
+	if err != nil {
+		return fail("%v", err)
+	}
+	return &segment{
+		seq: seq, path: path, f: f,
+		indexKeys: keys, indexOffs: offs,
+		dataEnd: indexOff, filter: filter,
+		rows: int(rowCount), bytes: size,
+	}, nil
+}
+
+// get returns the newest stored version of key in this segment (which
+// is the only one: segments hold one version per key). ok reports
+// whether the key is present; bytesRead is the data read off the
+// device for the probe. The bloom filter must be consulted by the
+// caller (the engine counts skips).
+func (s *segment) get(key string) (r Row, ok bool, bytesRead int64, err error) {
+	// Largest indexed key <= key bounds the block to read.
+	i := sort.SearchStrings(s.indexKeys, key)
+	if i < len(s.indexKeys) && s.indexKeys[i] == key {
+		// exact index hit: block starts at the key itself
+	} else if i == 0 {
+		return Row{}, false, 0, nil // key sorts before every row
+	} else {
+		i--
+	}
+	start := s.indexOffs[i]
+	end := s.dataEnd
+	if i+1 < len(s.indexOffs) {
+		end = s.indexOffs[i+1]
+	}
+	block := make([]byte, end-start)
+	if _, err := s.f.ReadAt(block, start); err != nil {
+		return Row{}, false, int64(len(block)), fmt.Errorf("lsm: segment %s: read block: %w", s.path, err)
+	}
+	bytesRead = int64(len(block))
+	for len(block) > 0 {
+		row, rest, err := decodeRow(block)
+		if err != nil {
+			return Row{}, false, bytesRead, fmt.Errorf("lsm: segment %s: %w", s.path, err)
+		}
+		if row.Key == key {
+			return row, true, bytesRead, nil
+		}
+		if row.Key > key {
+			return Row{}, false, bytesRead, nil
+		}
+		block = rest
+	}
+	return Row{}, false, bytesRead, nil
+}
+
+// load reads and decodes every row in key order.
+func (s *segment) load() ([]Row, error) {
+	data := make([]byte, s.dataEnd-int64(len(segMagic)))
+	if _, err := s.f.ReadAt(data, int64(len(segMagic))); err != nil {
+		return nil, fmt.Errorf("lsm: segment %s: read rows: %w", s.path, err)
+	}
+	rows := make([]Row, 0, s.rows)
+	for len(data) > 0 {
+		row, rest, err := decodeRow(data)
+		if err != nil {
+			return nil, fmt.Errorf("lsm: segment %s: %w", s.path, err)
+		}
+		rows = append(rows, row)
+		data = rest
+	}
+	return rows, nil
+}
+
+func (s *segment) close() error { return s.f.Close() }

@@ -221,38 +221,75 @@ func RegisterCluster(r *Registry, c *cluster.Cluster) {
 }
 
 // RegisterKVStore registers the durable store's aggregated node stats
-// plus per-node simulated-device counters.
+// plus per-node simulated-device counters. All aggregate metrics are
+// emitted from ONE TotalStats snapshot per scrape — TotalStats merges
+// every node (and, for durable nodes, materializes a live-row view),
+// so sampling it per metric would multiply that cost by the metric
+// count.
 func RegisterKVStore(r *Registry, kc *kvstore.Cluster) {
-	c := func(name, help string, get func(kvstore.NodeStats) uint64) {
-		r.Counter(name, help, nil, func() uint64 { return get(kc.TotalStats()) })
+	type def struct {
+		name, help string
+		typ        Type
+		get        func(kvstore.NodeStats) float64
 	}
-	g := func(name, help string, get func(kvstore.NodeStats) int64) {
-		r.GaugeInt(name, help, nil, func() int64 { return get(kc.TotalStats()) })
+	defs := []def{
+		{"muppet_kvstore_memtable_rows", "Rows buffered in memtables.", TypeGauge,
+			func(s kvstore.NodeStats) float64 { return float64(s.MemtableRows) }},
+		{"muppet_kvstore_memtable_bytes", "Bytes buffered in memtables.", TypeGauge,
+			func(s kvstore.NodeStats) float64 { return float64(s.MemtableBytes) }},
+		{"muppet_kvstore_sstables", "SSTables on disk.", TypeGauge,
+			func(s kvstore.NodeStats) float64 { return float64(s.SSTables) }},
+		{"muppet_kvstore_sstable_bytes", "Bytes held in SSTables.", TypeGauge,
+			func(s kvstore.NodeStats) float64 { return float64(s.SSTableBytes) }},
+		{"muppet_kvstore_flushes_total", "Memtable flushes.", TypeCounter,
+			func(s kvstore.NodeStats) float64 { return float64(s.Flushes) }},
+		{"muppet_kvstore_compactions_total", "SSTable compactions.", TypeCounter,
+			func(s kvstore.NodeStats) float64 { return float64(s.Compactions) }},
+		{"muppet_kvstore_reads_total", "Row reads served.", TypeCounter,
+			func(s kvstore.NodeStats) float64 { return float64(s.Reads) }},
+		{"muppet_kvstore_reads_from_mem_total", "Row reads served from the memtable.", TypeCounter,
+			func(s kvstore.NodeStats) float64 { return float64(s.ReadsFromMem) }},
+		{"muppet_kvstore_sstable_probes_total", "SSTables actually read from device.", TypeCounter,
+			func(s kvstore.NodeStats) float64 { return float64(s.SSTableProbes) }},
+		{"muppet_kvstore_bloom_skips_total", "SSTable reads skipped by bloom filters.", TypeCounter,
+			func(s kvstore.NodeStats) float64 { return float64(s.BloomSkips) }},
+		{"muppet_kvstore_expired_dropped_total", "Rows GC'd by compaction (TTL or tombstone).", TypeCounter,
+			func(s kvstore.NodeStats) float64 { return float64(s.ExpiredDropped) }},
+		{"muppet_kvstore_live_rows", "Live rows across memtable and SSTables.", TypeGauge,
+			func(s kvstore.NodeStats) float64 { return float64(s.LiveRows) }},
 	}
-	g("muppet_kvstore_memtable_rows", "Rows buffered in memtables.",
-		func(s kvstore.NodeStats) int64 { return int64(s.MemtableRows) })
-	g("muppet_kvstore_memtable_bytes", "Bytes buffered in memtables.",
-		func(s kvstore.NodeStats) int64 { return s.MemtableBytes })
-	g("muppet_kvstore_sstables", "SSTables on disk.",
-		func(s kvstore.NodeStats) int64 { return int64(s.SSTables) })
-	g("muppet_kvstore_sstable_bytes", "Bytes held in SSTables.",
-		func(s kvstore.NodeStats) int64 { return s.SSTableBytes })
-	c("muppet_kvstore_flushes_total", "Memtable flushes.",
-		func(s kvstore.NodeStats) uint64 { return s.Flushes })
-	c("muppet_kvstore_compactions_total", "SSTable compactions.",
-		func(s kvstore.NodeStats) uint64 { return s.Compactions })
-	c("muppet_kvstore_reads_total", "Row reads served.",
-		func(s kvstore.NodeStats) uint64 { return s.Reads })
-	c("muppet_kvstore_reads_from_mem_total", "Row reads served from the memtable.",
-		func(s kvstore.NodeStats) uint64 { return s.ReadsFromMem })
-	c("muppet_kvstore_sstable_probes_total", "SSTables actually read from device.",
-		func(s kvstore.NodeStats) uint64 { return s.SSTableProbes })
-	c("muppet_kvstore_bloom_skips_total", "SSTable reads skipped by bloom filters.",
-		func(s kvstore.NodeStats) uint64 { return s.BloomSkips })
-	c("muppet_kvstore_expired_dropped_total", "Rows GC'd by compaction (TTL or tombstone).",
-		func(s kvstore.NodeStats) uint64 { return s.ExpiredDropped })
-	g("muppet_kvstore_live_rows", "Live rows across memtable and SSTables.",
-		func(s kvstore.NodeStats) int64 { return int64(s.LiveRows) })
+	// Durable-engine metrics, emitted only when at least one node has an
+	// on-disk lsm engine mounted.
+	lsmDefs := []def{
+		{"muppet_lsm_segments", "Segment files across durable nodes.", TypeGauge,
+			func(s kvstore.NodeStats) float64 { return float64(s.SSTables) }},
+		{"muppet_lsm_level_bytes", "Bytes held in segment files.", TypeGauge,
+			func(s kvstore.NodeStats) float64 { return float64(s.SSTableBytes) }},
+		{"muppet_lsm_memtable_bytes", "Bytes in durable-node memtables (WAL-backed).", TypeGauge,
+			func(s kvstore.NodeStats) float64 { return float64(s.MemtableBytes) }},
+		{"muppet_lsm_wal_bytes", "Bytes in active write-ahead logs.", TypeGauge,
+			func(s kvstore.NodeStats) float64 { return float64(s.WALBytes) }},
+		{"muppet_lsm_compaction_backlog", "Segments past the compaction threshold.", TypeGauge,
+			func(s kvstore.NodeStats) float64 { return float64(s.CompactionBacklog) }},
+		{"muppet_lsm_fsyncs_total", "Real fsyncs issued by durable engines.", TypeCounter,
+			func(s kvstore.NodeStats) float64 { return float64(s.Fsyncs) }},
+		{"muppet_lsm_disk_write_bytes_total", "Real bytes written (WAL and segments).", TypeCounter,
+			func(s kvstore.NodeStats) float64 { return float64(s.DiskBytesWritten) }},
+		{"muppet_lsm_disk_read_bytes_total", "Real bytes read off segment files.", TypeCounter,
+			func(s kvstore.NodeStats) float64 { return float64(s.DiskBytesRead) }},
+	}
+	r.Register(CollectorFunc(func(emit func(Metric)) {
+		s := kc.TotalStats()
+		for _, d := range defs {
+			emit(Metric{Name: d.name, Help: d.help, Type: d.typ, Value: d.get(s)})
+		}
+		if !s.Durable {
+			return
+		}
+		for _, d := range lsmDefs {
+			emit(Metric{Name: d.name, Help: d.help, Type: d.typ, Value: d.get(s)})
+		}
+	}))
 	for _, name := range kc.Nodes() {
 		node := kc.Node(name)
 		if node == nil || node.Device() == nil {

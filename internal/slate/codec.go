@@ -1,11 +1,9 @@
 package slate
 
 import (
-	"bytes"
-	"compress/flate"
-	"fmt"
 	"io"
-	"sync"
+
+	"muppet/internal/frame"
 )
 
 // Key identifies a slate: the pair <update function U, event key k>
@@ -22,89 +20,34 @@ func (k Key) String() string { return k.Updater + "/" + k.Key }
 
 // Storage framing
 //
-// The stored form of a slate is one header byte followed by the
-// payload. The header's low three bits distinguish the two payload
-// kinds; the high five bits carry the format version (currently 0):
-//
-//	0b110 (0x06) — raw payload, stored verbatim
-//	0b111 (0x07) — deflate-compressed payload
-//
-// Both low-bit patterns encode BTYPE=3, the reserved deflate block
-// type, in the position where a deflate stream carries its first block
-// header. compress/flate never emits a reserved block, so no legacy
-// headerless deflate blob (the encoding used before framing existed)
-// can begin with a frame header — which is how Decode tells framed
-// values from legacy ones and keeps old WAL batches and kvstore rows
-// readable.
+// The codec itself lives in internal/frame so the LSM storage engine
+// (which sits below this package in the import graph) can share it;
+// this file keeps the slate-facing API byte-for-byte identical. See
+// the frame package doc for the header layout and the
+// legacy-compatibility rules.
 const (
-	frameVersion = 0
+	frameVersion = frame.Version
 
-	frameRawBits     = 0x06 // BFINAL=0, BTYPE=3 (reserved)
-	frameDeflateBits = 0x07 // BFINAL=1, BTYPE=3 (reserved)
-	frameKindMask    = 0x06 // a first byte with both bits set is framed
+	frameRawBits     = frame.RawBits
+	frameDeflateBits = frame.DeflateBits
+	frameKindMask    = frame.KindMask
 
-	headerRaw     = frameRawBits | frameVersion<<3
-	headerDeflate = frameDeflateBits | frameVersion<<3
+	headerRaw     = frame.HeaderRaw
+	headerDeflate = frame.HeaderDeflate
 )
 
 // MinCompressSize is the threshold below which Encode stores slates
 // raw: deflate overhead (block headers, the end-of-stream marker)
 // exceeds any saving on tiny payloads, and skipping the writer
 // entirely keeps small-slate saves allocation- and CPU-free.
-const MinCompressSize = 64
-
-// appendSink is an in-memory io.Writer that appends to a byte slice.
-// Its Write cannot fail, which is what makes the pooled encoder's
-// deflate errors impossible (see Encode).
-type appendSink struct{ buf []byte }
-
-func (s *appendSink) Write(p []byte) (int, error) {
-	s.buf = append(s.buf, p...)
-	return len(p), nil
-}
-
-// encoder pairs a reusable flate.Writer with its append sink. A
-// flate.Writer at BestSpeed carries hundreds of KB of internal state;
-// constructing one per save was the dominant allocation of the whole
-// slate write path, so encoders are pooled and Reset between uses.
-type encoder struct {
-	sink appendSink
-	w    *flate.Writer
-}
-
-var encoderPool = sync.Pool{New: func() any {
-	e := &encoder{}
-	w, err := flate.NewWriter(&e.sink, flate.BestSpeed)
-	if err != nil {
-		// flate.NewWriter only fails on an invalid level constant.
-		panic(fmt.Sprintf("slate: flate writer: %v", err))
-	}
-	e.w = w
-	return e
-}}
-
-// decoder pairs a reusable flate reader with its bytes.Reader source
-// and a reusable inflate scratch buffer.
-type decoder struct {
-	br  bytes.Reader
-	r   io.ReadCloser
-	buf []byte
-}
-
-var decoderPool = sync.Pool{New: func() any {
-	d := &decoder{}
-	d.r = flate.NewReader(&d.br)
-	return d
-}}
+const MinCompressSize = frame.MinCompressSize
 
 // Encode frames a slate for storage: a 1-byte header, then either the
 // raw payload (below MinCompressSize, or when deflate fails to shrink)
 // or the deflate-compressed payload. It allocates only the returned
 // buffer; the deflate writer is pooled. Use AppendEncode to reuse a
 // caller-owned buffer and allocate nothing at all.
-func Encode(raw []byte) []byte {
-	return AppendEncode(make([]byte, 0, len(raw)+1), raw)
-}
+func Encode(raw []byte) []byte { return frame.Encode(raw) }
 
 // AppendEncode appends the framed encoding of raw to dst and returns
 // the extended buffer. With a dst of sufficient capacity the encode
@@ -113,98 +56,13 @@ func Encode(raw []byte) []byte {
 // shrink the payload (incompressible slates) the raw framing is stored
 // instead, so the stored form is never more than one byte larger than
 // the slate.
-func AppendEncode(dst, raw []byte) []byte {
-	if len(raw) < MinCompressSize {
-		dst = append(dst, headerRaw)
-		return append(dst, raw...)
-	}
-	base := len(dst)
-	dst = append(dst, headerDeflate)
-	e := encoderPool.Get().(*encoder)
-	e.sink.buf = dst
-	e.w.Reset(&e.sink)
-	_, werr := e.w.Write(raw)
-	cerr := e.w.Close()
-	dst = e.sink.buf
-	e.sink.buf = nil
-	encoderPool.Put(e)
-	if werr != nil || cerr != nil {
-		// The sink's Write never fails, so deflate to it cannot either;
-		// see CompressTo for the error-returning path to arbitrary
-		// writers.
-		panic(fmt.Sprintf("slate: encode: %v", firstNonNil(werr, cerr)))
-	}
-	if len(dst)-base-1 >= len(raw) {
-		// Deflate did not shrink the payload; store it raw.
-		dst = append(dst[:base], headerRaw)
-		return append(dst, raw...)
-	}
-	return dst
-}
-
-func firstNonNil(a, b error) error {
-	if a != nil {
-		return a
-	}
-	return b
-}
+func AppendEncode(dst, raw []byte) []byte { return frame.AppendEncode(dst, raw) }
 
 // Decode reverses Encode. It also accepts legacy headerless deflate
 // blobs written before framing existed (WAL batches and kvstore rows
 // from earlier versions): a stored value whose first byte is not a
 // frame header is inflated as a bare deflate stream.
-func Decode(stored []byte) ([]byte, error) {
-	if len(stored) == 0 {
-		return nil, fmt.Errorf("slate: decode: empty stored value")
-	}
-	h := stored[0]
-	if h&frameKindMask != frameKindMask {
-		// Legacy headerless deflate: no frame byte, payload starts
-		// immediately.
-		return inflate(stored)
-	}
-	if v := h >> 3; v != frameVersion {
-		return nil, fmt.Errorf("slate: decode: unsupported frame version %d", v)
-	}
-	if h&0x01 == 0 { // frameRawBits: raw payload follows the header
-		// Copy rather than alias stored: callers retain decoded slates
-		// (caches, update functions may mutate them in place), and
-		// stored is the kvstore node's live row memory.
-		return append([]byte(nil), stored[1:]...), nil
-	}
-	return inflate(stored[1:])
-}
-
-// inflate decompresses a bare deflate stream through a pooled reader,
-// returning a fresh exactly-sized buffer (callers retain the result in
-// caches and events, so scratch cannot be handed out).
-func inflate(data []byte) ([]byte, error) {
-	d := decoderPool.Get().(*decoder)
-	defer decoderPool.Put(d)
-	d.br.Reset(data)
-	if err := d.r.(flate.Resetter).Reset(&d.br, nil); err != nil {
-		return nil, fmt.Errorf("slate: decompress: %w", err)
-	}
-	buf := d.buf[:0]
-	for {
-		if len(buf) == cap(buf) {
-			buf = append(buf, 0)[:len(buf)]
-		}
-		n, err := d.r.Read(buf[len(buf):cap(buf)])
-		buf = buf[:len(buf)+n]
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			d.buf = buf
-			return nil, fmt.Errorf("slate: decompress: %w", err)
-		}
-	}
-	d.buf = buf
-	out := make([]byte, len(buf))
-	copy(out, buf)
-	return out, nil
-}
+func Decode(stored []byte) ([]byte, error) { return frame.Decode(stored) }
 
 // Compress deflate-compresses a slate with the legacy headerless
 // encoding, reproducing "Muppet compresses each slate before storing
@@ -212,32 +70,13 @@ func inflate(data []byte) ([]byte, error) {
 // (the framed codec); Compress remains as the writer of the legacy
 // format the compatibility tests pin, and its output stays decodable
 // by Decode forever.
-func Compress(raw []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := CompressTo(&buf, raw); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
+func Compress(raw []byte) ([]byte, error) { return frame.Compress(raw) }
 
 // CompressTo deflate-compresses raw into w, returning any writer
 // error. Compress once swallowed these; against an in-memory buffer
 // they are impossible (bytes.Buffer writes cannot fail), but arbitrary
 // writers do fail, and the error path is covered by tests.
-func CompressTo(w io.Writer, raw []byte) error {
-	fw, err := flate.NewWriter(w, flate.BestSpeed)
-	if err != nil {
-		// flate.NewWriter only fails on an invalid level constant.
-		panic(fmt.Sprintf("slate: flate writer: %v", err))
-	}
-	if _, err := fw.Write(raw); err != nil {
-		return fmt.Errorf("slate: compress: %w", err)
-	}
-	if err := fw.Close(); err != nil {
-		return fmt.Errorf("slate: compress: %w", err)
-	}
-	return nil
-}
+func CompressTo(w io.Writer, raw []byte) error { return frame.CompressTo(w, raw) }
 
 // Decompress reverses Compress. It is an alias of Decode and accepts
 // both the framed and the legacy encodings.

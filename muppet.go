@@ -288,6 +288,12 @@ type StoreConfig struct {
 	RTTJitter  time.Duration
 	// Seed makes jitter deterministic.
 	Seed int64
+	// Dir, when non-empty, makes every store node durable: node-NN keeps
+	// its rows under Dir/node-NN via the internal/lsm engine, fsync'd
+	// before acknowledgement, and a store reopened on the same Dir
+	// recovers every acknowledged slate. Empty keeps the historical
+	// in-memory store.
+	Dir string
 }
 
 // Store is a handle to a running slate store cluster.
@@ -295,14 +301,27 @@ type Store struct {
 	cluster *kvstore.Cluster
 }
 
-// NewStore builds a replicated slate store.
+// NewStore builds a replicated slate store. It panics if cfg.Dir is
+// set and durable storage fails to open; use OpenStore when the caller
+// can handle the error.
 func NewStore(cfg StoreConfig) *Store {
+	s, err := OpenStore(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// OpenStore builds a replicated slate store, opening (and recovering)
+// per-node durable storage under cfg.Dir when it is set.
+func OpenStore(cfg StoreConfig) (*Store, error) {
 	kcfg := kvstore.ClusterConfig{
 		Nodes:             cfg.Nodes,
 		ReplicationFactor: cfg.ReplicationFactor,
 		NetworkRTT:        cfg.NetworkRTT,
 		RTTJitter:         cfg.RTTJitter,
 		Seed:              cfg.Seed,
+		Dir:               cfg.Dir,
 		Node: kvstore.NodeConfig{
 			MemtableFlushBytes:  cfg.MemtableFlushBytes,
 			CompactionThreshold: cfg.CompactionThreshold,
@@ -315,12 +334,21 @@ func NewStore(cfg StoreConfig) *Store {
 		}
 		kcfg.DeviceProfile = &p
 	}
-	return &Store{cluster: kvstore.NewCluster(kcfg)}
+	kc, err := kvstore.OpenCluster(kcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{cluster: kc}, nil
 }
 
 // Cluster exposes the underlying store cluster for advanced use
 // (failure injection, scans, statistics).
 func (s *Store) Cluster() *kvstore.Cluster { return s.cluster }
+
+// Close releases the store's durable node storage (no-op for an
+// in-memory store). Call it after the engine using the store has
+// stopped.
+func (s *Store) Close() error { return s.cluster.Close() }
 
 // Config tunes an engine. The zero value is usable: one machine,
 // Muppet 2.0, no persistence.

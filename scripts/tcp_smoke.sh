@@ -9,6 +9,7 @@ cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
 pids=()
+declare -A nodepid
 cleanup() {
     kill "${pids[@]}" 2>/dev/null || true
     wait 2>/dev/null || true
@@ -31,11 +32,20 @@ cat > "$workdir/cluster.json" <<EOF
 }
 EOF
 
-for i in 0 1 2; do
+# start_node I LOG: launch machine-0I with the shared durable data
+# directory (each node writes under data/machine-0I).
+start_node() {
+    local i=$1 log=$2
     "$workdir/muppet" -app retailer -node "machine-0$i" -join "$workdir/cluster.json" \
         -http "127.0.0.1:$((hbase + i))" -events 0 -linger 120s \
-        > "$workdir/node$i.log" 2>&1 &
+        -data-dir "$workdir/data" \
+        > "$workdir/$log" 2>&1 &
     pids+=($!)
+    nodepid[$i]=$!
+}
+
+for i in 0 1 2; do
+    start_node "$i" "node$i.log"
 done
 
 # Wait until every node's HTTP API answers and reports the TCP transport.
@@ -139,4 +149,39 @@ if [ "$frames_out" -eq 0 ] || [ "$frames_out" -ne "$frames_in" ]; then
 fi
 echo "ok: /metrics up on 3 nodes; $frames_out cross-node frames written = $frames_in served"
 
-echo "tcp smoke: 3-process cluster converged with zero lost updates"
+# Durable restart: kill the node that owns the Target slate, restart it
+# on the same data directory, and assert the fresh process serves the
+# pre-crash count straight off its own LSM files — no events are
+# re-ingested and the replay log is off, so disk is the only possible
+# source.
+owner=""
+for i in 0 1 2; do
+    if curl -sf "127.0.0.1:$((hbase + i))/slate/U1/Target" >/dev/null 2>&1; then
+        owner=$i
+        break
+    fi
+done
+if [ -z "$owner" ]; then
+    echo "FAIL: no node owns the Target slate"; exit 1
+fi
+sleep 0.5 # let the 100ms interval flusher persist the slate
+kill "${nodepid[$owner]}"
+wait "${nodepid[$owner]}" 2>/dev/null || true
+start_node "$owner" "node$owner-restarted.log"
+
+got=""
+for _ in $(seq 1 100); do
+    got=$(curl -sf "127.0.0.1:$((hbase + owner))/slate/U1/Target" 2>/dev/null) || got=""
+    if [ "$got" = "5" ]; then
+        break
+    fi
+    sleep 0.1
+done
+if [ "$got" != "5" ]; then
+    echo "FAIL: node $owner lost the Target slate across restart (got: ${got:-none})"
+    cat "$workdir/node$owner-restarted.log"
+    exit 1
+fi
+echo "ok: node $owner restarted on its data dir and served count(Target) = 5 from disk"
+
+echo "tcp smoke: 3-process cluster converged with zero lost updates and survived a node restart"
