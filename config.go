@@ -59,6 +59,73 @@ type NetworkFileConfig struct {
 	IOTimeout    string `json:"io_timeout,omitempty"`
 	RetryBackoff string `json:"retry_backoff,omitempty"`
 	MaxBackoff   string `json:"max_backoff,omitempty"`
+	// SendRetries is the delivery attempts per remote batch including
+	// the first (default 3; 1 disables retry); SendRetryBackoff and
+	// SendRetryMaxBackoff are Go durations tuning the jittered doubling
+	// pause between attempts (defaults 5ms / 100ms).
+	SendRetries         int    `json:"send_retries,omitempty"`
+	SendRetryBackoff    string `json:"send_retry_backoff,omitempty"`
+	SendRetryMaxBackoff string `json:"send_retry_max_backoff,omitempty"`
+	// DedupWindow is the receiver-side per-sender dedup window in
+	// batches (default 4096; negative disables).
+	DedupWindow int `json:"dedup_window,omitempty"`
+	// Chaos, when present, wraps the node's transport in the seeded
+	// fault injector — a soak/testing facility, not for production.
+	Chaos *ChaosFileConfig `json:"chaos,omitempty"`
+}
+
+// ChaosFileConfig is the chaos section of a configuration file: the
+// fault-injection probabilities (0..1), the determinism seed, and the
+// scripted partition windows.
+type ChaosFileConfig struct {
+	Seed        uint64  `json:"seed,omitempty"`
+	FlakyDial   float64 `json:"flaky_dial,omitempty"`
+	DropRequest float64 `json:"drop_request,omitempty"`
+	// DropResponse injects indeterminate faults (the batch lands, the
+	// answer is lost); it is bounded per delivery by MaxFaults so the
+	// sender's retry budget always outlasts it.
+	DropResponse float64 `json:"drop_response,omitempty"`
+	Duplicate    float64 `json:"duplicate,omitempty"`
+	Delay        float64 `json:"delay,omitempty"`
+	// MaxDelay is a Go duration ("2ms") bounding injected delays.
+	MaxDelay string `json:"max_delay,omitempty"`
+	// MaxFaults caps the faults injected against one delivery's
+	// attempts (default 1).
+	MaxFaults int `json:"max_faults,omitempty"`
+	// Partitions scripts one-way partition windows: sends to Machine
+	// fail while its per-destination attempt count is in [from, to).
+	Partitions []ChaosPartitionFileConfig `json:"partitions,omitempty"`
+}
+
+// ChaosPartitionFileConfig is one scripted partition window.
+type ChaosPartitionFileConfig struct {
+	Machine string `json:"machine"`
+	From    uint64 `json:"from"`
+	To      uint64 `json:"to"`
+}
+
+// build resolves the chaos section into a ChaosConfig.
+func (c *ChaosFileConfig) build() (*ChaosConfig, error) {
+	cfg := &ChaosConfig{
+		Seed:                 c.Seed,
+		FlakyDial:            c.FlakyDial,
+		DropRequest:          c.DropRequest,
+		DropResponse:         c.DropResponse,
+		Duplicate:            c.Duplicate,
+		Delay:                c.Delay,
+		MaxFaultsPerDelivery: c.MaxFaults,
+	}
+	if c.MaxDelay != "" {
+		d, err := time.ParseDuration(c.MaxDelay)
+		if err != nil {
+			return nil, fmt.Errorf("muppet: chaos config: bad max_delay %q: %w", c.MaxDelay, err)
+		}
+		cfg.MaxDelay = d
+	}
+	for _, p := range c.Partitions {
+		cfg.Partitions = append(cfg.Partitions, ChaosPartition{Machine: p.Machine, From: p.From, To: p.To})
+	}
+	return cfg, nil
 }
 
 // BuildNetwork resolves the network section into the NetworkConfig for
@@ -80,7 +147,13 @@ func (n *NetworkFileConfig) BuildNetwork(node, listen string) (*NetworkConfig, e
 			peers[name] = a
 		}
 	}
-	cfg := &NetworkConfig{Node: node, Listen: listen, Peers: peers}
+	cfg := &NetworkConfig{
+		Node:        node,
+		Listen:      listen,
+		Peers:       peers,
+		SendRetries: n.SendRetries,
+		DedupWindow: n.DedupWindow,
+	}
 	for _, d := range []struct {
 		s   string
 		dst *time.Duration
@@ -89,6 +162,8 @@ func (n *NetworkFileConfig) BuildNetwork(node, listen string) (*NetworkConfig, e
 		{n.IOTimeout, &cfg.IOTimeout},
 		{n.RetryBackoff, &cfg.RetryBackoff},
 		{n.MaxBackoff, &cfg.MaxBackoff},
+		{n.SendRetryBackoff, &cfg.SendRetryBackoff},
+		{n.SendRetryMaxBackoff, &cfg.SendRetryMaxBackoff},
 	} {
 		if d.s == "" {
 			continue
@@ -98,6 +173,13 @@ func (n *NetworkFileConfig) BuildNetwork(node, listen string) (*NetworkConfig, e
 			return nil, fmt.Errorf("muppet: network config: bad duration %q: %w", d.s, err)
 		}
 		*d.dst = v
+	}
+	if n.Chaos != nil {
+		ch, err := n.Chaos.build()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Chaos = ch
 	}
 	return cfg, nil
 }
@@ -170,6 +252,12 @@ type RecoveryFileConfig struct {
 	// WarmLimit bounds the slates pre-loaded per rejoin (default
 	// 10000).
 	WarmLimit int `json:"warm_limit,omitempty"`
+	// SuspicionK is the consecutive exhausted-retry send failures that
+	// confirm a machine down (default 3; 1 escalates on the first).
+	SuspicionK int `json:"suspicion_k,omitempty"`
+	// SuspicionWindow is a Go duration ("10s"): a suspicion run that
+	// does not confirm within it restarts from the next failure.
+	SuspicionWindow string `json:"suspicion_window,omitempty"`
 }
 
 // StoreFileConfig is the store section of a configuration file.
@@ -314,6 +402,14 @@ func (c *AppConfig) engineConfig() (Config, error) {
 			DisableWALReplay:  r.DisableWALReplay,
 			DisableRejoinWarm: r.DisableRejoinWarm,
 			WarmLimit:         r.WarmLimit,
+			SuspicionK:        r.SuspicionK,
+		}
+		if r.SuspicionWindow != "" {
+			d, err := time.ParseDuration(r.SuspicionWindow)
+			if err != nil {
+				return Config{}, fmt.Errorf("muppet: bad suspicion_window %q: %w", r.SuspicionWindow, err)
+			}
+			cfg.Recovery.SuspicionWindow = d
 		}
 	}
 	switch e.Version {

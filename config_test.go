@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"muppet"
 )
@@ -188,7 +189,8 @@ func TestConfigRecoveryKnobs(t *testing.T) {
 	    {"kind": "update", "name": "U_count", "code": "counter", "subscribes": ["words"]}
 	  ],
 	  "engine": {"machines": 2, "replay_log": true,
-	    "recovery": {"disable_detector": true, "disable_wal_replay": true, "warm_limit": 500}}
+	    "recovery": {"disable_detector": true, "disable_wal_replay": true, "warm_limit": 500,
+	      "suspicion_k": 5, "suspicion_window": "2s"}}
 	}`))
 	if err != nil {
 		t.Fatal(err)
@@ -203,6 +205,9 @@ func TestConfigRecoveryKnobs(t *testing.T) {
 	r := ecfg.Recovery
 	if !r.DisableDetector || !r.DisableWALReplay || r.DisableRejoinWarm || r.WarmLimit != 500 {
 		t.Fatalf("recovery cfg = %+v", r)
+	}
+	if r.SuspicionK != 5 || r.SuspicionWindow != 2*time.Second {
+		t.Fatalf("suspicion knobs = %d/%v, want 5/2s", r.SuspicionK, r.SuspicionWindow)
 	}
 }
 
@@ -220,7 +225,12 @@ func TestConfigNetworkSection(t *testing.T) {
 	      "machine-01": "10.0.0.2:7070",
 	      "machine-02": "10.0.0.3:7070"
 	    },
-	    "dial_timeout": "250ms", "retry_backoff": "10ms"
+	    "dial_timeout": "250ms", "retry_backoff": "10ms",
+	    "send_retries": 4, "send_retry_backoff": "2ms", "send_retry_max_backoff": "40ms",
+	    "dedup_window": 512,
+	    "chaos": {"seed": 42, "drop_request": 0.1, "drop_response": 0.05,
+	      "duplicate": 0.02, "delay": 0.2, "max_delay": "3ms", "max_faults": 2,
+	      "partitions": [{"machine": "machine-02", "from": 10, "to": 20}]}
 	  }
 	}`))
 	if err != nil {
@@ -247,6 +257,19 @@ func TestConfigNetworkSection(t *testing.T) {
 	}
 	if n.IOTimeout != 0 || n.MaxBackoff != 0 {
 		t.Fatalf("unset durations should stay zero, got %v/%v", n.IOTimeout, n.MaxBackoff)
+	}
+	if n.SendRetries != 4 || n.SendRetryBackoff != 2*time.Millisecond ||
+		n.SendRetryMaxBackoff != 40*time.Millisecond || n.DedupWindow != 512 {
+		t.Fatalf("delivery knobs = %d/%v/%v/%d", n.SendRetries, n.SendRetryBackoff, n.SendRetryMaxBackoff, n.DedupWindow)
+	}
+	ch := n.Chaos
+	if ch == nil || ch.Seed != 42 || ch.DropRequest != 0.1 || ch.DropResponse != 0.05 ||
+		ch.Duplicate != 0.02 || ch.Delay != 0.2 || ch.MaxDelay != 3*time.Millisecond ||
+		ch.MaxFaultsPerDelivery != 2 {
+		t.Fatalf("chaos cfg = %+v", ch)
+	}
+	if len(ch.Partitions) != 1 || ch.Partitions[0] != (muppet.ChaosPartition{Machine: "machine-02", From: 10, To: 20}) {
+		t.Fatalf("chaos partitions = %+v", ch.Partitions)
 	}
 
 	// The -listen override rebinds without changing what peers dial.

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -75,6 +76,34 @@ func (m *Machine) Alive() bool { return m.alive.Load() }
 // Local reports whether this node hosts the machine's runtime state.
 func (m *Machine) Local() bool { return m.local }
 
+// RetryConfig bounds the sender-side retry loop for transient
+// transport faults. Retries apply only to errors classified
+// *TransientError (see faults.go); fatal errors — ErrMachineDown, an
+// unknown machine, a missing handler — fail immediately.
+type RetryConfig struct {
+	// Attempts is the total number of delivery attempts per batch,
+	// including the first (default 3). 1 disables retry.
+	Attempts int
+	// Backoff is the pause before the first retry, doubled per further
+	// retry with ±50% jitter (default 5ms).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 100ms).
+	MaxBackoff time.Duration
+}
+
+func (rc RetryConfig) withDefaults() RetryConfig {
+	if rc.Attempts <= 0 {
+		rc.Attempts = 3
+	}
+	if rc.Backoff <= 0 {
+		rc.Backoff = 5 * time.Millisecond
+	}
+	if rc.MaxBackoff <= 0 {
+		rc.MaxBackoff = 100 * time.Millisecond
+	}
+	return rc
+}
+
 // Config tunes a cluster node.
 type Config struct {
 	// Machines is the number of hosts, named machine-00, machine-01, ...
@@ -87,9 +116,18 @@ type Config struct {
 	// Local names the machines this node hosts. Nil means all of them
 	// (the single-process default).
 	Local []string
+	// Node names this node as a delivery sender, stamped into every
+	// remote batch's BatchID so receivers can deduplicate retries.
+	// Defaults to the first local machine name.
+	Node string
 	// Transport carries sends to machines other nodes host. Required
 	// when Local is a proper subset of the members.
 	Transport Transport
+	// Retry bounds the transient-fault retry loop on remote sends.
+	Retry RetryConfig
+	// DedupWindow is the per-sender receiver-side dedup window size in
+	// batches (default 4096). Negative disables deduplication.
+	DedupWindow int
 	// SendLatency is the simulated per-hop network latency, accumulated
 	// in the cluster's accounting meter (not slept).
 	SendLatency time.Duration
@@ -106,9 +144,64 @@ type Cluster struct {
 	inflight atomic.Value // func(delta int): remote-origin in-flight hook
 	closed   atomic.Bool
 
+	node  string // sender identity stamped into BatchIDs
+	epoch uint64 // sender incarnation (larger after restart)
+	seq   atomic.Uint64
+	retry RetryConfig
+	dedup *dedupTable // nil when deduplication is disabled
+
 	netTime atomic.Int64 // accumulated simulated network nanoseconds
 	sends   atomic.Uint64
 	recvs   atomic.Uint64 // remote-origin batches delivered locally
+
+	retries       atomic.Uint64 // re-attempts after a transient fault
+	transientErrs atomic.Uint64 // transient faults observed on sends
+	exhausted     atomic.Uint64 // batches that ran out of attempts
+	dedupHits     atomic.Uint64 // duplicate batches absorbed locally
+	indetLost     atomic.Uint64 // events lost with outcome unknown
+}
+
+// DeliveryStats counts the work the resilient delivery layer did: how
+// often remote sends hit transient faults, how many re-attempts the
+// retry loop spent, how many batches exhausted their budget anyway,
+// and how many duplicate deliveries the receiver-side window absorbed.
+type DeliveryStats struct {
+	// Sequenced is the number of sequenced remote batches issued.
+	Sequenced uint64
+	// TransientErrors counts transient transport faults observed.
+	TransientErrors uint64
+	// Retries counts re-attempts made after a transient fault.
+	Retries uint64
+	// RetryExhausted counts batches whose attempts all failed.
+	RetryExhausted uint64
+	// IndeterminateLost counts events in exhausted batches where at
+	// least one attempt failed indeterminately (the request went out
+	// whole but no outcome came back): the sender reports these lost,
+	// but the receiver may have applied them. This is the exact upper
+	// bound on how far the loss log can overcount — every other loss
+	// is determinate.
+	IndeterminateLost uint64
+	// DedupHits counts duplicate remote-origin batches absorbed by the
+	// receiver-side window (retries and chaos duplicates).
+	DedupHits uint64
+	// DedupEntries is the current resident size of the dedup window.
+	DedupEntries int
+}
+
+// DeliveryStats reports the node's resilient-delivery counters.
+func (c *Cluster) DeliveryStats() DeliveryStats {
+	s := DeliveryStats{
+		Sequenced:         c.seq.Load(),
+		TransientErrors:   c.transientErrs.Load(),
+		Retries:           c.retries.Load(),
+		RetryExhausted:    c.exhausted.Load(),
+		DedupHits:         c.dedupHits.Load(),
+		IndeterminateLost: c.indetLost.Load(),
+	}
+	if c.dedup != nil {
+		s.DedupEntries = c.dedup.size()
+	}
+	return s
 }
 
 // New builds a cluster node. With no Names/Local/Transport it is the
@@ -136,7 +229,20 @@ func New(cfg Config) *Cluster {
 			localSet[n] = true
 		}
 	}
-	c := &Cluster{cfg: cfg, tr: cfg.Transport, machines: make(map[string]*Machine, len(names))}
+	c := &Cluster{
+		cfg:      cfg,
+		tr:       cfg.Transport,
+		machines: make(map[string]*Machine, len(names)),
+		retry:    cfg.Retry.withDefaults(),
+		epoch:    uint64(time.Now().UnixNano()),
+	}
+	window := cfg.DedupWindow
+	if window == 0 {
+		window = 4096
+	}
+	if window > 0 {
+		c.dedup = newDedupTable(window)
+	}
 	remote := 0
 	for _, name := range names {
 		m := &Machine{name: name, local: localSet[name]}
@@ -153,9 +259,20 @@ func New(cfg Config) *Cluster {
 	if remote > 0 && c.tr == nil {
 		panic("cluster: remote machines require a transport")
 	}
+	c.node = cfg.Node
+	if c.node == "" {
+		if locals := c.LocalNames(); len(locals) > 0 {
+			c.node = locals[0]
+		} else {
+			c.node = "node"
+		}
+	}
 	c.master = newMaster(c)
 	return c
 }
+
+// Node returns this node's sender identity.
+func (c *Cluster) Node() string { return c.node }
 
 // Master returns the node's master replica.
 func (c *Cluster) Master() *Master { return c.master }
@@ -257,19 +374,78 @@ func (c *Cluster) SendBatch(machine string, ds []Delivery) (accepted int, reject
 	if m.local {
 		return c.deliverBatch(m, ds)
 	}
+	return c.sendRemote(m, ds)
+}
+
+// sendRemote drives the retry loop for one remote batch. The batch is
+// stamped with a fresh BatchID once; every attempt reuses it, so the
+// receiving node's dedup window collapses retries whose earlier
+// attempt did land (a lost response, a chaos duplicate) into a single
+// application. Only transient faults are retried; a fatal answer —
+// the peer reporting its machine crashed — records the down
+// presumption and fails immediately, preserving detect-on-send.
+func (c *Cluster) sendRemote(m *Machine, ds []Delivery) (int, []BatchReject, error) {
 	if !m.alive.Load() {
 		return 0, nil, ErrMachineDown
 	}
-	accepted, rejects, err = c.tr.SendBatch(machine, ds)
-	if errors.Is(err, ErrMachineDown) {
-		m.alive.Store(false)
+	id := BatchID{Sender: c.node, Epoch: c.epoch, Seq: c.seq.Add(1)}
+	backoff := c.retry.Backoff
+	var lastErr error
+	indeterminate := false
+	for attempt := 0; attempt < c.retry.Attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			time.Sleep(jitterBackoff(backoff))
+			backoff *= 2
+			if backoff > c.retry.MaxBackoff {
+				backoff = c.retry.MaxBackoff
+			}
+			if !m.alive.Load() {
+				// Someone (the recovery detector, a concurrent fatal
+				// send) declared the machine down mid-retry.
+				return 0, nil, ErrMachineDown
+			}
+		}
+		accepted, rejects, err := c.tr.SendBatch(m.name, id, ds)
+		if err == nil {
+			return accepted, rejects, nil
+		}
+		if !IsTransient(err) {
+			if errors.Is(err, ErrMachineDown) {
+				m.alive.Store(false)
+			}
+			return 0, nil, err
+		}
+		c.transientErrs.Add(1)
+		if IsIndeterminate(err) {
+			indeterminate = true
+		}
+		lastErr = err
 	}
-	return accepted, rejects, err
+	c.exhausted.Add(1)
+	if indeterminate {
+		// Some attempt got a whole request out without an answer: the
+		// caller will count these events lost, but the receiver may
+		// have applied them. Track the overcount bound exactly.
+		c.indetLost.Add(uint64(len(ds)))
+	}
+	return 0, nil, lastErr
+}
+
+// jitterBackoff spreads a retry pause over [d/2, 3d/2) so concurrent
+// senders retrying against the same struggling peer do not stampede in
+// lockstep.
+func jitterBackoff(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
 }
 
 // Send delivers an event to the named worker on the destination
 // machine, charging one network hop. It fails immediately with
-// ErrMachineDown if the destination is crashed or unreachable — the
+// ErrMachineDown if the destination is crashed — or, after the
+// transient-fault retry budget is spent, unreachable — the
 // failure-detection signal of Section 4.3.
 func (c *Cluster) Send(machine, worker string, e event.Event) error {
 	m := c.machines[machine]
@@ -281,14 +457,14 @@ func (c *Cluster) Send(machine, worker string, e event.Event) error {
 	if m.local {
 		return c.deliverOne(m, worker, e)
 	}
-	if !m.alive.Load() {
-		return ErrMachineDown
+	_, rejects, err := c.sendRemote(m, []Delivery{{Worker: worker, Ev: e}})
+	if err != nil {
+		return err
 	}
-	err := c.tr.Send(machine, worker, e)
-	if errors.Is(err, ErrMachineDown) {
-		m.alive.Store(false)
+	if len(rejects) > 0 {
+		return rejects[0].Err
 	}
-	return err
+	return nil
 }
 
 // deliverOne runs the local delivery path for one event: liveness
@@ -340,18 +516,33 @@ func (c *Cluster) deliverBatch(m *Machine, ds []Delivery) (accepted int, rejects
 
 // DeliverLocal is the receiving half of a transport: it delivers a
 // remote-origin batch to a machine this node hosts, with the same
-// return contract as SendBatch. Before the batch touches a queue the
-// remote-inflight hook is charged for every delivery, and bounced
-// deliveries (rejects, or the whole batch on error) are credited back,
-// so the hosting engine's in-flight tracker covers exactly the events
-// that landed.
-func (c *Cluster) DeliverLocal(machine string, ds []Delivery) (accepted int, rejects []BatchReject, err error) {
+// return contract as SendBatch. Sequenced batches (id.Seq != 0) are
+// deduplicated first — a batch already applied under the same BatchID
+// returns its original outcome without touching a queue, which is what
+// turns the wire's at-least-once retries into exactly-once at the
+// queue boundary. The dedup check runs before the remote-inflight hook
+// so absorbed duplicates are never charged. For the batch that does
+// land, the hook is charged for every delivery and bounced deliveries
+// (rejects, or the whole batch on error) are credited back, so the
+// hosting engine's in-flight tracker covers exactly the events that
+// landed.
+func (c *Cluster) DeliverLocal(machine string, id BatchID, ds []Delivery) (accepted int, rejects []BatchReject, err error) {
 	m := c.machines[machine]
 	if m == nil || !m.local {
 		return 0, nil, fmt.Errorf("cluster: machine %s is not hosted here", machine)
 	}
 	if len(ds) == 0 {
 		return 0, nil, nil
+	}
+	var entry *dedupEntry
+	if c.dedup != nil && id.sequenced() {
+		e, dup := c.dedup.begin(id)
+		if dup {
+			<-e.done
+			c.dedupHits.Add(1)
+			return e.accepted, e.rejects, e.err
+		}
+		entry = e
 	}
 	c.recvs.Add(1)
 	hook, _ := c.inflight.Load().(func(int))
@@ -362,25 +553,10 @@ func (c *Cluster) DeliverLocal(machine string, ds []Delivery) (accepted int, rej
 	if hook != nil && len(ds)-accepted > 0 {
 		hook(-(len(ds) - accepted))
 	}
+	if entry != nil {
+		entry.commit(accepted, rejects, err)
+	}
 	return accepted, rejects, err
-}
-
-// DeliverLocalOne is the single-event counterpart of DeliverLocal.
-func (c *Cluster) DeliverLocalOne(machine, worker string, ev event.Event) error {
-	m := c.machines[machine]
-	if m == nil || !m.local {
-		return fmt.Errorf("cluster: machine %s is not hosted here", machine)
-	}
-	c.recvs.Add(1)
-	hook, _ := c.inflight.Load().(func(int))
-	if hook != nil {
-		hook(1)
-	}
-	err := c.deliverOne(m, worker, ev)
-	if err != nil && hook != nil {
-		hook(-1)
-	}
-	return err
 }
 
 // Crash takes a machine down. For a local machine its queues' contents

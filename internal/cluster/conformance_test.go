@@ -3,6 +3,8 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -276,23 +278,38 @@ func TestConformanceMachineDown(t *testing.T) {
 	rec := &recorder{}
 	forEachTransport(t, rec.install, func(t *testing.T, fx *conformanceFixture) {
 		fx.Kill()
-		// The first send may race connection teardown, but within a
-		// bounded window every transport must settle on ErrMachineDown.
+		// A dead destination surfaces one of two ways: the hosting node
+		// answers authoritatively (ErrMachineDown, detect-on-send), or
+		// the node itself is unreachable and every attempt fails with a
+		// transient fault — never success, never a wedge. The first send
+		// may race connection teardown, so allow a bounded window.
 		var err error
+		sawDown := false
 		for i := 0; i < 100; i++ {
 			err = fx.Sender.Send("machine-01", "w", event.Event{Key: "k"})
 			if errors.Is(err, ErrMachineDown) {
+				sawDown = true
 				break
+			}
+			if err != nil && !IsTransient(err) {
+				t.Fatalf("send to dead machine: err = %v, want ErrMachineDown or a transient fault", err)
 			}
 			time.Sleep(time.Millisecond)
 		}
-		if !errors.Is(err, ErrMachineDown) {
-			t.Fatalf("send to dead machine: err = %v, want ErrMachineDown", err)
+		if err == nil {
+			t.Fatal("send to dead machine succeeded")
+		}
+		if !sawDown {
+			// Unreachable node: escalation is the recovery detector's
+			// job — K consecutive transient failures confirm suspicion.
+			// Model the confirmation the detector would make.
+			fx.Sender.Crash("machine-01")
 		}
 		if _, _, err := fx.Sender.SendBatch("machine-01", []Delivery{{Worker: "w"}}); !errors.Is(err, ErrMachineDown) {
 			t.Fatalf("batch to dead machine: err = %v, want ErrMachineDown", err)
 		}
-		// Detect-on-send flipped the sender's presumption.
+		// The presumption is flipped — by detect-on-send or by the
+		// modeled suspicion confirmation — and sends now fail fast.
 		if fx.Sender.Machine("machine-01").Alive() {
 			t.Fatal("sender still presumes the dead machine alive")
 		}
@@ -307,7 +324,9 @@ func TestConformanceReconnect(t *testing.T) {
 		}
 		fx.Kill()
 		for i := 0; i < 100; i++ {
-			if errors.Is(fx.Sender.Send("machine-01", "w", event.Event{}), ErrMachineDown) {
+			// Any failure signal — authoritative or transient — shows the
+			// kill has landed.
+			if fx.Sender.Send("machine-01", "w", event.Event{}) != nil {
 				break
 			}
 			time.Sleep(time.Millisecond)
@@ -331,6 +350,59 @@ func TestConformanceReconnect(t *testing.T) {
 			t.Fatalf("post-restart delivery missing; recorded %d", len(got))
 		}
 	})
+}
+
+// A hung peer — a listener that accepts connections and reads requests
+// but never answers — must surface as a transient IO-timeout fault
+// within the configured deadline, never wedge the sender. (Machine-down
+// is then the suspicion window's call, not the transport's.)
+func TestConformanceHungPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, conn) // swallow requests, answer nothing
+		}
+	}()
+
+	tr, err := NewTCP(TCPConfig{
+		Peers:     map[string]string{"machine-01": ln.Addr().String()},
+		IOTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{
+		Names:     conformanceNames,
+		Local:     []string{"machine-00"},
+		Transport: tr,
+		Retry:     RetryConfig{Attempts: 2, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	tr.Serve(c)
+	defer c.Close()
+
+	start := time.Now()
+	err = c.Send("machine-01", "w", event.Event{Key: "k"})
+	elapsed := time.Since(start)
+	if !IsTransient(err) {
+		t.Fatalf("hung peer: err = %v, want a transient IO-timeout fault", err)
+	}
+	// Two attempts, each bounded by the 50ms IO deadline, plus backoff:
+	// well under a second. Anything longer means the deadline is not
+	// being armed and the sender would wedge on a real hung peer.
+	if elapsed > 5*time.Second {
+		t.Fatalf("hung peer held the sender for %v", elapsed)
+	}
+	if !c.Machine("machine-01").Alive() {
+		t.Fatal("transport decided machine-down on its own; that escalation belongs to the suspicion window")
+	}
 }
 
 func TestConformanceConcurrentSenders(t *testing.T) {

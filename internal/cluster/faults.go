@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transient-vs-fatal fault taxonomy. A send can fail in two very
+// different ways, and PR 9 stops conflating them:
+//
+//   - Fatal: the destination is authoritatively down — the hosting node
+//     answered that the machine is crashed (statusMachineDown), the
+//     local liveness presumption already says so, or the transport has
+//     been closed. These surface as ErrMachineDown and feed
+//     detect-on-send recovery immediately.
+//
+//   - Transient: the network blipped — a refused or timed-out dial, a
+//     connection reset mid-exchange, an IO timeout against a hung peer,
+//     a response that never arrived. The destination may be perfectly
+//     healthy. These surface as *TransientError; the cluster's bounded
+//     retry re-attempts them (safe under the delivery sequence-number
+//     dedup window), and only a run of K consecutive exhausted retries
+//     escalates to machine-down through the recovery detector's
+//     suspicion state.
+//
+// Chaos injection produces exactly the transient class, which is what
+// makes a seeded fault schedule survivable: every injected fault is, by
+// construction, retryable.
+
+// TransientError wraps a transport fault that is plausibly temporary: a
+// failed dial, a broken or timed-out exchange, an injected chaos fault.
+// The delivery outcome is unknown at the sender (the request may or may
+// not have reached the peer), which is why retries of a sequenced batch
+// are deduplicated at the receiver rather than assumed safe.
+type TransientError struct {
+	// Op names the failed step ("dial", "exchange", "backoff",
+	// "chaos-drop", ...), for diagnostics and chaos accounting.
+	Op string
+	// Err is the underlying cause; may be nil for injected faults.
+	Err error
+	// Indeterminate marks a fault observed only after the request was
+	// fully handed to the network: the peer may have applied the batch
+	// even though no outcome came back (a lost response, a read
+	// timeout, a garbled reply). Faults before that point — dial
+	// failures, write errors, dropped requests — are determinate: a
+	// partial frame is never applied, so the batch certainly did not
+	// land. The retry loop uses this to tell exact losses from
+	// outcome-unknown losses when the budget exhausts.
+	Indeterminate bool
+}
+
+// Error formats the fault.
+func (e *TransientError) Error() string {
+	suffix := ""
+	if e.Indeterminate {
+		suffix = ", outcome unknown"
+	}
+	if e.Err == nil {
+		return fmt.Sprintf("cluster: transient network fault (%s%s)", e.Op, suffix)
+	}
+	return fmt.Sprintf("cluster: transient network fault (%s%s): %v", e.Op, suffix, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is (or wraps) a transient network
+// fault — the class the cluster retries and the recovery detector
+// counts as suspicion rather than proof of death.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// IsIndeterminate reports whether err is a transient fault whose
+// delivery outcome is unknown at the sender (the request was fully
+// sent; the answer never came back).
+func IsIndeterminate(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te) && te.Indeterminate
+}
+
+// transientErr builds a determinate TransientError for one failed
+// transport step (the request certainly did not land).
+func transientErr(op string, err error) error {
+	return &TransientError{Op: op, Err: err}
+}
+
+// transientErrIndet builds an indeterminate TransientError: the
+// request went out whole, so the peer may have applied it.
+func transientErrIndet(op string, err error) error {
+	return &TransientError{Op: op, Err: err, Indeterminate: true}
+}

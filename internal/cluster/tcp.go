@@ -11,7 +11,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"muppet/internal/event"
 	"muppet/internal/slate"
 )
 
@@ -32,8 +31,8 @@ type TCPConfig struct {
 	// RetryBackoff is the initial redial delay after a failed dial or
 	// broken connection; it doubles per consecutive failure up to
 	// MaxBackoff. While a peer is inside its backoff window sends fail
-	// fast with ErrMachineDown, mirroring the in-process behavior of
-	// sends to a crashed machine. Default 50ms.
+	// fast with a transient "backoff" fault rather than waiting out a
+	// dial that is known to be hopeless. Default 50ms.
 	RetryBackoff time.Duration
 	// MaxBackoff caps the redial delay. Default 2s.
 	MaxBackoff time.Duration
@@ -236,26 +235,17 @@ func (t *TCP) peer(machine string) *tcpPeer {
 	return t.peers[machine]
 }
 
-// Send delivers one event as a single-delivery exchange.
-func (t *TCP) Send(machine, worker string, ev event.Event) error {
-	one := [1]Delivery{{Worker: worker, Ev: ev}}
-	_, rejects, err := t.SendBatch(machine, one[:])
-	if err != nil {
-		return err
-	}
-	if len(rejects) > 0 {
-		return rejects[0].Err
-	}
-	return nil
-}
-
 // SendBatch delivers a machine-addressed batch in one request/response
 // exchange on the peer's pooled connection: one frame out, one frame
 // back, one flush — PR 3's batch amortization carried across the
-// socket. Dial failures, broken connections, and exchange timeouts all
+// socket. Dial failures, broken connections, and exchange timeouts
 // close the connection, arm the redial backoff, and surface as
+// *TransientError — the peer process may be perfectly healthy behind a
+// blip, so the verdict belongs to the cluster's retry loop and the
+// recovery detector's suspicion window. Only an authoritative answer
+// from the peer (statusMachineDown) or a closed transport surfaces as
 // ErrMachineDown.
-func (t *TCP) SendBatch(machine string, ds []Delivery) (int, []BatchReject, error) {
+func (t *TCP) SendBatch(machine string, id BatchID, ds []Delivery) (int, []BatchReject, error) {
 	if t.closed.Load() {
 		return 0, nil, ErrMachineDown
 	}
@@ -270,17 +260,23 @@ func (t *TCP) SendBatch(machine string, ds []Delivery) (int, []BatchReject, erro
 		return 0, nil, err
 	}
 
-	p.plain = encodeRequest(p.plain[:0], machine, ds)
-	resp, err := p.exchangeLocked(t)
+	p.plain = encodeRequest(p.plain[:0], id, machine, ds)
+	resp, sent, err := p.exchangeLocked(t)
 	if err != nil {
 		p.failLocked(t)
-		return 0, nil, ErrMachineDown
+		if sent {
+			// The request frame was fully flushed before the exchange
+			// broke: the peer may have applied the batch.
+			return 0, nil, transientErrIndet("exchange", err)
+		}
+		return 0, nil, transientErr("exchange", err)
 	}
 	status, accepted, rejects, err := decodeResponse(resp)
 	if err != nil {
-		// The stream is out of protocol sync; drop the connection.
+		// The stream is out of protocol sync; drop the connection. The
+		// request did land, so the outcome is unknown.
 		p.failLocked(t)
-		return 0, nil, ErrMachineDown
+		return 0, nil, transientErrIndet("protocol", err)
 	}
 	if serr := statusErr(status, machine); serr != nil {
 		// The peer answered: the connection is healthy, the machine
@@ -297,13 +293,13 @@ func (p *tcpPeer) connectLocked(t *TCP) error {
 		return nil
 	}
 	if !p.next.IsZero() && time.Now().Before(p.next) {
-		return ErrMachineDown
+		return transientErr("backoff", nil)
 	}
 	conn, err := net.DialTimeout("tcp", p.addr, t.cfg.DialTimeout)
 	if err != nil {
 		t.dialErrors.Add(1)
 		p.armBackoffLocked(t)
-		return ErrMachineDown
+		return transientErr("dial", err)
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
@@ -319,20 +315,30 @@ func (p *tcpPeer) connectLocked(t *TCP) error {
 
 // exchangeLocked writes the staged plain request as one frame and
 // reads the response frame.
-func (p *tcpPeer) exchangeLocked(t *TCP) ([]byte, error) {
-	p.conn.SetDeadline(time.Now().Add(t.cfg.IOTimeout))
+func (p *tcpPeer) exchangeLocked(t *TCP) (resp []byte, sent bool, err error) {
+	// sent flips once the request frame is fully flushed: from that
+	// point a failure is indeterminate — a whole frame went out, so the
+	// peer may apply the batch even if no answer comes back. A write or
+	// flush failure leaves at most a partial frame, which the receiver
+	// can never apply.
+	if err := p.conn.SetDeadline(time.Now().Add(t.cfg.IOTimeout)); err != nil {
+		// A conn that cannot take a deadline must not be exchanged on —
+		// without the IO timeout a hung peer would wedge the sender.
+		return nil, false, fmt.Errorf("set deadline: %w", err)
+	}
 	p.body = slate.AppendEncode(p.body[:0], p.plain)
 	if err := writeFrame(p.bw, p.body); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	t.framesOut.Add(1)
 	t.bytesOut.Add(uint64(len(p.body)))
 	body, err := readFrameInto(p.br, p.body[:0], t.cfg.MaxFrame)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	p.body = body
-	return slate.Decode(body)
+	dec, err := slate.Decode(body)
+	return dec, true, err
 }
 
 // failLocked tears down the connection and arms the redial backoff.
@@ -411,7 +417,7 @@ func (t *TCP) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		machine, ds, err := decodeRequest(req)
+		id, machine, ds, err := decodeRequest(req)
 		if err != nil {
 			return
 		}
@@ -421,7 +427,7 @@ func (t *TCP) serveConn(conn net.Conn) {
 		if clu := t.clu.Load(); clu == nil {
 			status = statusUnknownMachine
 		} else {
-			accepted, rejects, err = clu.DeliverLocal(machine, ds)
+			accepted, rejects, err = clu.DeliverLocal(machine, id, ds)
 			status = statusOf(err)
 		}
 		plain = encodeResponse(plain[:0], status, accepted, rejects)

@@ -76,16 +76,20 @@ func TestTCPBackoffFailsFast(t *testing.T) {
 	tr.Serve(c)
 	defer c.Close()
 
-	if err := c.Send("machine-01", "w", event.Event{}); !errors.Is(err, ErrMachineDown) {
-		t.Fatalf("dial failure: err = %v, want ErrMachineDown", err)
+	if err := c.Send("machine-01", "w", event.Event{}); !IsTransient(err) {
+		t.Fatalf("dial failure: err = %v, want a transient fault", err)
 	}
-	// Detect-on-send marked the peer down; Revive re-arms sending and
-	// resets the backoff so the next attempt dials immediately instead
-	// of failing fast for an hour.
+	// A failed dial is suspicion, not proof of death: the peer stays
+	// presumed alive and the verdict belongs to the recovery detector.
+	if !c.Machine("machine-01").Alive() {
+		t.Fatal("one exhausted retry budget must not flip the liveness presumption")
+	}
+	// ResetPeer (via Revive) clears the armed backoff so the next
+	// attempt dials immediately instead of failing fast for an hour.
 	c.Revive("machine-01")
 	start := time.Now()
-	if err := c.Send("machine-01", "w", event.Event{}); !errors.Is(err, ErrMachineDown) {
-		t.Fatalf("second dial: err = %v, want ErrMachineDown", err)
+	if err := c.Send("machine-01", "w", event.Event{}); !IsTransient(err) {
+		t.Fatalf("second dial: err = %v, want a transient fault", err)
 	}
 	if time.Since(start) > 30*time.Second {
 		t.Fatal("send blocked instead of failing within the dial timeout")
@@ -149,12 +153,12 @@ func TestTCPNoPeerAddress(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Close()
-	if _, _, err := tr.SendBatch("machine-09", []Delivery{{Worker: "w"}}); err == nil || errors.Is(err, ErrMachineDown) {
-		t.Fatalf("unmapped peer: err = %v, want a configuration error distinct from ErrMachineDown", err)
+	if _, _, err := tr.SendBatch("machine-09", BatchID{}, []Delivery{{Worker: "w"}}); err == nil || errors.Is(err, ErrMachineDown) || IsTransient(err) {
+		t.Fatalf("unmapped peer: err = %v, want a configuration error distinct from network faults", err)
 	}
 	tr.AddPeer("machine-09", "127.0.0.1:1") // now mapped (to a dead port)
-	if _, _, err := tr.SendBatch("machine-09", []Delivery{{Worker: "w"}}); !errors.Is(err, ErrMachineDown) {
-		t.Fatalf("mapped dead peer: err = %v, want ErrMachineDown", err)
+	if _, _, err := tr.SendBatch("machine-09", BatchID{}, []Delivery{{Worker: "w"}}); !IsTransient(err) {
+		t.Fatalf("mapped dead peer: err = %v, want a transient dial fault", err)
 	}
 }
 
@@ -170,7 +174,7 @@ func TestTCPSendAfterClose(t *testing.T) {
 	if err := trA.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
-	if _, _, err := trA.SendBatch("machine-01", []Delivery{{Worker: "w"}}); !errors.Is(err, ErrMachineDown) {
+	if _, _, err := trA.SendBatch("machine-01", BatchID{}, []Delivery{{Worker: "w"}}); !errors.Is(err, ErrMachineDown) {
 		t.Fatalf("send after Close: err = %v, want ErrMachineDown", err)
 	}
 }

@@ -3,35 +3,59 @@ package cluster
 import (
 	"fmt"
 	"sync"
-
-	"muppet/internal/event"
 )
+
+// BatchID identifies one sequenced batch send for the lifetime of a
+// sender incarnation. The sending node stamps every remote batch with
+// its own node name, an epoch chosen at construction, and a
+// monotonically increasing sequence number; retries of the same batch
+// reuse the same BatchID, which is what lets the receiving node
+// deduplicate them (see dedupTable). A restarted sender picks a larger
+// epoch, so its restarted seq counter cannot collide with its previous
+// incarnation's window.
+type BatchID struct {
+	// Sender is the sending node's name (Config.Node).
+	Sender string
+	// Epoch distinguishes sender incarnations; larger is newer.
+	Epoch uint64
+	// Seq orders batches within the incarnation, starting at 1. Zero
+	// means unsequenced: the delivery bypasses the dedup window (used by
+	// transports or tests that do not retry).
+	Seq uint64
+}
+
+// sequenced reports whether the ID participates in receiver dedup.
+func (id BatchID) sequenced() bool { return id.Sender != "" && id.Seq != 0 }
 
 // Transport carries sends addressed to machines hosted by other
 // cluster nodes. The Cluster routes every send to a machine it hosts
 // itself (a "local" machine) directly to the registered handlers;
 // sends to any other member go through the configured Transport.
 //
-// Implementations must preserve the cluster's failure semantics: a
-// destination that cannot be reached — dead process, refused dial,
-// broken connection, or a peer that reports its machine crashed —
-// surfaces as ErrMachineDown at the sender, because detect-on-send is
-// how Muppet notices failures (Section 4.3). Per-delivery rejections
-// (full or closed destination queues) must round-trip so that
+// Implementations must distinguish the two failure classes the cluster
+// runs on: a destination that authoritatively reports its machine
+// crashed surfaces as ErrMachineDown (detect-on-send, Section 4.3),
+// while a destination that merely cannot be reached right now — a
+// refused or timed-out dial, a broken connection, a hung peer —
+// surfaces as *TransientError so the cluster's bounded retry (and,
+// past that, the recovery detector's suspicion window) can decide
+// whether it is a blip or a death. Per-delivery rejections (full or
+// closed destination queues) must round-trip so that
 // errors.Is(err, queue.ErrOverflow) and errors.Is(err, queue.ErrClosed)
 // hold at the sender exactly as they would in process.
 //
-// Implementations must be safe for concurrent use; the engines send
-// from many threads at once.
+// The BatchID passed to SendBatch must be carried to the receiving
+// node verbatim (the TCP transport encodes it into the request frame)
+// and handed to DeliverLocal there, so retried and duplicated frames
+// deduplicate. Implementations must be safe for concurrent use; the
+// engines send from many threads at once.
 type Transport interface {
-	// Send delivers one event to a worker on a remote machine.
-	Send(machine, worker string, ev event.Event) error
 	// SendBatch delivers a machine-addressed batch in one exchange,
 	// returning the accepted count and per-delivery rejections, with
 	// the same contract as Cluster.SendBatch.
-	SendBatch(machine string, ds []Delivery) (accepted int, rejects []BatchReject, err error)
-	// Name identifies the implementation ("in-process", "tcp") for
-	// status reporting.
+	SendBatch(machine string, id BatchID, ds []Delivery) (accepted int, rejects []BatchReject, err error)
+	// Name identifies the implementation ("in-process", "tcp", "chaos")
+	// for status reporting.
 	Name() string
 	// Close releases the transport's resources. Sends after Close fail
 	// with ErrMachineDown.
@@ -45,12 +69,51 @@ type peerResetter interface {
 	ResetPeer(machine string)
 }
 
+// wrapper is implemented by transports that decorate another transport
+// (Chaos); Unwrap helpers reach through it for inner surfaces.
+type wrapper interface {
+	Inner() Transport
+}
+
+// UnwrapTCP digs through transport wrappers for the TCP transport
+// underneath, or returns nil. Status surfaces use it so wire counters
+// and the listen address stay visible behind a chaos layer.
+func UnwrapTCP(tr Transport) *TCP {
+	for tr != nil {
+		if t, ok := tr.(*TCP); ok {
+			return t
+		}
+		w, ok := tr.(wrapper)
+		if !ok {
+			return nil
+		}
+		tr = w.Inner()
+	}
+	return nil
+}
+
+// UnwrapChaos digs through transport wrappers for the chaos layer, or
+// returns nil.
+func UnwrapChaos(tr Transport) *Chaos {
+	for tr != nil {
+		if c, ok := tr.(*Chaos); ok {
+			return c
+		}
+		w, ok := tr.(wrapper)
+		if !ok {
+			return nil
+		}
+		tr = w.Inner()
+	}
+	return nil
+}
+
 // InProc is the in-process Transport: it links multiple Cluster nodes
 // living in one OS process by direct function call. It is the
 // reference implementation the TCP transport is held to — same
-// ErrMachineDown semantics, same per-delivery rejection fidelity, no
-// wire in between — and what the transport conformance suite uses to
-// separate topology bugs from wire-format bugs.
+// failure and dedup semantics, same per-delivery rejection fidelity,
+// no wire in between — and what the transport conformance suite uses
+// to separate topology bugs from wire-format bugs.
 type InProc struct {
 	mu    sync.RWMutex
 	nodes map[string]*Cluster // machine name -> hosting cluster node
@@ -78,22 +141,13 @@ func (t *InProc) host(machine string) *Cluster {
 	return t.nodes[machine]
 }
 
-// Send delivers one event to the node hosting the machine.
-func (t *InProc) Send(machine, worker string, ev event.Event) error {
-	host := t.host(machine)
-	if host == nil {
-		return fmt.Errorf("cluster: no node hosts machine %s", machine)
-	}
-	return host.DeliverLocalOne(machine, worker, ev)
-}
-
 // SendBatch delivers a batch to the node hosting the machine.
-func (t *InProc) SendBatch(machine string, ds []Delivery) (int, []BatchReject, error) {
+func (t *InProc) SendBatch(machine string, id BatchID, ds []Delivery) (int, []BatchReject, error) {
 	host := t.host(machine)
 	if host == nil {
 		return 0, nil, fmt.Errorf("cluster: no node hosts machine %s", machine)
 	}
-	return host.DeliverLocal(machine, ds)
+	return host.DeliverLocal(machine, id, ds)
 }
 
 // Name identifies the transport.

@@ -15,7 +15,8 @@ import (
 //	frame    = u32 big-endian length ++ body
 //	body     = slate.Encode(plain)            (PR 4 framed pooled codec)
 //	plain    = request | response
-//	request  = 'Q' ++ str(machine) ++ uvarint(n) ++ n*delivery
+//	request  = 'Q' ++ str(sender) ++ uvarint(epoch) ++ uvarint(seq)
+//	           ++ str(machine) ++ uvarint(n) ++ n*delivery
 //	delivery = str(worker) ++ str(stream) ++ varint(ts) ++ uvarint(seq)
 //	           ++ str(key) ++ blob(value) ++ varint(ingress)
 //	response = 'R' ++ u8 status ++ uvarint(accepted)
@@ -197,9 +198,13 @@ func (r *wireReader) blob() []byte {
 }
 
 // encodeRequest appends the plain (pre-codec) request for a batch
-// addressed to machine.
-func encodeRequest(dst []byte, machine string, ds []Delivery) []byte {
+// addressed to machine. The BatchID rides in front of the address so
+// the receiving node can deduplicate retried and duplicated frames.
+func encodeRequest(dst []byte, id BatchID, machine string, ds []Delivery) []byte {
 	dst = append(dst, wireReq)
+	dst = appendStr(dst, id.Sender)
+	dst = binary.AppendUvarint(dst, id.Epoch)
+	dst = binary.AppendUvarint(dst, id.Seq)
 	dst = appendStr(dst, machine)
 	dst = binary.AppendUvarint(dst, uint64(len(ds)))
 	for i := range ds {
@@ -217,18 +222,21 @@ func encodeRequest(dst []byte, machine string, ds []Delivery) []byte {
 
 // decodeRequest parses a plain request. The deliveries' Tag fields are
 // their batch positions, so server-side rejects report the right index.
-func decodeRequest(p []byte) (machine string, ds []Delivery, err error) {
+func decodeRequest(p []byte) (id BatchID, machine string, ds []Delivery, err error) {
 	r := wireReader{p: p}
 	if k := r.byte(); r.err == nil && k != wireReq {
-		return "", nil, fmt.Errorf("cluster: unexpected wire kind %q", k)
+		return BatchID{}, "", nil, fmt.Errorf("cluster: unexpected wire kind %q", k)
 	}
+	id.Sender = r.str()
+	id.Epoch = r.uvarint()
+	id.Seq = r.uvarint()
 	machine = r.str()
 	n := r.uvarint()
 	if r.err != nil {
-		return "", nil, r.err
+		return BatchID{}, "", nil, r.err
 	}
 	if n > uint64(len(r.p)) { // each delivery takes >= 1 byte
-		return "", nil, errWireTruncated
+		return BatchID{}, "", nil, errWireTruncated
 	}
 	ds = make([]Delivery, 0, n)
 	for i := uint64(0); i < n; i++ {
@@ -242,11 +250,11 @@ func decodeRequest(p []byte) (machine string, ds []Delivery, err error) {
 		d.Ev.Ingress = r.varint()
 		d.Tag = int(i)
 		if r.err != nil {
-			return "", nil, r.err
+			return BatchID{}, "", nil, r.err
 		}
 		ds = append(ds, d)
 	}
-	return machine, ds, nil
+	return id, machine, ds, nil
 }
 
 // encodeResponse appends the plain response for one exchange.

@@ -14,10 +14,14 @@ func TestWireRequestRoundTrip(t *testing.T) {
 		{Worker: "U2#1", Ev: event.Event{Stream: "S2", TS: -5, Key: "nil-value"}},
 		{Worker: "", Ev: event.Event{Key: "", Value: []byte{}}}, // empty strings, empty value
 	}
-	p := encodeRequest(nil, "machine-03", ds)
-	machine, got, err := decodeRequest(p)
+	id := BatchID{Sender: "node-a", Epoch: 77, Seq: 12345}
+	p := encodeRequest(nil, id, "machine-03", ds)
+	gotID, machine, got, err := decodeRequest(p)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if gotID != id {
+		t.Fatalf("batch id = %+v, want %+v", gotID, id)
 	}
 	if machine != "machine-03" {
 		t.Fatalf("machine = %q", machine)
@@ -80,9 +84,9 @@ func TestWireStatusRoundTrip(t *testing.T) {
 
 func TestWireTruncationSafety(t *testing.T) {
 	ds := []Delivery{{Worker: "w", Ev: event.Event{Stream: "S1", Key: "k", Value: []byte("abc")}}}
-	req := encodeRequest(nil, "machine-00", ds)
+	req := encodeRequest(nil, BatchID{Sender: "node-a", Epoch: 1, Seq: 2}, "machine-00", ds)
 	for cut := 0; cut < len(req); cut++ {
-		if _, _, err := decodeRequest(req[:cut]); err == nil {
+		if _, _, _, err := decodeRequest(req[:cut]); err == nil {
 			t.Fatalf("decodeRequest accepted a %d/%d-byte prefix", cut, len(req))
 		}
 	}
@@ -97,17 +101,18 @@ func TestWireTruncationSafety(t *testing.T) {
 // A hostile count prefix must not drive allocation: the decoder bounds
 // the claimed element count by the remaining bytes.
 func TestWireHostileCount(t *testing.T) {
-	p := encodeRequest(nil, "m", nil)
-	// Rewrite the delivery count to an absurd value: 'Q' ++ str("m") ++ count.
-	hostile := append([]byte{}, p[:3]...)
+	p := encodeRequest(nil, BatchID{}, "m", nil)
+	// Rewrite the delivery count to an absurd value: everything up to
+	// the trailing count byte is 'Q' ++ str("") ++ 0 ++ 0 ++ str("m").
+	hostile := append([]byte{}, p[:len(p)-1]...)
 	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0x7f) // uvarint ~34G
-	if _, _, err := decodeRequest(hostile); err == nil {
+	if _, _, _, err := decodeRequest(hostile); err == nil {
 		t.Fatal("hostile delivery count accepted")
 	}
 }
 
 func TestWireWrongKind(t *testing.T) {
-	if _, _, err := decodeRequest([]byte{'R'}); err == nil {
+	if _, _, _, err := decodeRequest([]byte{'R'}); err == nil {
 		t.Fatal("response bytes accepted as request")
 	}
 	if _, _, _, err := decodeResponse([]byte{'Q'}); err == nil {

@@ -32,6 +32,12 @@ const (
 	// batch-partial failure case, kept distinct from per-event
 	// overflow so operators can attribute losses to the batched path.
 	LossBatchPartial
+	// LossTransient: the delivery exhausted its transient-fault retry
+	// budget (network blips, chaos faults) without ever reaching the
+	// destination. Kept distinct from LossMachineDown so operators can
+	// separate losses to a declared-dead machine from losses to a
+	// flaky-but-alive network path.
+	LossTransient
 )
 
 // String names the reason.
@@ -49,6 +55,8 @@ func (r LossReason) String() string {
 		return "engine-stopped"
 	case LossBatchPartial:
 		return "batch-partial"
+	case LossTransient:
+		return "transient-network"
 	default:
 		return "unknown"
 	}

@@ -869,6 +869,9 @@ func (e *Engine) deliver(fn string, ev event.Event, throttle bool) {
 				// Handed off: the hosting node's tracker took the event
 				// over when it landed (OnRemoteInflight).
 				e.tracker.Dec()
+				// A delivered batch proves the machine reachable; any
+				// suspicion run it had accumulated resets.
+				e.rec.Detector().ObserveSendOK(machineName)
 			}
 			e.counters.Emitted.Add(1)
 			return
@@ -880,6 +883,18 @@ func (e *Engine) deliver(fn string, ev event.Event, throttle bool) {
 			e.rec.Detector().ObserveSendFailure(machineName)
 			e.counters.LostMachineDown.Add(1)
 			e.lost.Record(fn, ev, engine.LossMachineDown)
+			return
+		case cluster.IsTransient(err):
+			e.tracker.Dec()
+			// The bounded retry budget was exhausted by network blips;
+			// the machine may be healthy. Raise suspicion — K
+			// consecutive exhausted sends escalate to machine-down
+			// through the detector — and account the loss under its own
+			// reason so flaky-network losses stay distinguishable from
+			// declared-dead losses.
+			e.rec.Detector().ObserveTransientFailure(machineName)
+			e.counters.LostMachineDown.Add(1)
+			e.lost.Record(fn, ev, engine.LossTransient)
 			return
 		case err == queue.ErrOverflow:
 			e.tracker.Dec()
@@ -982,12 +997,15 @@ func (o ingressOps) Route(fn, key string) (string, string) {
 }
 func (o ingressOps) SendBatch(machine string, ds []cluster.Delivery) (int, []cluster.BatchReject, error) {
 	accepted, rejects, err := o.e.clu.SendBatch(machine, ds)
-	if err == nil && accepted > 0 && !o.e.clu.IsLocal(machine) {
-		// The driver charged the tracker for the whole batch before the
-		// send; accepted deliveries now belong to the hosting node's
-		// tracker (it charged itself on landing), so retire them here.
-		// The driver itself retires the rejects.
-		o.e.tracker.Add(-accepted)
+	if err == nil && !o.e.clu.IsLocal(machine) {
+		o.e.rec.Detector().ObserveSendOK(machine)
+		if accepted > 0 {
+			// The driver charged the tracker for the whole batch before
+			// the send; accepted deliveries now belong to the hosting
+			// node's tracker (it charged itself on landing), so retire
+			// them here. The driver itself retires the rejects.
+			o.e.tracker.Add(-accepted)
+		}
 	}
 	return accepted, rejects, err
 }
@@ -995,11 +1013,15 @@ func (o ingressOps) Send(machine, worker string, ev event.Event) error {
 	err := o.e.clu.Send(machine, worker, ev)
 	if err == nil && !o.e.clu.IsLocal(machine) {
 		o.e.tracker.Dec()
+		o.e.rec.Detector().ObserveSendOK(machine)
 	}
 	return err
 }
 func (o ingressOps) ObserveSendFailure(machine string) {
 	o.e.rec.Detector().ObserveSendFailure(machine)
+}
+func (o ingressOps) ObserveTransientFailure(machine string) {
+	o.e.rec.Detector().ObserveTransientFailure(machine)
 }
 func (o ingressOps) Reroute(ev event.Event) { o.e.route(ev) }
 

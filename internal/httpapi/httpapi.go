@@ -277,9 +277,15 @@ func Handler(r SlateReader) http.Handler {
 				sends, _ := c.NetworkStats()
 				st.Sends = sends
 				st.Recvs = c.Recvs()
-				if tcp, ok := c.Transport().(*cluster.TCP); ok {
+				ds := c.DeliveryStats()
+				st.Delivery = &ds
+				if tcp := cluster.UnwrapTCP(c.Transport()); tcp != nil {
 					ts := tcp.Stats()
 					st.TCP = &ts
+				}
+				if ch := cluster.UnwrapChaos(c.Transport()); ch != nil {
+					cs := ch.Stats()
+					st.Chaos = &cs
 				}
 			}
 		}
@@ -306,7 +312,13 @@ type statusReply struct {
 	// Sends and Recvs count this node's machine-addressed deliveries.
 	Sends uint64 `json:"sends,omitempty"`
 	Recvs uint64 `json:"recvs,omitempty"`
+	// Delivery carries the node's resilient-delivery counters: retries,
+	// transient faults, exhausted budgets, and dedup-window absorption.
+	Delivery *cluster.DeliveryStats `json:"delivery,omitempty"`
 	// TCP carries the transport's dial/frame/byte counters on a
 	// networked node.
 	TCP *cluster.TCPStats `json:"tcp,omitempty"`
+	// Chaos carries the fault-injection counters when the node's
+	// transport is wrapped in a chaos layer.
+	Chaos *cluster.ChaosStats `json:"chaos,omitempty"`
 }

@@ -46,6 +46,9 @@ type EngineOps interface {
 	Send(machine, worker string, ev event.Event) error
 	// ObserveSendFailure reports a failed send to the failure detector.
 	ObserveSendFailure(machine string)
+	// ObserveTransientFailure reports an exhausted-retry (transient)
+	// send failure to the failure detector's suspicion tracker.
+	ObserveTransientFailure(machine string)
 	// Reroute fans an event out to its stream's subscribers (the
 	// engine's internal routing); the driver uses it for diverted
 	// overflow.
@@ -177,13 +180,22 @@ func (d *Driver) ingest(evs []event.Event, wait func() bool) (int, error) {
 		accepted, rejects, err := d.Ops.SendBatch(machine, ds)
 		if err != nil {
 			d.Tracker.Add(-len(ds))
-			if err == cluster.ErrMachineDown {
+			reason := engine.LossMachineDown
+			switch {
+			case cluster.IsTransient(err):
+				// The retry budget is exhausted but the machine has not
+				// been declared dead: feed the suspicion tracker (K such
+				// observations escalate to failover) and log the loss
+				// under its own reason.
+				d.Ops.ObserveTransientFailure(machine)
+				reason = engine.LossTransient
+			case err == cluster.ErrMachineDown:
 				d.Ops.ObserveSendFailure(machine)
 			}
 			d.Counters.LostMachineDown.Add(uint64(len(ds)))
 			for _, del := range ds {
-				d.Lost.Record(d.Ops.FuncOf(del.Worker), del.Ev, engine.LossMachineDown)
-				tally.Drop(del.Tag, engine.LossMachineDown.String())
+				d.Lost.Record(d.Ops.FuncOf(del.Worker), del.Ev, reason)
+				tally.Drop(del.Tag, reason.String())
 			}
 			return
 		}
@@ -227,12 +239,17 @@ func (d *Driver) settleReject(del cluster.Delivery, cause error, wait func() boo
 			if err == queue.ErrOverflow {
 				continue
 			}
-			if err == cluster.ErrMachineDown {
+			reason := engine.LossMachineDown
+			switch {
+			case cluster.IsTransient(err):
+				d.Ops.ObserveTransientFailure(machine)
+				reason = engine.LossTransient
+			case err == cluster.ErrMachineDown:
 				d.Ops.ObserveSendFailure(machine)
 			}
 			d.Counters.LostMachineDown.Add(1)
-			d.Lost.Record(fn, del.Ev, engine.LossMachineDown)
-			tally.Drop(del.Tag, engine.LossMachineDown.String())
+			d.Lost.Record(fn, del.Ev, reason)
+			tally.Drop(del.Tag, reason.String())
 			return
 		}
 	}

@@ -199,8 +199,45 @@ func RegisterCluster(r *Registry, c *cluster.Cluster) {
 		"Failure reports accepted by the master.", nil, c.Master().Reports)
 	r.Counter("muppet_cluster_master_rejoin_reports_total",
 		"Rejoin broadcasts issued by the master.", nil, c.Master().RejoinReports)
-	tcp, ok := c.Transport().(*cluster.TCP)
-	if !ok {
+	r.Counter("muppet_transport_sequenced_batches_total",
+		"Sequenced remote batches issued (BatchIDs stamped).", ls,
+		func() uint64 { return c.DeliveryStats().Sequenced })
+	r.Counter("muppet_transport_retries_total",
+		"Remote-batch re-attempts after transient transport faults.", ls,
+		func() uint64 { return c.DeliveryStats().Retries })
+	r.Counter("muppet_transport_transient_errors_total",
+		"Transient transport faults observed on remote sends.", ls,
+		func() uint64 { return c.DeliveryStats().TransientErrors })
+	r.Counter("muppet_transport_retry_exhausted_total",
+		"Remote batches whose whole retry budget failed.", ls,
+		func() uint64 { return c.DeliveryStats().RetryExhausted })
+	r.Counter("muppet_transport_indeterminate_lost_events_total",
+		"Events reported lost on exhausted retries whose outcome is unknown (the receiver may have applied them).", ls,
+		func() uint64 { return c.DeliveryStats().IndeterminateLost })
+	r.Counter("muppet_transport_dedup_hits_total",
+		"Duplicate remote-origin batches absorbed by the dedup window.", ls,
+		func() uint64 { return c.DeliveryStats().DedupHits })
+	r.Gauge("muppet_transport_dedup_entries",
+		"Resident entries in the receiver-side dedup window.", ls,
+		func() float64 { return float64(c.DeliveryStats().DedupEntries) })
+	if ch := cluster.UnwrapChaos(c.Transport()); ch != nil {
+		cl := L("transport", ch.Name())
+		g := func(name, help string, get func(cluster.ChaosStats) uint64) {
+			r.Counter(name, help, cl, func() uint64 { return get(ch.Stats()) })
+		}
+		g("muppet_chaos_faults_injected_total", "Chaos faults injected, all kinds.",
+			func(s cluster.ChaosStats) uint64 { return s.Injected() })
+		g("muppet_chaos_dropped_requests_total", "Request frames dropped by chaos.",
+			func(s cluster.ChaosStats) uint64 { return s.DroppedReqs })
+		g("muppet_chaos_dropped_responses_total", "Response frames dropped by chaos after delivery.",
+			func(s cluster.ChaosStats) uint64 { return s.DroppedResps })
+		g("muppet_chaos_duplicates_total", "Batches duplicated on the wire by chaos.",
+			func(s cluster.ChaosStats) uint64 { return s.Duplicates })
+		g("muppet_chaos_partition_drops_total", "Sends dropped by scripted partitions.",
+			func(s cluster.ChaosStats) uint64 { return s.PartitionDrops })
+	}
+	tcp := cluster.UnwrapTCP(c.Transport())
+	if tcp == nil {
 		return
 	}
 	t := func(name, help string, get func(cluster.TCPStats) uint64) {

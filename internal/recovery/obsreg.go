@@ -9,6 +9,15 @@ import "muppet/internal/obs"
 func (m *Manager) RegisterObs(r *obs.Registry) {
 	r.Counter("muppet_recovery_send_failures_total",
 		"Failed sends observed by the failure detector.", nil, m.det.Observed)
+	r.Counter("muppet_recovery_transient_failures_total",
+		"Exhausted-retry (transient) send failures observed by the detector.", nil, m.det.TransientObserved)
+	r.Counter("muppet_recovery_suspicion_escalations_total",
+		"Suspicion confirmations escalated to machine-down reports.", nil, m.det.Escalated)
+	r.Gauge("muppet_recovery_suspected_machines",
+		"Machines currently under transient-failure suspicion.", nil,
+		func() float64 {
+			return float64(len(m.det.Suspects()))
+		})
 	r.Counter("muppet_recovery_failovers_total",
 		"Master-coordinated failovers completed.", nil, m.failovers.Load)
 	r.Counter("muppet_recovery_rejoins_total",

@@ -33,11 +33,26 @@ type Config struct {
 	// WarmLimit bounds the slates pre-loaded per rejoin (default
 	// 10,000).
 	WarmLimit int
+	// SuspicionK is the number of consecutive exhausted-retry sends to
+	// one machine that confirm suspicion and escalate to machine-down
+	// (default 3). 1 restores pre-suspicion behavior: the first
+	// exhausted send reports the machine.
+	SuspicionK int
+	// SuspicionWindow bounds how long a run of transient failures may
+	// stretch and still confirm; a run that goes stale restarts the
+	// count (default 10s).
+	SuspicionWindow time.Duration
 }
 
 func (c *Config) fill() {
 	if c.WarmLimit <= 0 {
 		c.WarmLimit = 10_000
+	}
+	if c.SuspicionK <= 0 {
+		c.SuspicionK = 3
+	}
+	if c.SuspicionWindow <= 0 {
+		c.SuspicionWindow = 10 * time.Second
 	}
 }
 
@@ -170,8 +185,12 @@ func NewManager(deps Deps, cfg Config) *Manager {
 	m.cond = sync.NewCond(&m.mu)
 	m.det = &Detector{
 		master:   deps.Cluster.Master(),
+		clu:      deps.Cluster,
 		counters: deps.Counters,
 		disabled: cfg.DisableDetector,
+		k:        cfg.SuspicionK,
+		window:   cfg.SuspicionWindow,
+		suspects: make(map[string]*suspicion),
 	}
 	deps.Cluster.Master().Subscribe(m.onFailure)
 	deps.Cluster.Master().SubscribeRejoin(m.onRejoin)
@@ -270,7 +289,10 @@ func (m *Manager) Rejoin(machine string) (RejoinReport, error) {
 	}
 	// Revive only once the workers can accept traffic again: an alive
 	// machine with still-closed queues would swallow every delivery
-	// routed to it.
+	// routed to it. Residual suspicion dies with the old incarnation —
+	// a rejoined machine starts with a clean slate, so pre-crash blips
+	// cannot count against the fresh workers.
+	m.det.Reset(machine)
 	m.deps.Cluster.Revive(machine)
 	// Make the interim owners' state durable before the handover: under
 	// Interval/OnEvict flushing their latest updates may exist only as
@@ -510,6 +532,7 @@ func (m *Manager) failover(machine string) {
 // again.
 func (m *Manager) onRejoin(machine string) {
 	start := time.Now()
+	m.det.Reset(machine) // the new incarnation starts unsuspected
 	m.deps.Adapter.RestoreToRing(machine)
 	m.deps.Adapter.DropMisplacedSlates()
 	warmedN := 0

@@ -56,6 +56,10 @@ type MachineStatus struct {
 	InRing bool `json:"in_ring"`
 	// Failed reports whether the master currently knows it as failed.
 	Failed bool `json:"failed"`
+	// Suspicion is the machine's current run of consecutive
+	// exhausted-retry send failures (0 when unsuspected; reaching the
+	// configured SuspicionK escalates to machine-down).
+	Suspicion int `json:"suspicion,omitempty"`
 }
 
 // Status is a snapshot of the recovery subsystem, served by the
@@ -65,6 +69,9 @@ type Status struct {
 	DetectorEnabled bool            `json:"detector_enabled"`
 	WALReplay       bool            `json:"wal_replay_enabled"`
 	SendFailures    uint64          `json:"send_failures_observed"`
+	TransientFails  uint64          `json:"transient_failures_observed"`
+	Escalations     uint64          `json:"suspicion_escalations"`
+	SuspicionK      int             `json:"suspicion_k"`
 	Failovers       uint64          `json:"failovers"`
 	Rejoins         uint64          `json:"rejoins"`
 	QueuedLost      uint64          `json:"queued_lost"`
@@ -89,13 +96,15 @@ func (m *Manager) Status() Status {
 	for _, f := range m.deps.Cluster.Master().FailedMachines() {
 		failed[f] = true
 	}
+	suspects := m.det.Suspects()
 	var machines []MachineStatus
 	for _, name := range m.deps.Cluster.MachineNames() {
 		machines = append(machines, MachineStatus{
-			Name:   name,
-			Alive:  m.deps.Cluster.Machine(name).Alive(),
-			InRing: members[name],
-			Failed: failed[name],
+			Name:      name,
+			Alive:     m.deps.Cluster.Machine(name).Alive(),
+			InRing:    members[name],
+			Failed:    failed[name],
+			Suspicion: suspects[name],
 		})
 	}
 	st := Status{
@@ -103,6 +112,9 @@ func (m *Manager) Status() Status {
 		DetectorEnabled: m.det.Enabled(),
 		WALReplay:       !m.cfg.DisableWALReplay && m.deps.Store != nil,
 		SendFailures:    m.det.Observed(),
+		TransientFails:  m.det.TransientObserved(),
+		Escalations:     m.det.Escalated(),
+		SuspicionK:      m.cfg.SuspicionK,
 		Failovers:       m.failovers.Load(),
 		Rejoins:         m.rejoins.Load(),
 		QueuedLost:      m.queuedLost.Load(),

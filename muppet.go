@@ -463,7 +463,44 @@ type NetworkConfig struct {
 	IOTimeout    time.Duration
 	RetryBackoff time.Duration
 	MaxBackoff   time.Duration
+	// SendRetries is the total delivery attempts per remote batch,
+	// including the first (default 3; 1 disables retry). Only transient
+	// faults — dial failures, I/O timeouts, broken connections — are
+	// retried; an authoritative machine-down answer fails immediately.
+	SendRetries int
+	// SendRetryBackoff is the pause before the first retry, doubled per
+	// further retry with jitter and capped at SendRetryMaxBackoff
+	// (defaults 5ms / 100ms).
+	SendRetryBackoff    time.Duration
+	SendRetryMaxBackoff time.Duration
+	// DedupWindow is the receiver-side per-sender dedup window in
+	// batches (default 4096; negative disables). It is what makes
+	// retries idempotent: a batch retried after a lost response is
+	// recognized by its BatchID and absorbed instead of applied twice.
+	DedupWindow int
+	// Chaos, when non-nil, wraps the TCP transport in the seeded
+	// fault-injection layer: scripted drops, delays, duplicates, flaky
+	// dials, and one-way partitions, deterministic per seed. A testing
+	// and soak facility — leave nil in production.
+	Chaos *ChaosConfig
 }
+
+// ChaosConfig tunes the deterministic network fault injector (see
+// cluster.ChaosConfig): per-fault probabilities, a seed making every
+// decision reproducible, and scripted one-way partition windows.
+type ChaosConfig = cluster.ChaosConfig
+
+// ChaosPartition scripts one one-way partition window: sends to
+// Machine fail while the per-destination attempt counter is in
+// [From, To).
+type ChaosPartition = cluster.Partition
+
+// ChaosStats counts the faults a chaos transport injected.
+type ChaosStats = cluster.ChaosStats
+
+// DeliveryStats counts the resilient-delivery layer's work: transient
+// faults, retries, exhausted budgets, and dedup-window absorption.
+type DeliveryStats = cluster.DeliveryStats
 
 // buildNode binds the TCP transport, builds this node's view of the
 // cluster, and starts serving peer traffic into it.
@@ -490,10 +527,21 @@ func (n *NetworkConfig) buildNode(sendLatency time.Duration) (*cluster.Cluster, 
 	if err != nil {
 		return nil, err
 	}
+	var wired cluster.Transport = tr
+	if n.Chaos != nil {
+		wired = cluster.NewChaos(tr, *n.Chaos)
+	}
 	clu := cluster.New(cluster.Config{
-		Names:       names,
-		Local:       []string{n.Node},
-		Transport:   tr,
+		Names:     names,
+		Local:     []string{n.Node},
+		Node:      n.Node,
+		Transport: wired,
+		Retry: cluster.RetryConfig{
+			Attempts:   n.SendRetries,
+			Backoff:    n.SendRetryBackoff,
+			MaxBackoff: n.SendRetryMaxBackoff,
+		},
+		DedupWindow: n.DedupWindow,
 		SendLatency: sendLatency,
 	})
 	tr.Serve(clu)
@@ -501,7 +549,10 @@ func (n *NetworkConfig) buildNode(sendLatency time.Duration) (*cluster.Cluster, 
 }
 
 // RecoveryConfig holds the recovery subsystem's knobs: DisableDetector,
-// DisableWALReplay, DisableRejoinWarm, and WarmLimit.
+// DisableWALReplay, DisableRejoinWarm, WarmLimit, and the failure-
+// suspicion thresholds SuspicionK and SuspicionWindow (a machine is
+// reported down after K consecutive exhausted-retry sends within the
+// window; defaults 3 / 10s).
 type RecoveryConfig = recovery.Config
 
 // RecoveryStatus is the recovery subsystem's operator view: ring

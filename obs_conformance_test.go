@@ -46,6 +46,19 @@ var queueStatsMetrics = map[string]string{
 	"MaxDepth": "muppet_queue_max_depth",
 }
 
+// deliveryStatsMetrics maps every cluster.DeliveryStats field to its
+// /metrics name; the reflection check fails when a field is added
+// without a registered metric.
+var deliveryStatsMetrics = map[string]string{
+	"Sequenced":         "muppet_transport_sequenced_batches_total",
+	"TransientErrors":   "muppet_transport_transient_errors_total",
+	"Retries":           "muppet_transport_retries_total",
+	"RetryExhausted":    "muppet_transport_retry_exhausted_total",
+	"IndeterminateLost": "muppet_transport_indeterminate_lost_events_total",
+	"DedupHits":         "muppet_transport_dedup_hits_total",
+	"DedupEntries":      "muppet_transport_dedup_entries",
+}
+
 var tcpStatsMetrics = map[string]string{
 	"Dials":      "muppet_transport_dials_total",
 	"DialErrors": "muppet_transport_dial_errors_total",
@@ -117,6 +130,16 @@ var mustBePresent = []string{
 	"muppet_recovery_wal_records_replayed_total",
 	"muppet_recovery_wal_replay_errors_total",
 	"muppet_recovery_redelivered_total",
+	"muppet_recovery_transient_failures_total",
+	"muppet_recovery_suspicion_escalations_total",
+	"muppet_recovery_suspected_machines",
+	"muppet_transport_sequenced_batches_total",
+	"muppet_transport_retries_total",
+	"muppet_transport_transient_errors_total",
+	"muppet_transport_retry_exhausted_total",
+	"muppet_transport_indeterminate_lost_events_total",
+	"muppet_transport_dedup_hits_total",
+	"muppet_transport_dedup_entries",
 }
 
 // scrapeMetrics GETs /metrics through the public handler and parses
@@ -225,6 +248,7 @@ func TestMetricsConformance(t *testing.T) {
 	requireAllFieldsMapped(t, reflect.TypeOf(engine.Stats{}), engineStatsMetrics)
 	requireAllFieldsMapped(t, reflect.TypeOf(queue.Stats{}), queueStatsMetrics)
 	requireAllFieldsMapped(t, reflect.TypeOf(cluster.TCPStats{}), tcpStatsMetrics)
+	requireAllFieldsMapped(t, reflect.TypeOf(cluster.DeliveryStats{}), deliveryStatsMetrics)
 
 	// Nonzero coverage accumulates across the scenarios: each drives a
 	// different slice of the pipeline, and at the end every metric in
@@ -521,8 +545,8 @@ func runTCPScenario(t *testing.T) []map[string]float64 {
 	// engine path alone would not get here — detect-on-send fails the
 	// machine over after the first error and stops addressing it.
 	b.Stop()
-	tcp, ok := a.Cluster().Transport().(*cluster.TCP)
-	if !ok {
+	tcp := cluster.UnwrapTCP(a.Cluster().Transport())
+	if tcp == nil {
 		t.Fatalf("node a transport is %T, want *cluster.TCP", a.Cluster().Transport())
 	}
 	deadline := time.Now().Add(15 * time.Second)
@@ -530,7 +554,7 @@ func runTCPScenario(t *testing.T) []map[string]float64 {
 		if time.Now().After(deadline) {
 			t.Fatal("no dial error recorded after killing the peer node")
 		}
-		tcp.SendBatch("machine-01", nil)
+		tcp.SendBatch("machine-01", cluster.BatchID{}, nil)
 		time.Sleep(2 * time.Millisecond) // let the redial backoff window pass
 	}
 	lerr := scrapeMetrics(t, a)
