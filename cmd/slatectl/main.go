@@ -1,6 +1,7 @@
 // Command slatectl fetches live slates and status from a running
-// Muppet engine's HTTP API (Section 4.4 of the paper), and feeds
-// event batches into it through the streaming ingress endpoint.
+// Muppet engine's HTTP API (Section 4.4 of the paper), feeds event
+// batches into it through the streaming ingress endpoint, and runs
+// relational queries over live slates through POST /query.
 //
 // Usage:
 //
@@ -12,6 +13,21 @@
 //	slatectl -addr 127.0.0.1:8080 stats
 //	slatectl -addr 127.0.0.1:8080 -watch stats
 //	slatectl -addr 127.0.0.1:8080 -batch 500 ingest < events.json
+//	slatectl -addr 127.0.0.1:8080 query -stream U1 -topk 10 -by count
+//	slatectl -addr 127.0.0.1:8080 query -stream U1 -prefix 'http://' -agg count
+//	slatectl -addr 127.0.0.1:8080 query -stream U1 -where 'key:prefix:W' -fields key -limit 5
+//	slatectl -addr 127.0.0.1:8080 query -stream U1 -topk 3 -by count -watch
+//
+// The query command POSTs one query spec — an ordered key scan
+// (-prefix, -start/-end) piped through predicate filters (-where,
+// comma-separated field:op:value triples), field projection (-fields)
+// and an optional aggregation (-agg count|sum|min|max|topk, with -by,
+// -group, -k; -topk n is shorthand for -agg topk -k n) — and prints
+// the NDJSON answer: one line per row or group, then a stats line.
+// The whole pipeline executes on the nodes owning the slates; only the
+// reduced partials reach the coordinator. query -watch keeps the
+// request open as a continuous query and streams one line per changed
+// answer (re-evaluated per flush epoch, or -interval).
 //
 // The stats command fetches /statsz and renders every metric as a
 // table row — counters and gauges with their value, latency summaries
@@ -81,8 +97,126 @@ func main() {
 			usage()
 		}
 		ingest(fmt.Sprintf("http://%s/ingest", *addr), os.Stdin, *batch)
+	case "query":
+		queryCmd(fmt.Sprintf("http://%s/query", *addr), args[1:], *watch)
 	default:
 		usage()
+	}
+}
+
+// querySpec mirrors query.Spec, the POST /query wire shape.
+type querySpec struct {
+	Updater string      `json:"updater"`
+	Prefix  string      `json:"prefix,omitempty"`
+	Start   string      `json:"start,omitempty"`
+	End     string      `json:"end,omitempty"`
+	Where   []queryPred `json:"where,omitempty"`
+	Fields  []string    `json:"fields,omitempty"`
+	Agg     string      `json:"agg,omitempty"`
+	By      string      `json:"by,omitempty"`
+	GroupBy string      `json:"group_by,omitempty"`
+	K       int         `json:"k,omitempty"`
+	Limit   int         `json:"limit,omitempty"`
+	Watch   bool        `json:"watch,omitempty"`
+	EveryMS int         `json:"every_ms,omitempty"`
+}
+
+// queryPred mirrors query.Pred.
+type queryPred struct {
+	Field string `json:"field"`
+	Op    string `json:"op"`
+	Value string `json:"value"`
+}
+
+// queryCmd parses the query subcommand's flags into a spec, posts it,
+// and streams the NDJSON answer to stdout. A one-shot query returns
+// after the stats line; -watch keeps printing changed answers until
+// interrupted.
+func queryCmd(u string, args []string, watch bool) {
+	qf := flag.NewFlagSet("query", flag.ExitOnError)
+	updater := qf.String("updater", "", "update function whose slates to query (required)")
+	stream := qf.String("stream", "", "alias for -updater")
+	prefix := qf.String("prefix", "", "restrict the scan to keys with this prefix")
+	start := qf.String("start", "", "scan range start (inclusive)")
+	end := qf.String("end", "", "scan range end (exclusive)")
+	where := qf.String("where", "", "comma-separated predicates, each field:op:value (ops: eq ne lt le gt ge contains prefix)")
+	fields := qf.String("fields", "", "comma-separated output fields (\"key\" is the slate key; dotted paths reach nested fields)")
+	agg := qf.String("agg", "", "aggregation: count, sum, min, max, or topk")
+	topk := qf.Int("topk", 0, "shorthand for -agg topk -k n")
+	by := qf.String("by", "", "field aggregated by sum/min/max and ranked by topk")
+	group := qf.String("group", "", "field to group by (topk defaults to the slate key)")
+	k := qf.Int("k", 0, "topk group count (default 10)")
+	limit := qf.Int("limit", 0, "cap a plain scan's row count (0 = unlimited)")
+	qwatch := qf.Bool("watch", false, "run as a continuous query, streaming each changed answer")
+	interval := qf.Duration("interval", 0, "-watch re-evaluation interval (default: the engine's flush interval)")
+	qf.Parse(args)
+	if qf.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "slatectl query: unexpected argument %q\n", qf.Arg(0))
+		os.Exit(2)
+	}
+	spec := querySpec{
+		Updater: *updater,
+		Prefix:  *prefix,
+		Start:   *start,
+		End:     *end,
+		Agg:     *agg,
+		By:      *by,
+		GroupBy: *group,
+		K:       *k,
+		Limit:   *limit,
+		Watch:   watch || *qwatch,
+		EveryMS: int((*interval).Milliseconds()),
+	}
+	if spec.Updater == "" {
+		spec.Updater = *stream
+	}
+	if spec.Updater == "" {
+		fmt.Fprintln(os.Stderr, "slatectl query: -stream (or -updater) is required")
+		os.Exit(2)
+	}
+	if *topk > 0 {
+		spec.Agg = "topk"
+		spec.K = *topk
+	}
+	if *fields != "" {
+		spec.Fields = strings.Split(*fields, ",")
+	}
+	if *where != "" {
+		for _, clause := range strings.Split(*where, ",") {
+			parts := strings.SplitN(clause, ":", 3)
+			if len(parts) != 3 {
+				fmt.Fprintf(os.Stderr, "slatectl query: bad predicate %q (want field:op:value)\n", clause)
+				os.Exit(2)
+			}
+			spec.Where = append(spec.Where, queryPred{Field: parts[0], Op: parts[1], Value: parts[2]})
+		}
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	resp, err := http.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		fmt.Fprintf(os.Stderr, "%s: %s", resp.Status, msg)
+		os.Exit(1)
+	}
+	// Relay the NDJSON stream line by line so -watch output appears as
+	// each changed answer arrives.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -346,6 +480,6 @@ func fetch(u string) []byte {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: slatectl [-addr host:port] [-batch n] [-raw] [-watch] status | recovery | stats | slate <updater> <key> | dump <updater> | ingest")
+	fmt.Fprintln(os.Stderr, "usage: slatectl [-addr host:port] [-batch n] [-raw] [-watch] status | recovery | stats | slate <updater> <key> | dump <updater> | ingest | query -stream <updater> [flags]")
 	os.Exit(2)
 }

@@ -162,6 +162,17 @@ func (c *Chaos) ResetPeer(machine string) {
 	}
 }
 
+// Query passes straight through to the wrapped transport: queries are
+// idempotent reads with no dedup safety net to exercise, so the fault
+// schedule targets only sequenced batch deliveries.
+func (c *Chaos) Query(machine string, req []byte) ([]byte, error) {
+	qt, ok := c.inner.(QueryTransport)
+	if !ok {
+		return nil, fmt.Errorf("cluster: transport %s does not carry queries", c.inner.Name())
+	}
+	return qt.Query(machine, req)
+}
+
 // Stats snapshots the injected-fault counters.
 func (c *Chaos) Stats() ChaosStats {
 	return ChaosStats{

@@ -43,6 +43,13 @@ type Delivery struct {
 // accepted.
 type BatchHandler func(ds []Delivery) []error
 
+// QueryHandler answers one query request addressed to a machine this
+// node hosts. Request and response are opaque to the cluster layer —
+// the query subsystem owns the encoding — and the handler is
+// node-level (one per Cluster, receiving the target machine name)
+// because query execution reads engine state, not per-machine queues.
+type QueryHandler func(machine string, req []byte) ([]byte, error)
+
 // BatchReject is one rejected delivery of a batch send.
 type BatchReject struct {
 	// Index is the position in the batch passed to SendBatch.
@@ -137,12 +144,13 @@ type Config struct {
 // machines this node hosts, the master, and the transport to everyone
 // else.
 type Cluster struct {
-	cfg      Config
-	machines map[string]*Machine
-	master   *Master
-	tr       Transport
-	inflight atomic.Value // func(delta int): remote-origin in-flight hook
-	closed   atomic.Bool
+	cfg          Config
+	machines     map[string]*Machine
+	master       *Master
+	tr           Transport
+	inflight     atomic.Value // func(delta int): remote-origin in-flight hook
+	queryHandler atomic.Value // QueryHandler
+	closed       atomic.Bool
 
 	node  string // sender identity stamped into BatchIDs
 	epoch uint64 // sender incarnation (larger after restart)
@@ -350,6 +358,84 @@ func (c *Cluster) SetBatchHandler(machine string, h BatchHandler) {
 	if m := c.machines[machine]; m != nil {
 		m.batchHandler.Store(h)
 	}
+}
+
+// SetQueryHandler registers the node's query handler; the engines
+// install one that runs the node-local pipeline for the addressed
+// machine.
+func (c *Cluster) SetQueryHandler(h QueryHandler) {
+	c.queryHandler.Store(h)
+}
+
+// Query runs one query exchange against the node hosting the machine:
+// directly for a machine this node hosts, over the transport's query
+// extension otherwise. Queries are idempotent reads, so transient
+// transport faults — including indeterminate ones — are retried on the
+// same bounded budget as batch sends; a down destination fails fast
+// with ErrMachineDown (detect-on-send applies to reads too).
+func (c *Cluster) Query(machine string, req []byte) ([]byte, error) {
+	m := c.machines[machine]
+	if m == nil {
+		return nil, fmt.Errorf("cluster: unknown machine %s", machine)
+	}
+	if m.local {
+		return c.DeliverQuery(machine, req)
+	}
+	if !m.alive.Load() {
+		return nil, ErrMachineDown
+	}
+	qt, ok := c.tr.(QueryTransport)
+	if !ok {
+		return nil, fmt.Errorf("cluster: transport %s does not carry queries", c.TransportName())
+	}
+	backoff := c.retry.Backoff
+	var lastErr error
+	for attempt := 0; attempt < c.retry.Attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			time.Sleep(jitterBackoff(backoff))
+			backoff *= 2
+			if backoff > c.retry.MaxBackoff {
+				backoff = c.retry.MaxBackoff
+			}
+			if !m.alive.Load() {
+				return nil, ErrMachineDown
+			}
+		}
+		resp, err := qt.Query(machine, req)
+		if err == nil {
+			return resp, nil
+		}
+		if !IsTransient(err) {
+			if errors.Is(err, ErrMachineDown) {
+				m.alive.Store(false)
+			}
+			return nil, err
+		}
+		c.transientErrs.Add(1)
+		lastErr = err
+	}
+	c.exhausted.Add(1)
+	return nil, lastErr
+}
+
+// DeliverQuery is the receiving half of a query exchange: it runs the
+// node's query handler for a machine this node hosts. A crashed
+// machine answers ErrMachineDown — a query must not read state the
+// cluster considers dead.
+func (c *Cluster) DeliverQuery(machine string, req []byte) ([]byte, error) {
+	m := c.machines[machine]
+	if m == nil || !m.local {
+		return nil, fmt.Errorf("cluster: machine %s is not hosted here", machine)
+	}
+	if !m.alive.Load() {
+		return nil, ErrMachineDown
+	}
+	h, _ := c.queryHandler.Load().(QueryHandler)
+	if h == nil {
+		return nil, ErrNoHandler
+	}
+	return h(machine, req)
 }
 
 // SendBatch delivers a batch of events to the destination machine in

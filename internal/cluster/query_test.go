@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// echoQueryHandler answers with machine ++ ':' ++ request, so tests can
+// check both the addressing and the payload round-trip.
+func echoQueryHandler(machine string, req []byte) ([]byte, error) {
+	return append([]byte(machine+":"), req...), nil
+}
+
+func TestQueryLocalDirect(t *testing.T) {
+	c := New(Config{Machines: 2})
+	c.SetQueryHandler(echoQueryHandler)
+	resp, err := c.Query("machine-01", []byte("spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte("machine-01:spec"); !bytes.Equal(resp, want) {
+		t.Fatalf("resp = %q, want %q", resp, want)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	c := New(Config{Machines: 2})
+	if _, err := c.Query("machine-99", nil); err == nil {
+		t.Fatal("query to unknown machine succeeded")
+	}
+	if _, err := c.Query("machine-00", nil); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v, want ErrNoHandler", err)
+	}
+	c.SetQueryHandler(echoQueryHandler)
+	c.Crash("machine-00")
+	if _, err := c.Query("machine-00", nil); !errors.Is(err, ErrMachineDown) {
+		t.Fatalf("err = %v, want ErrMachineDown", err)
+	}
+	c.Revive("machine-00")
+	if _, err := c.Query("machine-00", nil); err != nil {
+		t.Fatalf("query after revive: %v", err)
+	}
+}
+
+func TestQueryOverInProc(t *testing.T) {
+	names := []string{"machine-00", "machine-01"}
+	reg := NewInProc()
+	a := New(Config{Names: names, Local: []string{"machine-00"}, Transport: reg})
+	b := New(Config{Names: names, Local: []string{"machine-01"}, Transport: reg})
+	reg.Register(a)
+	reg.Register(b)
+	defer a.Close()
+	defer b.Close()
+	b.SetQueryHandler(echoQueryHandler)
+
+	resp, err := a.Query("machine-01", []byte("remote"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte("machine-01:remote"); !bytes.Equal(resp, want) {
+		t.Fatalf("resp = %q, want %q", resp, want)
+	}
+}
+
+func TestQueryOverTCP(t *testing.T) {
+	sender, host, _, _ := startTCPPair(t, TCPConfig{})
+	host.SetQueryHandler(echoQueryHandler)
+
+	// Payloads with nil, empty, and binary content must round-trip
+	// byte-for-byte through the query frames.
+	for _, payload := range [][]byte{nil, {}, []byte("spec"), {0, 'S', 0xff, 'T'}} {
+		resp, err := sender.Query("machine-01", payload)
+		if err != nil {
+			t.Fatalf("query %q: %v", payload, err)
+		}
+		want := append([]byte("machine-01:"), payload...)
+		if !bytes.Equal(resp, want) {
+			t.Fatalf("resp = %q, want %q", resp, want)
+		}
+	}
+}
+
+func TestQueryOverTCPHandlerError(t *testing.T) {
+	sender, host, _, _ := startTCPPair(t, TCPConfig{})
+	host.SetQueryHandler(func(machine string, req []byte) ([]byte, error) {
+		return nil, fmt.Errorf("no such updater %q", req)
+	})
+	_, err := sender.Query("machine-01", []byte("U9"))
+	if err == nil {
+		t.Fatal("remote handler error did not surface")
+	}
+	// The remote error text must cross the wire, and the failure must
+	// not be a transient fault: the peer answered authoritatively.
+	if want := `no such updater "U9"`; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("err = %v, want it to carry %q", err, want)
+	}
+	if IsTransient(err) {
+		t.Fatalf("authoritative query failure classified transient: %v", err)
+	}
+}
+
+func TestQueryOverTCPNoHandler(t *testing.T) {
+	sender, _, _, _ := startTCPPair(t, TCPConfig{})
+	if _, err := sender.Query("machine-01", nil); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestQueryThroughChaos(t *testing.T) {
+	names := []string{"machine-00", "machine-01"}
+	reg := NewInProc()
+	b := New(Config{Names: names, Local: []string{"machine-01"}, Transport: reg})
+	// A hostile schedule on the batch path: queries must pass through
+	// the chaos layer untouched.
+	tr := NewChaos(reg, ChaosConfig{Seed: 7, DropRequest: 1})
+	a := New(Config{Names: names, Local: []string{"machine-00"}, Transport: tr})
+	reg.Register(a)
+	reg.Register(b)
+	defer a.Close()
+	defer b.Close()
+	b.SetQueryHandler(echoQueryHandler)
+
+	resp, err := a.Query("machine-01", []byte("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte("machine-01:q"); !bytes.Equal(resp, want) {
+		t.Fatalf("resp = %q, want %q", resp, want)
+	}
+}

@@ -286,6 +286,43 @@ func (t *TCP) SendBatch(machine string, id BatchID, ds []Delivery) (int, []Batch
 	return accepted, rejects, nil
 }
 
+// Query runs one query exchange on the peer's pooled connection,
+// sharing the request/response discipline (and the redial backoff)
+// with SendBatch. Every wire failure surfaces as a plain transient
+// fault — queries are idempotent reads, so the indeterminate
+// distinction SendBatch needs does not apply.
+func (t *TCP) Query(machine string, req []byte) ([]byte, error) {
+	if t.closed.Load() {
+		return nil, ErrMachineDown
+	}
+	p := t.peer(machine)
+	if p == nil {
+		return nil, fmt.Errorf("cluster: no peer address for machine %s", machine)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.connectLocked(t); err != nil {
+		return nil, err
+	}
+
+	p.plain = encodeQueryRequest(p.plain[:0], machine, req)
+	resp, _, err := p.exchangeLocked(t)
+	if err != nil {
+		p.failLocked(t)
+		return nil, transientErr("query-exchange", err)
+	}
+	status, payload, err := decodeQueryResponse(resp)
+	if err != nil {
+		p.failLocked(t)
+		return nil, transientErr("query-protocol", err)
+	}
+	if serr := queryStatusErr(status, machine, payload); serr != nil {
+		return nil, serr
+	}
+	return payload, nil
+}
+
 // connectLocked ensures the peer has a live connection, honoring the
 // redial backoff window.
 func (p *tcpPeer) connectLocked(t *TCP) error {
@@ -414,8 +451,30 @@ func (t *TCP) serveConn(conn net.Conn) {
 		t.framesIn.Add(1)
 		t.bytesIn.Add(uint64(len(body)))
 		req, err := slate.Decode(body)
-		if err != nil {
+		if err != nil || len(req) == 0 {
 			return
+		}
+		if req[0] == wireQueryReq {
+			machine, payload, err := decodeQueryRequest(req)
+			if err != nil {
+				return
+			}
+			var status byte
+			var result []byte
+			if clu := t.clu.Load(); clu == nil {
+				status = statusUnknownMachine
+			} else {
+				result, err = clu.DeliverQuery(machine, payload)
+				if status = queryStatusOf(err); status == statusQueryFailed {
+					result = []byte(err.Error())
+				}
+			}
+			plain = encodeQueryResponse(plain[:0], status, result)
+			body = slate.AppendEncode(body[:0], plain)
+			if err := writeFrame(bw, body); err != nil {
+				return
+			}
+			continue
 		}
 		id, machine, ds, err := decodeRequest(req)
 		if err != nil {

@@ -62,6 +62,15 @@ type Transport interface {
 	Close() error
 }
 
+// QueryTransport is the optional read-path extension: transports that
+// implement it can carry one-shot query exchanges (opaque request in,
+// opaque response out) to the node hosting a machine. Queries are
+// idempotent reads, so unlike SendBatch they need no BatchID or dedup
+// — a retried query at worst re-reads.
+type QueryTransport interface {
+	Query(machine string, req []byte) ([]byte, error)
+}
+
 // peerResetter is implemented by transports that keep per-peer redial
 // state; Cluster.Revive uses it so a revived machine is probed
 // immediately instead of waiting out the failure backoff.
@@ -148,6 +157,15 @@ func (t *InProc) SendBatch(machine string, id BatchID, ds []Delivery) (int, []Ba
 		return 0, nil, fmt.Errorf("cluster: no node hosts machine %s", machine)
 	}
 	return host.DeliverLocal(machine, id, ds)
+}
+
+// Query delivers a query exchange to the node hosting the machine.
+func (t *InProc) Query(machine string, req []byte) ([]byte, error) {
+	host := t.host(machine)
+	if host == nil {
+		return nil, fmt.Errorf("cluster: no node hosts machine %s", machine)
+	}
+	return host.DeliverQuery(machine, req)
 }
 
 // Name identifies the transport.

@@ -34,12 +34,29 @@ const (
 	wireResp = 'R'
 )
 
+// Query frames share the connection (and the strict request/response
+// discipline) with batch frames; the server dispatches on the kind
+// byte:
+//
+//	query     = 'S' ++ str(machine) ++ blob(payload)
+//	queryResp = 'T' ++ u8 status ++ blob(payload)
+//
+// The payload is opaque to this layer — the query subsystem owns its
+// encoding — so the transport stays ignorant of query semantics. On a
+// statusQueryFailed response the payload carries the remote error
+// text.
+const (
+	wireQueryReq  = 'S'
+	wireQueryResp = 'T'
+)
+
 // Response status codes.
 const (
 	statusOK byte = iota
 	statusMachineDown
 	statusNoHandler
 	statusUnknownMachine
+	statusQueryFailed
 )
 
 // Per-delivery reject codes.
@@ -104,6 +121,21 @@ func statusOf(err error) byte {
 		return statusNoHandler
 	default:
 		return statusUnknownMachine
+	}
+}
+
+// queryStatusOf maps a local query error to its wire status; handler
+// errors become statusQueryFailed with the text carried alongside.
+func queryStatusOf(err error) byte {
+	switch {
+	case err == nil:
+		return statusOK
+	case errors.Is(err, ErrMachineDown):
+		return statusMachineDown
+	case errors.Is(err, ErrNoHandler):
+		return statusNoHandler
+	default:
+		return statusQueryFailed
 	}
 }
 
@@ -267,6 +299,59 @@ func encodeResponse(dst []byte, status byte, accepted int, rejects []BatchReject
 		dst = append(dst, rejectCode(rj.Err))
 	}
 	return dst
+}
+
+// encodeQueryRequest appends the plain query request addressed to
+// machine; the payload is the query subsystem's encoded spec.
+func encodeQueryRequest(dst []byte, machine string, payload []byte) []byte {
+	dst = append(dst, wireQueryReq)
+	dst = appendStr(dst, machine)
+	return appendBlob(dst, payload)
+}
+
+// decodeQueryRequest parses a plain query request.
+func decodeQueryRequest(p []byte) (machine string, payload []byte, err error) {
+	r := wireReader{p: p}
+	if k := r.byte(); r.err == nil && k != wireQueryReq {
+		return "", nil, fmt.Errorf("cluster: unexpected wire kind %q", k)
+	}
+	machine = r.str()
+	payload = r.blob()
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	return machine, payload, nil
+}
+
+// encodeQueryResponse appends the plain query response: the partial
+// result on statusOK, the error text on statusQueryFailed, nothing
+// otherwise.
+func encodeQueryResponse(dst []byte, status byte, payload []byte) []byte {
+	dst = append(dst, wireQueryResp, status)
+	return appendBlob(dst, payload)
+}
+
+// decodeQueryResponse parses a plain query response.
+func decodeQueryResponse(p []byte) (status byte, payload []byte, err error) {
+	r := wireReader{p: p}
+	if k := r.byte(); r.err == nil && k != wireQueryResp {
+		return 0, nil, fmt.Errorf("cluster: unexpected wire kind %q", k)
+	}
+	status = r.byte()
+	payload = r.blob()
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	return status, payload, nil
+}
+
+// queryStatusErr maps a query response status to the sender-visible
+// error; a failed query carries the remote error text in the payload.
+func queryStatusErr(status byte, machine string, payload []byte) error {
+	if status == statusQueryFailed {
+		return fmt.Errorf("cluster: query on %s failed: %s", machine, payload)
+	}
+	return statusErr(status, machine)
 }
 
 // decodeResponse parses a plain response, mapping reject codes back to

@@ -15,6 +15,7 @@ import (
 	"muppet/internal/ingress"
 	"muppet/internal/kvstore"
 	"muppet/internal/obs"
+	"muppet/internal/query"
 	"muppet/internal/queue"
 	"muppet/internal/recovery"
 	"muppet/internal/slate"
@@ -172,7 +173,9 @@ type Engine struct {
 	tracker  *engine.Tracker
 	sink     *engine.Sink
 	lost     *engine.LostLog
+	queries  *query.Counters
 	seq      atomic.Uint64
+	watchSeq atomic.Uint64
 	stopped  atomic.Bool
 	flushers chan struct{}
 	wg       sync.WaitGroup
@@ -206,6 +209,7 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		tracker:       engine.NewTracker(),
 		sink:          engine.NewSink(cfg.OutputCapacity),
 		lost:          engine.NewLostLog(0),
+		queries:       query.NewCounters(),
 		flushers:      make(chan struct{}),
 	}
 	// Remote-origin deliveries are charged to this node's in-flight
@@ -261,6 +265,19 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		e.clu.SetHandler(m, e.deliverLocal)
 		e.clu.SetBatchHandler(m, e.deliverLocalBatch)
 	}
+	// The node answers peer queries by running the node-local pipeline
+	// for whichever hosted machine the coordinator addressed.
+	e.clu.SetQueryHandler(func(machine string, req []byte) ([]byte, error) {
+		spec, err := query.DecodeRequest(req)
+		if err != nil {
+			return nil, err
+		}
+		nr, err := e.queryLocal(machine, spec)
+		if err != nil {
+			return nil, err
+		}
+		return query.EncodeResponse(nr)
+	})
 	// The recovery manager subscribes to the master's failure and
 	// rejoin broadcasts and owns the whole crash-to-healthy protocol
 	// (ring updates included); the engine only reports failed sends

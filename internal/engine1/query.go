@@ -1,0 +1,125 @@
+package engine1
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"muppet/internal/core"
+	"muppet/internal/engine"
+	"muppet/internal/event"
+	"muppet/internal/query"
+	"muppet/internal/slate"
+)
+
+// Query answers one relational query over an updater's live slates,
+// cluster-wide. Muppet 1.0 owns keys per worker on per-function rings,
+// so the scatter set is every machine hosting an enabled worker of the
+// updater; each machine runs the whole σ/π/γ pipeline over the keys
+// its workers own and only the reduced partials come back.
+func (e *Engine) Query(spec query.Spec) (*query.Result, error) {
+	start := time.Now()
+	ring := e.rings[spec.Updater]
+	if ring == nil {
+		return nil, fmt.Errorf("engine1: no updater %q", spec.Updater)
+	}
+	seen := make(map[string]bool)
+	var machines []string
+	for _, wid := range ring.Nodes() {
+		if m := e.workerMachine[wid]; !seen[m] {
+			seen[m] = true
+			machines = append(machines, m)
+		}
+	}
+	sort.Strings(machines)
+	co := &query.Coordinator{
+		Machines: machines,
+		IsLocal:  e.clu.IsLocal,
+		Local:    e.queryLocal,
+		Remote:   e.clu.Query,
+	}
+	res, err := co.Run(&spec)
+	if err != nil {
+		return nil, err
+	}
+	e.queries.Observe(spec.Kind(), res.Stats, time.Since(start))
+	return res, nil
+}
+
+// queryLocal runs the node-local pipeline for one hosted machine: the
+// machine's worker caches overlaid on the durable store's rows (cache
+// wins — it holds the freshest, possibly unflushed value), both
+// filtered to keys whose owning worker lives on the queried machine.
+func (e *Engine) queryLocal(machine string, spec *query.Spec) (*query.NodeResult, error) {
+	ring := e.rings[spec.Updater]
+	f := e.app.Function(spec.Updater)
+	if ring == nil || f == nil || f.Kind != core.KindUpdate {
+		return nil, fmt.Errorf("engine1: no updater %q", spec.Updater)
+	}
+	var cached []query.InputRow
+	for wid, w := range e.workers {
+		if w.machine != machine || w.fn.Name() != spec.Updater {
+			continue
+		}
+		for _, k := range w.cache.Keys() {
+			if !spec.KeyInRange(k.Key) || ring.Lookup(k.Key) != wid {
+				continue
+			}
+			if v, ok := w.cache.Peek(k); ok {
+				cached = append(cached, query.InputRow{Key: k.Key, Raw: v})
+			}
+		}
+	}
+	var stored []query.InputRow
+	if e.cfg.Store != nil {
+		e.cfg.Store.ScanUntil(spec.Updater, func(key string, sv []byte) bool {
+			if spec.KeyInRange(key) && e.workerMachine[ring.Lookup(key)] == machine {
+				if raw, err := slate.Decode(sv); err == nil {
+					stored = append(stored, query.InputRow{Key: key, Raw: raw})
+				}
+			}
+			return true
+		})
+	}
+	return query.Execute(spec, f.Codec, query.MergeRows(cached, stored)), nil
+}
+
+// QueryWatch starts a continuous query: the spec is re-evaluated on
+// flush-epoch cadence (or spec.EveryMS) and the marshaled Result is
+// published to a private sink stream whenever the answer changes. The
+// returned stop function ends the watch and cancels the subscription;
+// it must be called exactly once.
+func (e *Engine) QueryWatch(spec query.Spec, buf int) (*engine.Subscription, func(), error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, nil, err
+	}
+	interval := e.cfg.FlushInterval
+	if spec.EveryMS > 0 {
+		interval = time.Duration(spec.EveryMS) * time.Millisecond
+	}
+	stream := fmt.Sprintf("_query/%d", e.watchSeq.Add(1))
+	sub := e.sink.Subscribe(stream, buf)
+	w := &query.Watcher{
+		Interval: interval,
+		Run:      func() (*query.Result, error) { return e.Query(spec) },
+		Emit: func(payload []byte) {
+			e.sink.Record(event.Event{
+				Stream:  stream,
+				Seq:     e.seq.Add(1),
+				Key:     spec.Updater,
+				Value:   payload,
+				Ingress: time.Now().UnixNano(),
+			})
+		},
+	}
+	w.Start()
+	stop := func() {
+		w.Stop()
+		sub.Cancel()
+	}
+	return sub, stop, nil
+}
+
+// QueryCounters exposes the query subsystem's counters (for metrics
+// registration and tests).
+func (e *Engine) QueryCounters() *query.Counters { return e.queries }

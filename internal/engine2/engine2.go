@@ -15,6 +15,7 @@ import (
 	"muppet/internal/ingress"
 	"muppet/internal/kvstore"
 	"muppet/internal/obs"
+	"muppet/internal/query"
 	"muppet/internal/queue"
 	"muppet/internal/recovery"
 	"muppet/internal/slate"
@@ -327,7 +328,9 @@ type Engine struct {
 	lost     *engine.LostLog
 	reg      *obs.Registry
 	tracer   *obs.Tracer
+	queries  *query.Counters
 	seq      atomic.Uint64
+	watchSeq atomic.Uint64
 	stopped  atomic.Bool
 	done     chan struct{}
 	wg       sync.WaitGroup
@@ -356,6 +359,7 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 		tracker:  engine.NewTracker(),
 		sink:     engine.NewSink(cfg.OutputCapacity),
 		lost:     engine.NewLostLog(0),
+		queries:  query.NewCounters(),
 		reg:      obs.NewRegistry(),
 		tracer:   obs.NewTracer(app.Name(), cfg.Observability),
 		done:     make(chan struct{}),
@@ -410,6 +414,19 @@ func New(app *core.App, cfg Config) (*Engine, error) {
 			return e.dispatchLocalBatch(e.machines[name], ds)
 		})
 	}
+	// The node answers peer queries by running the node-local pipeline
+	// for whichever hosted machine the coordinator addressed.
+	e.clu.SetQueryHandler(func(machine string, req []byte) ([]byte, error) {
+		spec, err := query.DecodeRequest(req)
+		if err != nil {
+			return nil, err
+		}
+		nr, err := e.queryLocal(machine, spec)
+		if err != nil {
+			return nil, err
+		}
+		return query.EncodeResponse(nr)
+	})
 	// The recovery manager subscribes to the master's failure and
 	// rejoin broadcasts and owns the whole crash-to-healthy protocol;
 	// the engine only reports failed sends through its detector.

@@ -18,6 +18,7 @@ func (e *Engine) registerObs() {
 	obs.RegisterLatency(e.reg, e.counters)
 	obs.RegisterTracker(e.reg, e.tracker)
 	obs.RegisterLostLog(e.reg, e.lost)
+	obs.RegisterQueryStats(e.reg, e.queries)
 	obs.RegisterQueueStats(e.reg, e.aggregateQueueStats, e.LargestQueues)
 	obs.RegisterCacheStats(e.reg, e.CacheStats)
 	obs.RegisterFlushStats(e.reg, e.FlushStats)

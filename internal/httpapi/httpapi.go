@@ -1,9 +1,11 @@
 // Package httpapi implements Muppet's HTTP service: the slate-read
 // API of Section 4.4 of the paper (fetch live slates by updater name
 // and key), the basic status endpoint of Section 4.5 (largest queue
-// depths), and the streaming ingress endpoint POST /ingest, which
-// accepts JSON event batches and feeds them through the engines'
-// batched ingestion path.
+// depths), the streaming ingress endpoint POST /ingest, which accepts
+// JSON event batches and feeds them through the engines' batched
+// ingestion path, and the relational query endpoint POST /query,
+// which runs scan/filter/project/aggregate pipelines over live slates
+// (one-shot NDJSON answers, or a continuous stream with "watch").
 //
 // The URI of a slate fetch includes the name of the updater and the
 // key of the slate: GET /slate/{updater}/{key}. The fetch is served
@@ -19,9 +21,11 @@ import (
 	"strings"
 
 	"muppet/internal/cluster"
+	"muppet/internal/engine"
 	"muppet/internal/event"
 	"muppet/internal/ingress"
 	"muppet/internal/obs"
+	"muppet/internal/query"
 	"muppet/internal/recovery"
 	"muppet/internal/slate"
 )
@@ -124,6 +128,57 @@ type ClusterReporter interface {
 	Cluster() *cluster.Cluster
 }
 
+// Querier is implemented by engines carrying the query subsystem;
+// when available, POST /query answers one-shot relational queries
+// (scan, filter, project, aggregate) over live slates, cluster-wide.
+type Querier interface {
+	Query(spec query.Spec) (*query.Result, error)
+}
+
+// QueryWatcher is implemented by engines supporting continuous
+// queries; POST /query with "watch": true then streams the re-evaluated
+// result as NDJSON — one marshaled query.Result per line, emitted only
+// when the answer changes — until the client disconnects.
+type QueryWatcher interface {
+	QueryWatch(spec query.Spec, buf int) (*engine.Subscription, func(), error)
+}
+
+// QueryLine is one NDJSON line of a one-shot /query response: exactly
+// one field is set per line. Rows and groups stream first; the Stats
+// line terminates the answer.
+type QueryLine struct {
+	Row   *query.Row       `json:"row,omitempty"`
+	Group *query.Group     `json:"group,omitempty"`
+	Stats *query.ExecStats `json:"stats,omitempty"`
+}
+
+// want resolves an optional engine capability: it returns the engine
+// as T when implemented, and otherwise answers 501 Not Implemented
+// naming the missing feature. Every optional endpoint gates through
+// it so "not supported" stays one code path.
+func want[T any](w http.ResponseWriter, r SlateReader, feature string) (T, bool) {
+	t, ok := any(r).(T)
+	if !ok {
+		http.Error(w, feature+" not supported", http.StatusNotImplemented)
+	}
+	return t, ok
+}
+
+// metricsOf resolves the engine's observability registry, answering
+// 501 when the engine carries none (either no MetricsSource or a nil
+// registry).
+func metricsOf(w http.ResponseWriter, r SlateReader) (*obs.Registry, bool) {
+	ms, ok := want[MetricsSource](w, r, "metrics")
+	if !ok {
+		return nil, false
+	}
+	if reg := ms.Metrics(); reg != nil {
+		return reg, true
+	}
+	http.Error(w, "metrics not supported", http.StatusNotImplemented)
+	return nil, false
+}
+
 // Handler returns the HTTP handler serving slate fetches, status, and
 // batched ingestion.
 //
@@ -133,12 +188,12 @@ type ClusterReporter interface {
 //	GET  /metrics               -> 200 Prometheus text exposition | 501
 //	GET  /statsz                -> 200 JSON []obs.SnapshotEntry | 501
 //	POST /ingest                -> 200 JSON IngestReply | 400 | 501
+//	POST /query                 -> 200 NDJSON QueryLine stream | 400 | 501
 func Handler(r SlateReader) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", func(w http.ResponseWriter, req *http.Request) {
-		ing, ok := r.(Ingester)
+		ing, ok := want[Ingester](w, r, "batched ingestion")
 		if !ok {
-			http.Error(w, "batched ingestion not supported", http.StatusNotImplemented)
 			return
 		}
 		if req.Method != http.MethodPost {
@@ -210,9 +265,8 @@ func Handler(r SlateReader) http.Handler {
 		w.Write(v)
 	})
 	mux.HandleFunc("/slates/", func(w http.ResponseWriter, req *http.Request) {
-		br, ok := r.(BulkReader)
+		br, ok := want[BulkReader](w, r, "bulk slate reads")
 		if !ok {
-			http.Error(w, "bulk slate reads not supported", http.StatusNotImplemented)
 			return
 		}
 		updater := strings.TrimPrefix(req.URL.Path, "/slates/")
@@ -232,31 +286,63 @@ func Handler(r SlateReader) http.Handler {
 		json.NewEncoder(w).Encode(dump)
 	})
 	mux.HandleFunc("/recovery", func(w http.ResponseWriter, req *http.Request) {
-		rr, ok := r.(RecoveryReporter)
+		rr, ok := want[RecoveryReporter](w, r, "recovery status")
 		if !ok {
-			http.Error(w, "recovery status not supported", http.StatusNotImplemented)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(rr.RecoveryStatus())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		ms, ok := r.(MetricsSource)
-		if !ok || ms.Metrics() == nil {
-			http.Error(w, "metrics not supported", http.StatusNotImplemented)
+		reg, ok := metricsOf(w, r)
+		if !ok {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		ms.Metrics().WritePrometheus(w)
+		reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, req *http.Request) {
-		ms, ok := r.(MetricsSource)
-		if !ok || ms.Metrics() == nil {
-			http.Error(w, "metrics not supported", http.StatusNotImplemented)
+		reg, ok := metricsOf(w, r)
+		if !ok {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(ms.Metrics().SnapshotJSON())
+		json.NewEncoder(w).Encode(reg.SnapshotJSON())
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, req *http.Request) {
+		q, ok := want[Querier](w, r, "queries")
+		if !ok {
+			return
+		}
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST a JSON query spec", http.StatusMethodNotAllowed)
+			return
+		}
+		var spec query.Spec
+		if err := json.NewDecoder(req.Body).Decode(&spec); err != nil {
+			http.Error(w, "bad query spec: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if spec.Watch {
+			serveQueryWatch(w, req, r, spec)
+			return
+		}
+		res, err := q.Query(spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Stream the answer as NDJSON: rows first (scans), then groups
+		// (aggregates), then one stats line closing the response.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for i := range res.Rows {
+			enc.Encode(QueryLine{Row: &res.Rows[i]})
+		}
+		for i := range res.Groups {
+			enc.Encode(QueryLine{Group: &res.Groups[i]})
+		}
+		enc.Encode(QueryLine{Stats: &res.Stats})
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
 		st := statusReply{Queues: r.LargestQueues()}
@@ -293,6 +379,46 @@ func Handler(r SlateReader) http.Handler {
 		json.NewEncoder(w).Encode(st)
 	})
 	return mux
+}
+
+// serveQueryWatch runs a continuous query over the engine's watch
+// machinery, streaming one marshaled query.Result per NDJSON line as
+// the answer changes. The stream stays open until the client goes
+// away (request context done) or the engine stops (subscription
+// channel closed); each line is flushed immediately so `-watch`
+// clients see deltas live.
+func serveQueryWatch(w http.ResponseWriter, req *http.Request, r SlateReader, spec query.Spec) {
+	qw, ok := want[QueryWatcher](w, r, "continuous queries")
+	if !ok {
+		return
+	}
+	sub, stop, err := qw.QueryWatch(spec, 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer stop()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush()
+	}
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case ev, open := <-sub.C():
+			if !open {
+				return
+			}
+			w.Write(ev.Value)
+			w.Write([]byte("\n"))
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	}
 }
 
 type statusReply struct {

@@ -1,15 +1,19 @@
 package httpapi
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"muppet/internal/engine"
 	"muppet/internal/event"
 	"muppet/internal/ingress"
+	"muppet/internal/query"
 	"muppet/internal/recovery"
 )
 
@@ -353,6 +357,152 @@ func TestStatusReportsNodeInfo(t *testing.T) {
 	}
 	if len(st.Local) != 1 || st.Local[0] != "machine-00" {
 		t.Fatalf("local = %v", st.Local)
+	}
+}
+
+// queryEngine adds the Querier and QueryWatcher surfaces to the fake.
+type queryEngine struct {
+	fakeEngine
+	spec query.Spec
+	res  *query.Result
+	err  error
+	sink *engine.Sink
+}
+
+func (q *queryEngine) Query(spec query.Spec) (*query.Result, error) {
+	q.spec = spec
+	return q.res, q.err
+}
+
+func (q *queryEngine) QueryWatch(spec query.Spec, buf int) (*engine.Subscription, func(), error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, nil, err
+	}
+	q.spec = spec
+	sub := q.sink.Subscribe("_query/1", buf)
+	return sub, func() { sub.Cancel() }, nil
+}
+
+func TestQueryNotSupportedWithoutQuerier(t *testing.T) {
+	srv, _ := newServer()
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(`{"updater":"U1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestQueryRejectsGetAndBadSpec(t *testing.T) {
+	srv := httptest.NewServer(Handler(&queryEngine{res: &query.Result{}}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/query", "application/json", strings.NewReader(`{not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestQueryStreamsRowsGroupsAndStats(t *testing.T) {
+	f := &queryEngine{res: &query.Result{
+		Rows:   []query.Row{{Key: "a", Value: json.RawMessage(`1`)}},
+		Groups: []query.Group{{Key: "Walmart", Count: 10}},
+		Stats:  query.ExecStats{RowsScanned: 3, RowsReturned: 2},
+	}}
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"updater":"U1","agg":"topk","k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if f.spec.Updater != "U1" || f.spec.Agg != "topk" || f.spec.K != 3 {
+		t.Fatalf("spec decoded wrong: %+v", f.spec)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %s", len(lines), body)
+	}
+	var last QueryLine
+	if err := json.Unmarshal([]byte(lines[2]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Stats == nil || last.Stats.RowsScanned != 3 {
+		t.Fatalf("final line is not the stats: %s", lines[2])
+	}
+	var first QueryLine
+	json.Unmarshal([]byte(lines[0]), &first)
+	if first.Row == nil || first.Row.Key != "a" {
+		t.Fatalf("first line is not the row: %s", lines[0])
+	}
+}
+
+func TestQueryErrorIs400(t *testing.T) {
+	f := &queryEngine{err: errors.New("no updater \"U9\"")}
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(`{"updater":"U9"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "U9") {
+		t.Fatalf("status=%d body=%q", resp.StatusCode, body)
+	}
+}
+
+func TestQueryWatchStreamsChangedAnswers(t *testing.T) {
+	f := &queryEngine{sink: engine.NewSink(0)}
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"updater":"U1","watch":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	for i := 1; i <= 2; i++ {
+		payload, _ := json.Marshal(query.Result{Stats: query.ExecStats{RowsReturned: uint64(i)}})
+		f.sink.Record(event.Event{Stream: "_query/1", Key: "U1", Value: payload})
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for i := 1; i <= 2; i++ {
+		if !sc.Scan() {
+			t.Fatalf("stream ended before line %d: %v", i, sc.Err())
+		}
+		var res query.Result
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if res.Stats.RowsReturned != uint64(i) {
+			t.Fatalf("line %d = %s", i, sc.Text())
+		}
 	}
 }
 

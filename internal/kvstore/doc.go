@@ -31,9 +31,10 @@
 // fsyncs are reported in the NodeStats durable extras. Visibility
 // rules (newest write wins, tombstones, TTL expiry) are identical in
 // both modes — lsm_conformance_test.go drives the same workload
-// through each and asserts agreement. The one sanctioned difference
-// is iteration order: Scan/ScanUntil on an in-memory node is
-// unspecified, while a durable node scans in ascending row-key order.
+// through each and asserts agreement. Iteration order is part of the
+// shared contract: Scan/ScanUntil yield ascending row-key order on
+// both backends (the in-memory node sorts its merged view to match
+// the lsm engine), so range scans behave identically everywhere.
 //
 // # Contract
 //

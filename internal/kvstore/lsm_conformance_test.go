@@ -13,8 +13,7 @@ import (
 // sequence through an in-memory node and a durable (lsm-backed) node
 // and asserts both expose the same visibility rules: newest write
 // wins, tombstones hide rows, TTL expiry applies, and scans agree on
-// the live set. The only sanctioned behavioral difference is scan
-// order (unspecified in memory, sorted on disk).
+// the live set and yield it in ascending key order on both backends.
 func TestInMemoryAndDurableConformance(t *testing.T) {
 	ck := clock.NewFake(time.Unix(1_700_000_000, 0))
 	mem := NewNode("mem", NodeConfig{Clock: ck})
@@ -69,7 +68,11 @@ func TestInMemoryAndDurableConformance(t *testing.T) {
 		}
 
 		memSeen := map[string]string{}
-		mem.Scan("state", func(k string, v []byte) { memSeen[k] = string(v) })
+		var memOrder []string
+		mem.Scan("state", func(k string, v []byte) {
+			memSeen[k] = string(v)
+			memOrder = append(memOrder, k)
+		})
 		durSeen := map[string]string{}
 		var durOrder []string
 		dur.Scan("state", func(k string, v []byte) {
@@ -86,6 +89,9 @@ func TestInMemoryAndDurableConformance(t *testing.T) {
 		}
 		if !sort.StringsAreSorted(durOrder) {
 			t.Fatalf("%s: durable scan not in sorted key order: %v", label, durOrder)
+		}
+		if !sort.StringsAreSorted(memOrder) {
+			t.Fatalf("%s: in-memory scan not in sorted key order: %v", label, memOrder)
 		}
 	}
 

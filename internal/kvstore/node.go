@@ -557,10 +557,12 @@ func (n *Node) Stats() NodeStats {
 }
 
 // Scan calls fn for every live row in the node whose column matches
-// the given column (the bulk slate-read path of Section 5). On an
-// in-memory node the iteration order is unspecified; on a durable node
-// (NodeConfig.Dir set) rows arrive in ascending row-key order — the
-// lsm engine's merged-segment order.
+// the given column (the bulk slate-read path of Section 5). Rows
+// arrive in ascending row-key order on both backends: a durable node
+// (NodeConfig.Dir set) yields the lsm engine's merged-segment order,
+// and an in-memory node sorts its merged view to match — one ordered
+// contract across backends, which the query subsystem's range scans
+// rely on.
 func (n *Node) Scan(column string, fn func(key string, value []byte)) {
 	n.ScanUntil(column, func(k string, v []byte) bool {
 		fn(k, v)
@@ -598,7 +600,13 @@ func (n *Node) ScanUntil(column string, fn func(key string, value []byte) bool) 
 	for k, r := range n.mem.rows {
 		seen[k] = r
 	}
-	for rk, r := range seen {
+	keys := make([]string, 0, len(seen))
+	for rk := range seen {
+		keys = append(keys, rk)
+	}
+	sort.Strings(keys)
+	for _, rk := range keys {
+		r := seen[rk]
 		if r.Tombstone || r.expired(now) {
 			continue
 		}

@@ -6,6 +6,7 @@ import (
 	"muppet/internal/cluster"
 	"muppet/internal/engine"
 	"muppet/internal/kvstore"
+	"muppet/internal/query"
 	"muppet/internal/queue"
 	"muppet/internal/slate"
 )
@@ -117,6 +118,37 @@ func RegisterQueueStats(r *Registry, stats func() queue.Stats, depths func() map
 			}
 		}))
 	}
+}
+
+// RegisterQueryStats registers the query subsystem's counters: queries
+// by kind, scan/return volume, scatter fan-out, and the end-to-end
+// latency histogram.
+func RegisterQueryStats(r *Registry, qc *query.Counters) {
+	r.Register(CollectorFunc(func(emit func(Metric)) {
+		snap := qc.Snapshot()
+		kinds := make([]string, 0, len(snap.Kinds))
+		for kind := range snap.Kinds {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			emit(Metric{
+				Name:   "muppet_query_queries_total",
+				Help:   "Queries answered, by kind (scan, count, sum, min, max, topk).",
+				Type:   TypeCounter,
+				Labels: L("kind", kind),
+				Value:  float64(snap.Kinds[kind]),
+			})
+		}
+	}))
+	r.Counter("muppet_query_rows_scanned_total", "Slate rows scanned by query executions.", nil,
+		func() uint64 { return qc.Snapshot().RowsScanned })
+	r.Counter("muppet_query_rows_returned_total", "Rows and groups returned by queries.", nil,
+		func() uint64 { return qc.Snapshot().RowsReturned })
+	r.Counter("muppet_query_fanout_nodes_total", "Machines scattered to across all queries.", nil,
+		func() uint64 { return qc.Snapshot().FanoutNodes })
+	r.DurationSummary("muppet_query_latency_seconds",
+		"End-to-end query latency, scatter to merged answer.", nil, qc.Latency)
 }
 
 // RegisterCacheStats registers the aggregated slate-cache counters.

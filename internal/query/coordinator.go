@@ -1,0 +1,176 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Coordinator scatter-gathers one query across the owning machines:
+// the full pipeline is pushed to each machine (locally by direct call,
+// remotely over the cluster's query frame), and only the reduced
+// partial results come back to be merged. The engines fill the four
+// hooks; the coordinator owns fan-out, partial-merge, and the global
+// finalize (top-k re-rank, row dedup).
+type Coordinator struct {
+	// Machines is the scatter set: every live ring member. Ring
+	// ownership is disjoint, so querying each machine once covers every
+	// key exactly once.
+	Machines []string
+	// IsLocal reports whether this node hosts the machine.
+	IsLocal func(machine string) bool
+	// Local executes the node-local pipeline for a machine this node
+	// hosts.
+	Local func(machine string, spec *Spec) (*NodeResult, error)
+	// Remote ships an encoded query request to the node hosting the
+	// machine and returns the encoded NodeResult (Cluster.Query).
+	Remote func(machine string, req []byte) ([]byte, error)
+}
+
+// Run executes the spec cluster-wide. Any machine failing fails the
+// query: a partial answer would silently under-count, and the caller's
+// retry (queries are idempotent) is cheaper than a wrong number.
+func (c *Coordinator) Run(spec *Spec) (*Result, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	req, err := EncodeRequest(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	type part struct {
+		nr   *NodeResult
+		wire uint64
+		err  error
+	}
+	parts := make([]part, len(c.Machines))
+	var wg sync.WaitGroup
+	for i, m := range c.Machines {
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			if c.IsLocal(m) {
+				parts[i].nr, parts[i].err = c.Local(m, spec)
+				return
+			}
+			resp, err := c.Remote(m, req)
+			if err != nil {
+				parts[i].err = err
+				return
+			}
+			parts[i].wire = uint64(len(resp))
+			nr, err := DecodeResponse(resp)
+			parts[i].nr, parts[i].err = nr, err
+		}(i, m)
+	}
+	wg.Wait()
+
+	res := &Result{Stats: ExecStats{FanoutMachines: len(c.Machines)}}
+	groups := make(map[string]*Group)
+	for i, p := range parts {
+		if p.err != nil {
+			return nil, fmt.Errorf("query: machine %s: %w", c.Machines[i], p.err)
+		}
+		res.Stats.RowsScanned += p.nr.Stats.RowsScanned
+		res.Stats.BytesScanned += p.nr.Stats.BytesScanned
+		res.Stats.DecodeErrors += p.nr.Stats.DecodeErrors
+		res.Stats.WireBytes += p.wire
+		res.Rows = append(res.Rows, p.nr.Rows...)
+		for _, g := range p.nr.Groups {
+			mergeGroup(groups, g)
+		}
+	}
+
+	if spec.Agg == AggNone {
+		res.Rows = dedupRows(res.Rows)
+		if spec.Limit > 0 && len(res.Rows) > spec.Limit {
+			res.Rows = res.Rows[:spec.Limit]
+		}
+		res.Stats.RowsReturned = uint64(len(res.Rows))
+		return res, nil
+	}
+
+	merged := make([]Group, 0, len(groups))
+	for _, g := range groups {
+		merged = append(merged, *g)
+	}
+	if spec.Agg == AggTopK {
+		merged = topK(merged, spec.By, spec.K)
+	} else {
+		sort.Slice(merged, func(i, j int) bool { return merged[i].Key < merged[j].Key })
+	}
+	res.Groups = merged
+	res.Stats.RowsReturned = uint64(len(merged))
+	return res, nil
+}
+
+// mergeGroup folds one partial into the accumulator: counts and sums
+// add, mins and maxes fold (guarded by Vals so a partial with no
+// numeric values cannot poison them).
+func mergeGroup(dst map[string]*Group, g Group) {
+	d := dst[g.Key]
+	if d == nil {
+		cp := g
+		dst[g.Key] = &cp
+		return
+	}
+	d.Count += g.Count
+	d.Sum += g.Sum
+	if g.Vals > 0 {
+		if d.Vals == 0 {
+			d.Min, d.Max = g.Min, g.Max
+		} else {
+			d.Min = min(d.Min, g.Min)
+			d.Max = max(d.Max, g.Max)
+		}
+		d.Vals += g.Vals
+	}
+}
+
+// dedupRows sorts by key and collapses duplicates. Ownership filtering
+// makes duplicates rare (a key answered by both its old and new owner
+// mid-failover); whichever sorted first wins — the values are the same
+// slate.
+func dedupRows(rows []Row) []Row {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	out := rows[:0]
+	for i, r := range rows {
+		if i > 0 && rows[i-1].Key == r.Key {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// EncodeRequest and DecodeRequest frame the spec for the cluster's
+// query exchange; EncodeResponse and DecodeResponse frame a machine's
+// partial. JSON keeps the cluster layer payload-agnostic — it carries
+// opaque bytes and never imports this package.
+func EncodeRequest(spec *Spec) ([]byte, error) { return json.Marshal(spec) }
+
+// DecodeRequest parses and validates a wire query request.
+func DecodeRequest(req []byte) (*Spec, error) {
+	var spec Spec
+	if err := json.Unmarshal(req, &spec); err != nil {
+		return nil, fmt.Errorf("query: bad request: %w", err)
+	}
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// EncodeResponse frames one machine's partial result.
+func EncodeResponse(nr *NodeResult) ([]byte, error) { return json.Marshal(nr) }
+
+// DecodeResponse parses a machine's partial result.
+func DecodeResponse(resp []byte) (*NodeResult, error) {
+	var nr NodeResult
+	if err := json.Unmarshal(resp, &nr); err != nil {
+		return nil, fmt.Errorf("query: bad response: %w", err)
+	}
+	return &nr, nil
+}

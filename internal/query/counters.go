@@ -1,0 +1,74 @@
+package query
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muppet/internal/metrics"
+)
+
+// Counters accumulates the query subsystem's observability counters;
+// the engines own one and obs.RegisterQueryStats exposes it as
+// muppet_query_* metrics.
+type Counters struct {
+	mu    sync.Mutex
+	kinds map[string]uint64
+
+	rowsScanned  atomic.Uint64
+	rowsReturned atomic.Uint64
+	fanoutNodes  atomic.Uint64
+
+	// Latency is the end-to-end (scatter to merged answer) query
+	// latency histogram.
+	Latency *metrics.Histogram
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{
+		kinds:   make(map[string]uint64),
+		Latency: metrics.NewHistogram(4096),
+	}
+}
+
+// Observe records one completed query.
+func (c *Counters) Observe(kind string, st ExecStats, d time.Duration) {
+	c.mu.Lock()
+	c.kinds[kind]++
+	c.mu.Unlock()
+	c.rowsScanned.Add(st.RowsScanned)
+	c.rowsReturned.Add(st.RowsReturned)
+	c.fanoutNodes.Add(uint64(st.FanoutMachines))
+	c.Latency.Observe(d)
+}
+
+// CountersSnapshot is the scrape-time view of Counters. The obs
+// conformance test reflects over this struct, so every field must map
+// to a registered metric.
+type CountersSnapshot struct {
+	// Kinds counts completed queries by kind (scan, count, sum, min,
+	// max, topk).
+	Kinds map[string]uint64
+	// RowsScanned, RowsReturned, and FanoutNodes are lifetime totals
+	// across all queries.
+	RowsScanned  uint64
+	RowsReturned uint64
+	FanoutNodes  uint64
+}
+
+// Snapshot captures the counters for one scrape.
+func (c *Counters) Snapshot() CountersSnapshot {
+	c.mu.Lock()
+	kinds := make(map[string]uint64, len(c.kinds))
+	for k, v := range c.kinds {
+		kinds[k] = v
+	}
+	c.mu.Unlock()
+	return CountersSnapshot{
+		Kinds:        kinds,
+		RowsScanned:  c.rowsScanned.Load(),
+		RowsReturned: c.rowsReturned.Load(),
+		FanoutNodes:  c.fanoutNodes.Load(),
+	}
+}

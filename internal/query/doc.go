@@ -1,0 +1,49 @@
+// Package query plans and executes relational read pipelines over live
+// slates, cluster-wide: the "top retailers by checkin count right now"
+// class of question the paper motivates Muppet with, answered without
+// downloading every slate.
+//
+// A query is a Spec — one scan plus optional filter, projection, and
+// grouped aggregation — executed as scan -> σ -> π -> γ:
+//
+//   - scan: an ordered prefix/range walk over one updater's slates. The
+//     node-local input merges cache-resident slates (the freshest
+//     value, possibly dirty and not yet flushed) with the durable
+//     store's sorted ScanUntil rows (flushed values the cache may have
+//     evicted); when both hold a key the cache wins.
+//   - σ (Where): predicate filter over decoded fields.
+//   - π (Fields): field projection. Typed slates are decoded through
+//     the function's SlateCodec exactly once per row, then fields are
+//     addressed by dotted path; on scalar slates (a plain counter) any
+//     field other than "key" resolves to the value itself.
+//   - γ (Agg): grouped aggregation — count, sum, min, max, or topk with
+//     a bounded heap. The group key defaults to the slate key for topk
+//     and to one global group otherwise; GroupBy names a field instead.
+//
+// # Pushdown
+//
+// The Coordinator scatter-gathers the WHOLE pipeline: each owning node
+// runs scan->σ->π->γ locally and ships only its reduced partial result
+// (projected rows, or partial aggregate groups) back; the coordinator
+// merges partials — summing counts and sums, folding mins and maxes,
+// re-ranking top-k — so bytes on the wire scale with the answer, not
+// with the slate set. ExecStats records both BytesScanned (what a
+// fetch-all would have moved) and WireBytes (what actually crossed),
+// which is the pushdown win stated as data.
+//
+// # Consistency model
+//
+// Reads are per-slate atomic, cross-slate best-effort: each row is one
+// consistent snapshot of one slate (the cache's current encoded value,
+// or the store's last flushed one), but rows are collected while
+// ingest runs, so two slates may be observed at different flush
+// epochs. There is no cross-slate transaction — the same model as the
+// paper's slate reads, widened from one key to a scan. Ownership
+// filtering (each node contributes only keys its ring currently routes
+// to it) plus coordinator-side key dedup keep a key from being counted
+// twice during failover handoffs.
+//
+// Continuous queries re-run a standing Spec on flush-epoch cadence
+// (Watcher) and emit a result only when the answer changed, feeding
+// the engine's Subscribe machinery so clients stream deltas.
+package query

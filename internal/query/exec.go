@@ -1,0 +1,396 @@
+package query
+
+import (
+	"container/heap"
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+
+	"muppet/internal/slate"
+)
+
+// InputRow is one slate handed to the node-local executor: the key and
+// the raw (frame-decoded) slate bytes.
+type InputRow struct {
+	Key string
+	Raw []byte
+}
+
+// Row is one output row of a non-aggregate scan; Value is the decoded
+// (and possibly projected) slate as JSON.
+type Row struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+// Group is one γ partial: the aggregate state for one group key.
+// Partials merge by summing Count/Sum and folding Min/Max (guarded by
+// Vals, the number of numeric values aggregated, so an empty partial
+// cannot poison a min).
+type Group struct {
+	Key   string  `json:"key"`
+	Count uint64  `json:"count"`
+	Vals  uint64  `json:"vals,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// score is the topk ranking value: row count when By is empty, the
+// summed By field otherwise.
+func (g Group) score(by string) float64 {
+	if by == "" {
+		return float64(g.Count)
+	}
+	return g.Sum
+}
+
+// ExecStats accounts one execution (node-local or merged).
+type ExecStats struct {
+	// RowsScanned and BytesScanned measure the scan input — what a
+	// fetch-all would have shipped to the coordinator.
+	RowsScanned  uint64 `json:"rows_scanned"`
+	BytesScanned uint64 `json:"bytes_scanned"`
+	// RowsReturned is the size of the result (rows or groups).
+	RowsReturned uint64 `json:"rows_returned"`
+	// WireBytes is the total encoded partial-result bytes the
+	// coordinator received from remote nodes; WireBytes < BytesScanned
+	// is the pushdown win.
+	WireBytes uint64 `json:"wire_bytes,omitempty"`
+	// FanoutMachines is how many machines the query was scattered to.
+	FanoutMachines int `json:"fanout_machines,omitempty"`
+	// DecodeErrors counts rows skipped because the slate would not
+	// decode.
+	DecodeErrors uint64 `json:"decode_errors,omitempty"`
+}
+
+// NodeResult is one machine's partial result.
+type NodeResult struct {
+	Rows   []Row     `json:"rows,omitempty"`
+	Groups []Group   `json:"groups,omitempty"`
+	Stats  ExecStats `json:"stats"`
+}
+
+// Result is the coordinator's merged answer.
+type Result struct {
+	Rows   []Row     `json:"rows,omitempty"`
+	Groups []Group   `json:"groups,omitempty"`
+	Stats  ExecStats `json:"stats"`
+}
+
+// Execute runs the node-local pipeline — σ filter, π projection
+// through the codec, γ aggregation — over one machine's scan input.
+// The caller has already range-filtered and ownership-filtered rows;
+// KeyInRange is not re-applied. Undecodable rows are counted and
+// skipped, not fatal: a scan must not die on one corrupt slate.
+func Execute(spec *Spec, codec slate.Codec, rows []InputRow) *NodeResult {
+	res := &NodeResult{}
+	var groups map[string]*Group
+	if spec.Agg != AggNone {
+		groups = make(map[string]*Group)
+	}
+	for _, in := range rows {
+		res.Stats.RowsScanned++
+		res.Stats.BytesScanned += uint64(len(in.Raw))
+		v, ok := decodeValue(codec, in.Raw)
+		if !ok {
+			res.Stats.DecodeErrors++
+			continue
+		}
+		if !matches(spec.Where, in.Key, v) {
+			continue
+		}
+		if spec.Agg == AggNone {
+			val, err := project(spec.Fields, in.Key, v)
+			if err != nil {
+				res.Stats.DecodeErrors++
+				continue
+			}
+			res.Rows = append(res.Rows, Row{Key: in.Key, Value: val})
+			continue
+		}
+		gk := ""
+		if f := spec.groupField(); f != "" {
+			fv, ok := fieldOf(in.Key, v, f)
+			if !ok {
+				continue
+			}
+			gk = stringify(fv)
+		}
+		g := groups[gk]
+		if g == nil {
+			g = &Group{Key: gk}
+			groups[gk] = g
+		}
+		g.Count++
+		if by := aggField(spec); by != "" {
+			if fv, ok := fieldOf(in.Key, v, by); ok {
+				if f, ok := numeric(fv); ok {
+					if g.Vals == 0 {
+						g.Min, g.Max = f, f
+					} else {
+						g.Min = min(g.Min, f)
+						g.Max = max(g.Max, f)
+					}
+					g.Vals++
+					g.Sum += f
+				}
+			}
+		}
+	}
+
+	if spec.Agg == AggNone {
+		sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Key < res.Rows[j].Key })
+		if spec.Limit > 0 && len(res.Rows) > spec.Limit {
+			res.Rows = res.Rows[:spec.Limit]
+		}
+		res.Stats.RowsReturned = uint64(len(res.Rows))
+		return res
+	}
+
+	res.Groups = make([]Group, 0, len(groups))
+	for _, g := range groups {
+		res.Groups = append(res.Groups, *g)
+	}
+	if spec.Agg == AggTopK && spec.keyGrouped() {
+		// Key-grouped partials are disjoint across machines, so the
+		// node can keep only its own top K (bounded heap) without
+		// losing exactness at the merge.
+		res.Groups = topK(res.Groups, spec.By, spec.K)
+	} else {
+		sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Key < res.Groups[j].Key })
+	}
+	res.Stats.RowsReturned = uint64(len(res.Groups))
+	return res
+}
+
+// aggField is the field the aggregation reads per row ("" when none is
+// needed — count, and topk ranked by row count).
+func aggField(spec *Spec) string {
+	switch spec.Agg {
+	case AggSum, AggMin, AggMax:
+		return spec.By
+	case AggTopK:
+		return spec.By // may be "": rank by count
+	}
+	return ""
+}
+
+// MergeRows overlays cache-resident rows on stored ones: the cache
+// wins on key collisions (it holds the freshest, possibly unflushed
+// value), and the merged slice comes back sorted by key.
+func MergeRows(cached, stored []InputRow) []InputRow {
+	have := make(map[string]bool, len(cached))
+	for _, r := range cached {
+		have[r.Key] = true
+	}
+	out := make([]InputRow, 0, len(cached)+len(stored))
+	out = append(out, cached...)
+	for _, r := range stored {
+		if !have[r.Key] {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// decodeValue decodes one slate to the JSON-shaped value the operators
+// address: the codec's typed value normalized through JSON, raw JSON
+// for untyped slates, or the raw bytes as a string.
+func decodeValue(codec slate.Codec, raw []byte) (any, bool) {
+	if codec != nil {
+		v, err := codec.Decode(raw)
+		if err != nil {
+			return nil, false
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, false
+		}
+		var out any
+		if err := json.Unmarshal(b, &out); err != nil {
+			return nil, false
+		}
+		return out, true
+	}
+	var out any
+	if err := json.Unmarshal(raw, &out); err == nil {
+		return out, true
+	}
+	return string(raw), true
+}
+
+// fieldOf resolves a field against one row. "key" is the slate key;
+// "" and "value" are the whole value; dotted paths walk nested
+// objects. A scalar slate has no named fields, so every field other
+// than "key" resolves to the scalar itself — which is what lets
+// `-by count` rank plain counter slates.
+func fieldOf(key string, v any, field string) (any, bool) {
+	switch field {
+	case "key":
+		return key, true
+	case "", "value":
+		return v, true
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return v, true
+	}
+	cur := any(m)
+	for _, part := range strings.Split(field, ".") {
+		mm, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = mm[part]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+func matches(where []Pred, key string, v any) bool {
+	for _, p := range where {
+		fv, ok := fieldOf(key, v, p.Field)
+		if !ok || !p.eval(fv) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Pred) eval(v any) bool {
+	switch p.Op {
+	case "contains":
+		return strings.Contains(stringify(v), p.Value)
+	case "prefix":
+		return strings.HasPrefix(stringify(v), p.Value)
+	}
+	cmp := compare(v, p.Value)
+	switch p.Op {
+	case "==", "eq":
+		return cmp == 0
+	case "!=", "ne":
+		return cmp != 0
+	case "<", "lt":
+		return cmp < 0
+	case "<=", "le":
+		return cmp <= 0
+	case ">", "gt":
+		return cmp > 0
+	case ">=", "ge":
+		return cmp >= 0
+	}
+	return false
+}
+
+// compare orders a field value against a predicate literal:
+// numerically when both sides are numbers, lexicographically
+// otherwise.
+func compare(v any, lit string) int {
+	if f, ok := numeric(v); ok {
+		if lf, err := strconv.ParseFloat(lit, 64); err == nil {
+			switch {
+			case f < lf:
+				return -1
+			case f > lf:
+				return 1
+			}
+			return 0
+		}
+	}
+	return strings.Compare(stringify(v), lit)
+}
+
+func numeric(v any) (float64, bool) {
+	f, ok := v.(float64) // JSON numbers decode to float64
+	return f, ok
+}
+
+func stringify(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	}
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// project applies π: the whole value when no fields are named, an
+// object of the named fields otherwise (missing fields are omitted).
+func project(fields []string, key string, v any) (json.RawMessage, error) {
+	if len(fields) == 0 {
+		return json.Marshal(v)
+	}
+	obj := make(map[string]any, len(fields))
+	for _, f := range fields {
+		if fv, ok := fieldOf(key, v, f); ok {
+			obj[f] = fv
+		}
+	}
+	return json.Marshal(obj)
+}
+
+// groupHeap is a min-heap over the kept groups: the root is the
+// weakest, so a stronger candidate replaces it in O(log k). Ties break
+// toward the lexicographically smaller group key.
+type groupHeap struct {
+	gs []Group
+	by string
+}
+
+func (h *groupHeap) Len() int { return len(h.gs) }
+func (h *groupHeap) Less(i, j int) bool {
+	si, sj := h.gs[i].score(h.by), h.gs[j].score(h.by)
+	if si != sj {
+		return si < sj
+	}
+	return h.gs[i].Key > h.gs[j].Key
+}
+func (h *groupHeap) Swap(i, j int) { h.gs[i], h.gs[j] = h.gs[j], h.gs[i] }
+func (h *groupHeap) Push(x any)    { h.gs = append(h.gs, x.(Group)) }
+func (h *groupHeap) Pop() any      { g := h.gs[len(h.gs)-1]; h.gs = h.gs[:len(h.gs)-1]; return g }
+func (h *groupHeap) beats(g Group) bool {
+	r := h.gs[0]
+	if gs, rs := g.score(h.by), r.score(h.by); gs != rs {
+		return gs > rs
+	}
+	return g.Key < r.Key
+}
+
+// topK keeps the k highest-scoring groups with a bounded heap and
+// returns them ranked: score descending, key ascending on ties.
+func topK(gs []Group, by string, k int) []Group {
+	if k <= 0 {
+		return nil
+	}
+	h := &groupHeap{by: by}
+	for _, g := range gs {
+		if h.Len() < k {
+			heap.Push(h, g)
+			continue
+		}
+		if h.beats(g) {
+			h.gs[0] = g
+			heap.Fix(h, 0)
+		}
+	}
+	out := h.gs
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].score(by), out[j].score(by)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

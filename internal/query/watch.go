@@ -1,0 +1,73 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"time"
+)
+
+// Watcher drives one continuous query: it re-runs a standing Spec on
+// flush-epoch cadence and emits the marshaled Result whenever the
+// answer (rows or groups — stats churn is ignored) changes. The
+// engines point Emit at their output sink so watchers ride the same
+// bounded Subscribe machinery as declared output streams.
+type Watcher struct {
+	// Interval is the re-evaluation cadence; the engines default it to
+	// their flush interval, so a watcher observes every flush epoch.
+	Interval time.Duration
+	// Run evaluates the standing query (the engine's Query).
+	Run func() (*Result, error)
+	// Emit receives the marshaled Result on each change.
+	Emit func(payload []byte)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches the watch loop; the first evaluation is immediate, so
+// a subscriber sees the current answer without waiting an interval.
+func (w *Watcher) Start() {
+	if w.Interval <= 0 {
+		w.Interval = 100 * time.Millisecond
+	}
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go w.loop()
+}
+
+// Stop terminates the loop and waits for it to exit. Idempotent is the
+// caller's problem: the engines call it exactly once per subscription
+// cancel.
+func (w *Watcher) Stop() {
+	close(w.stop)
+	<-w.done
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	var last []byte
+	tick := time.NewTicker(w.Interval)
+	defer tick.Stop()
+	for {
+		res, err := w.Run()
+		if err == nil {
+			// Compare only the answer: stats (bytes on the wire, rows
+			// scanned) can drift run to run without the result changing.
+			key, kerr := json.Marshal(struct {
+				Rows   []Row   `json:"rows"`
+				Groups []Group `json:"groups"`
+			}{res.Rows, res.Groups})
+			if kerr == nil && !bytes.Equal(key, last) {
+				last = key
+				if payload, err := json.Marshal(res); err == nil {
+					w.Emit(payload)
+				}
+			}
+		}
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+		}
+	}
+}

@@ -71,6 +71,7 @@ import (
 	"muppet/internal/kvstore"
 	"muppet/internal/metrics"
 	"muppet/internal/obs"
+	"muppet/internal/query"
 	"muppet/internal/queue"
 	"muppet/internal/recovery"
 	"muppet/internal/slate"
@@ -652,7 +653,43 @@ type Engine interface {
 	Metrics() *MetricsRegistry
 	// SlateCacheStats aggregates the engine's slate-cache counters.
 	SlateCacheStats() slate.CacheStats
+	// Query answers one relational query (scan, filter, project,
+	// aggregate) over an updater's live slates, cluster-wide: the whole
+	// pipeline is pushed down to each owning node and only the reduced
+	// partials cross the wire. Served over HTTP as POST /query.
+	Query(spec QuerySpec) (*QueryResult, error)
+	// QueryWatch starts a continuous query: the spec is re-evaluated on
+	// flush-epoch cadence (or spec.EveryMS) and each changed answer is
+	// published to the subscription as a marshaled QueryResult. The stop
+	// function ends the watch; call it exactly once.
+	QueryWatch(spec QuerySpec, buf int) (*Subscription, func(), error)
 }
+
+// QuerySpec describes one relational query over an updater's live
+// slates: an ordered key scan (prefix or [start, end) range) piped
+// through predicate filters (Where), field projection (Fields), and an
+// optional grouped aggregation (count/sum/min/max/topk). See the
+// internal/query package documentation for the operator contracts.
+type QuerySpec = query.Spec
+
+// QueryPred is one field predicate of a QuerySpec ({field, op, value}).
+type QueryPred = query.Pred
+
+// QueryResult is a merged cluster-wide query answer: rows for scans,
+// groups for aggregates, plus the execution stats.
+type QueryResult = query.Result
+
+// QueryRow is one projected row of a scan result.
+type QueryRow = query.Row
+
+// QueryGroup is one aggregation group of an aggregate result.
+type QueryGroup = query.Group
+
+// QueryStats accounts one query's execution: rows and bytes scanned,
+// rows returned, machines scattered to, and response bytes crossing
+// the wire (the pushdown saving shows as WireBytes far below
+// BytesScanned).
+type QueryStats = query.ExecStats
 
 // LostLog is the bounded log of abandoned deliveries.
 type LostLog = engine.LostLog
@@ -747,8 +784,10 @@ func storeCluster(s *Store) *kvstore.Cluster {
 
 // Handler returns the HTTP handler serving live slate fetches
 // (GET /slate/{updater}/{key}), engine status (GET /status), the
-// service of Section 4.4 of the paper, and batched event ingestion
-// (POST /ingest, a JSON array of {stream, ts, key, value}).
+// service of Section 4.4 of the paper, batched event ingestion
+// (POST /ingest, a JSON array of {stream, ts, key, value}), and
+// relational queries over live slates (POST /query, a JSON QuerySpec;
+// answers stream as NDJSON, continuously with "watch": true).
 func Handler(e Engine) http.Handler { return httpapi.Handler(slateReader{e}) }
 
 // slateReader adapts Engine to the httpapi surface.
@@ -772,6 +811,10 @@ func (r slateReader) FlushSlates()                    { r.e.FlushSlates() }
 func (r slateReader) RecoveryStatus() recovery.Status { return r.e.RecoveryStatus() }
 func (r slateReader) StoredSlates(updater string) map[string][]byte {
 	return r.e.StoredSlates(updater)
+}
+func (r slateReader) Query(spec query.Spec) (*query.Result, error) { return r.e.Query(spec) }
+func (r slateReader) QueryWatch(spec query.Spec, buf int) (*engine.Subscription, func(), error) {
+	return r.e.QueryWatch(spec, buf)
 }
 
 // LatencySummary renders an engine's end-to-end latency histogram

@@ -14,6 +14,7 @@ import (
 	"muppet"
 	"muppet/internal/cluster"
 	"muppet/internal/engine"
+	"muppet/internal/query"
 	"muppet/internal/queue"
 )
 
@@ -59,6 +60,16 @@ var deliveryStatsMetrics = map[string]string{
 	"DedupEntries":      "muppet_transport_dedup_entries",
 }
 
+// queryStatsMetrics maps every query.CountersSnapshot field to its
+// /metrics name; adding a counter to the query subsystem without
+// registering a metric fails the reflection check.
+var queryStatsMetrics = map[string]string{
+	"Kinds":        "muppet_query_queries_total",
+	"RowsScanned":  "muppet_query_rows_scanned_total",
+	"RowsReturned": "muppet_query_rows_returned_total",
+	"FanoutNodes":  "muppet_query_fanout_nodes_total",
+}
+
 var tcpStatsMetrics = map[string]string{
 	"Dials":      "muppet_transport_dials_total",
 	"DialErrors": "muppet_transport_dial_errors_total",
@@ -101,6 +112,7 @@ var extraNonzero = []string{
 	"muppet_kvstore_memtable_rows",
 	"muppet_kvstore_live_rows",
 	"muppet_kvstore_reads_total",
+	"muppet_query_latency_seconds_count",
 }
 
 // mustBePresent are registered but legitimately zero (or zero-valued
@@ -249,6 +261,7 @@ func TestMetricsConformance(t *testing.T) {
 	requireAllFieldsMapped(t, reflect.TypeOf(queue.Stats{}), queueStatsMetrics)
 	requireAllFieldsMapped(t, reflect.TypeOf(cluster.TCPStats{}), tcpStatsMetrics)
 	requireAllFieldsMapped(t, reflect.TypeOf(cluster.DeliveryStats{}), deliveryStatsMetrics)
+	requireAllFieldsMapped(t, reflect.TypeOf(query.CountersSnapshot{}), queryStatsMetrics)
 
 	// Nonzero coverage accumulates across the scenarios: each drives a
 	// different slice of the pipeline, and at the end every metric in
@@ -277,7 +290,7 @@ func TestMetricsConformance(t *testing.T) {
 	})
 
 	required := make([]string, 0, 64)
-	for _, m := range []map[string]string{engineStatsMetrics, queueStatsMetrics, tcpStatsMetrics} {
+	for _, m := range []map[string]string{engineStatsMetrics, queueStatsMetrics, tcpStatsMetrics, queryStatsMetrics} {
 		for _, name := range m {
 			required = append(required, name)
 		}
@@ -343,6 +356,12 @@ func runBaseScenario(t *testing.T, version muppet.EngineVersion) map[string]floa
 		}
 	}
 	eng.Drain()
+
+	// One cluster-wide top-k query drives the muppet_query_* counters:
+	// rows scanned, groups returned, machines scattered to, latency.
+	if res, err := eng.Query(muppet.QuerySpec{Updater: "U1", Agg: "topk", K: 5, By: "count"}); err != nil || len(res.Groups) == 0 {
+		t.Fatalf("topk query: res=%+v err=%v", res, err)
+	}
 
 	// Wait for an interval flush round to settle: it drives the store
 	// saves and the flush-settle trace span.

@@ -1,0 +1,254 @@
+package muppet_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"muppet"
+)
+
+// Query-subsystem property: a cluster-wide query answer always equals
+// a brute-force recomputation over a model map — checked between live
+// ingest rounds, while ingest is running, and across a machine crash,
+// master-driven failover, and rejoin. Along the way it asserts the two
+// scatter-gather failure modes directly: no key returned twice
+// (duplicates across node partials) and no dead-lineage rows (slates
+// of the crashed machine's keys surviving outside the store overlay).
+
+// queryOracleApp counts events per key with a typed int slate, so the
+// at-rest value is the JSON number the query operators aggregate.
+func queryOracleApp() *muppet.App {
+	u := muppet.Update[int]("U1", func(emit muppet.Emitter, in muppet.Event, n *int) { *n++ })
+	return muppet.NewApp("queryprop").Input("S1").AddUpdate(u, []string{"S1"}, nil, 0)
+}
+
+// checkQueryOracle compares scan, range-scan, top-k, count, and sum
+// answers against the model. Every spec carries Prefix "k" so the
+// sacrificial failover-trigger keys (prefix "z") stay out of scope.
+func checkQueryOracle(t *testing.T, eng muppet.Engine, model map[string]int, label string) {
+	t.Helper()
+
+	scan, err := eng.Query(muppet.QuerySpec{Updater: "U1", Prefix: "k"})
+	if err != nil {
+		t.Fatalf("%s: scan: %v", label, err)
+	}
+	seen := make(map[string]int, len(scan.Rows))
+	for _, row := range scan.Rows {
+		if _, dup := seen[row.Key]; dup {
+			t.Fatalf("%s: scan returned key %q twice (scatter-gather duplicate)", label, row.Key)
+		}
+		n, err := strconv.Atoi(string(row.Value))
+		if err != nil {
+			t.Fatalf("%s: row %q has non-numeric value %q: %v", label, row.Key, row.Value, err)
+		}
+		seen[row.Key] = n
+	}
+	if len(seen) != len(model) {
+		t.Fatalf("%s: scan returned %d keys, brute force finds %d", label, len(seen), len(model))
+	}
+	for k, want := range model {
+		if seen[k] != want {
+			t.Fatalf("%s: key %q: query says %d, brute force says %d", label, k, seen[k], want)
+		}
+	}
+
+	ranged, err := eng.Query(muppet.QuerySpec{Updater: "U1", Start: "k2", End: "k6"})
+	if err != nil {
+		t.Fatalf("%s: range scan: %v", label, err)
+	}
+	wantRange := 0
+	for k := range model {
+		if k >= "k2" && k < "k6" {
+			wantRange++
+		}
+	}
+	if len(ranged.Rows) != wantRange {
+		t.Fatalf("%s: range scan returned %d rows, brute force finds %d", label, len(ranged.Rows), wantRange)
+	}
+
+	const k = 5
+	top, err := eng.Query(muppet.QuerySpec{Updater: "U1", Prefix: "k", Agg: "topk", K: k, By: "count"})
+	if err != nil {
+		t.Fatalf("%s: topk: %v", label, err)
+	}
+	// The ranking is deterministic (score descending, key ascending on
+	// ties), so the expected answer is computable exactly.
+	type kc struct {
+		key string
+		n   int
+	}
+	want := make([]kc, 0, len(model))
+	for key, n := range model {
+		want = append(want, kc{key, n})
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].n != want[j].n {
+			return want[i].n > want[j].n
+		}
+		return want[i].key < want[j].key
+	})
+	if len(want) > k {
+		want = want[:k]
+	}
+	if len(top.Groups) != len(want) {
+		t.Fatalf("%s: topk returned %d groups, want %d", label, len(top.Groups), len(want))
+	}
+	for i, g := range top.Groups {
+		if g.Key != want[i].key || int(g.Sum) != want[i].n {
+			t.Fatalf("%s: topk rank %d = {%s %v}, brute force says {%s %d}", label, i, g.Key, g.Sum, want[i].key, want[i].n)
+		}
+	}
+
+	count, err := eng.Query(muppet.QuerySpec{Updater: "U1", Prefix: "k", Agg: "count"})
+	if err != nil {
+		t.Fatalf("%s: count: %v", label, err)
+	}
+	if len(count.Groups) != 1 || count.Groups[0].Count != uint64(len(model)) {
+		t.Fatalf("%s: count groups = %+v, brute force finds %d keys", label, count.Groups, len(model))
+	}
+
+	total := 0
+	for _, n := range model {
+		total += n
+	}
+	sum, err := eng.Query(muppet.QuerySpec{Updater: "U1", Prefix: "k", Agg: "sum", By: "count"})
+	if err != nil {
+		t.Fatalf("%s: sum: %v", label, err)
+	}
+	if len(sum.Groups) != 1 || int(sum.Groups[0].Sum) != total {
+		t.Fatalf("%s: sum groups = %+v, brute force totals %d", label, sum.Groups, total)
+	}
+}
+
+func TestPropertyQueryMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		version muppet.EngineVersion
+	}{
+		{"engine2", muppet.EngineV2},
+		{"engine1", muppet.EngineV1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := muppet.NewEngine(queryOracleApp(), muppet.Config{
+				Engine:        tc.version,
+				Machines:      4,
+				QueueCapacity: 1 << 14,
+				// Write-through keeps the store exactly current, so a
+				// crash loses no acknowledged update and the oracle stays
+				// exact across failover.
+				FlushPolicy: muppet.WriteThrough,
+				Store:       muppet.NewStore(muppet.StoreConfig{Nodes: 3, ReplicationFactor: 3, NoDevice: true}),
+				StoreLevel:  muppet.One,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Stop()
+
+			rng := rand.New(rand.NewSource(42))
+			model := make(map[string]int)
+			ts := 0
+			ingestRound := func(n int) {
+				t.Helper()
+				evs := make([]muppet.Event, 0, n)
+				for i := 0; i < n; i++ {
+					key := fmt.Sprintf("k%d", rng.Intn(40))
+					model[key]++
+					ts++
+					evs = append(evs, muppet.Event{Stream: "S1", TS: muppet.Timestamp(ts), Key: key})
+				}
+				if _, err := eng.IngestBatch(evs); err != nil {
+					t.Fatalf("ingest: %v", err)
+				}
+				eng.Drain()
+			}
+
+			// Two live rounds: the second round's queries see slates the
+			// first round already mutated.
+			ingestRound(300)
+			checkQueryOracle(t, eng, model, "round-1")
+			ingestRound(300)
+			checkQueryOracle(t, eng, model, "round-2")
+
+			// Mid-ingest: query concurrently with a live ingest round.
+			// Counts are monotonic, so any instantaneous answer must show
+			// keys from the model with counts at or below the final value
+			// — and never a duplicate key.
+			final := make(map[string]int, len(model))
+			for k, v := range model {
+				final[k] = v
+			}
+			evs := make([]muppet.Event, 0, 300)
+			for i := 0; i < 300; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(40))
+				model[key]++
+				final[key]++
+				ts++
+				evs = append(evs, muppet.Event{Stream: "S1", TS: muppet.Timestamp(ts), Key: key})
+			}
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, ev := range evs {
+					eng.Ingest(ev)
+				}
+			}()
+			for i := 0; i < 5; i++ {
+				res, err := eng.Query(muppet.QuerySpec{Updater: "U1", Prefix: "k"})
+				if err != nil {
+					t.Errorf("mid-ingest scan %d: %v", i, err)
+					break
+				}
+				rows := make(map[string]bool, len(res.Rows))
+				for _, row := range res.Rows {
+					if rows[row.Key] {
+						t.Errorf("mid-ingest scan %d: key %q returned twice", i, row.Key)
+					}
+					rows[row.Key] = true
+					n, _ := strconv.Atoi(string(row.Value))
+					if max, ok := final[row.Key]; !ok || n > max {
+						t.Errorf("mid-ingest scan %d: key %q count %d exceeds final %d", i, row.Key, n, final[row.Key])
+					}
+				}
+			}
+			wg.Wait()
+			eng.Drain()
+			checkQueryOracle(t, eng, model, "mid-ingest-settled")
+
+			// Crash one machine and trigger the master-driven failover
+			// with sacrificial out-of-scope events ("z" keys: every query
+			// above scans Prefix "k", so whatever happens to them cannot
+			// leak into an answer).
+			victim := eng.Cluster().MachineNames()[1]
+			eng.CrashMachine(victim)
+			deadline := time.Now().Add(15 * time.Second)
+			for i := 0; eng.RecoveryStatus().Failovers == 0; i++ {
+				if time.Now().After(deadline) {
+					t.Fatal("failover never completed after crash")
+				}
+				ts++
+				eng.Ingest(muppet.Event{Stream: "S1", TS: muppet.Timestamp(ts), Key: fmt.Sprintf("z%d", i%8)})
+				time.Sleep(time.Millisecond)
+			}
+			eng.Drain()
+			// The dead machine's keys must be served exactly once by
+			// their new owners, from the store overlay: same answer, no
+			// dead-lineage rows, no duplicates.
+			checkQueryOracle(t, eng, model, "post-failover")
+			ingestRound(200)
+			checkQueryOracle(t, eng, model, "post-failover-ingest")
+
+			if _, err := eng.RejoinMachine(victim); err != nil {
+				t.Fatalf("rejoin %s: %v", victim, err)
+			}
+			ingestRound(200)
+			checkQueryOracle(t, eng, model, "post-rejoin")
+		})
+	}
+}

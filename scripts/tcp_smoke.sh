@@ -18,6 +18,7 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$workdir/muppet" ./cmd/muppet
+go build -o "$workdir/slatectl" ./cmd/slatectl
 
 base=${SMOKE_BASE_PORT:-17070}
 hbase=$((base + 1000))
@@ -106,6 +107,28 @@ expect "Walmart"    10
 expect "Sam's Club" 6
 expect "Target"     5
 
+# Cross-node query: a cluster-wide top-3-by-count through slatectl
+# against node 0 must rank the three retailers with their exact counts.
+# The whole pipeline executes on the owning nodes; node 0 only receives
+# already-reduced partials.
+q=""
+for _ in $(seq 1 100); do
+    q=$("$workdir/slatectl" -addr "127.0.0.1:$hbase" query -stream U1 -topk 3 -by count)
+    if grep -q '"key":"Walmart"' <<< "$q"; then
+        break
+    fi
+    sleep 0.1
+done
+echo "$q"
+for want in '1p;"key":"Walmart";"sum":10' '2p;"key":"Sam'"'"'s Club";"sum":6' '3p;"key":"Target";"sum":5'; do
+    IFS=';' read -r line key sum <<< "$want"
+    got=$(sed -n "$line" <<< "$q")
+    if ! grep -qF "$key" <<< "$got" || ! grep -qF "$sum" <<< "$got"; then
+        echo "FAIL: topk rank $line: want $key $sum, got: $got"; exit 1
+    fi
+done
+echo "ok: slatectl query -topk 3 ranked Walmart=10, Sam's Club=6, Target=5 across the cluster"
+
 # /metrics: every node serves Prometheus text with live engine
 # counters, and the cross-node delivery counters reconcile — sends are
 # synchronous request/response, so after convergence every request
@@ -184,4 +207,115 @@ if [ "$got" != "5" ]; then
 fi
 echo "ok: node $owner restarted on its data dir and served count(Target) = 5 from disk"
 
-echo "tcp smoke: 3-process cluster converged with zero lost updates and survived a node restart"
+# Pushdown phase: a second 3-node cluster runs the httphits app, whose
+# per-section counters give an unbounded key space. 300 single-hit pad
+# sections plus three hot ones make the saving measurable: the top-3
+# query ships 3-group partials to the coordinator while a fetch-all
+# must ship every slate. Queries run while pad ingest is still
+# streaming in — the hot-section counts must be exact regardless.
+base2=$((base + 10))
+hbase2=$((hbase + 10))
+cat > "$workdir/cluster2.json" <<EOF
+{
+  "nodes": {
+    "machine-00": "127.0.0.1:$base2",
+    "machine-01": "127.0.0.1:$((base2 + 1))",
+    "machine-02": "127.0.0.1:$((base2 + 2))"
+  },
+  "retry_backoff": "20ms"
+}
+EOF
+for i in 0 1 2; do
+    "$workdir/muppet" -app httphits -node "machine-0$i" -join "$workdir/cluster2.json" \
+        -http "127.0.0.1:$((hbase2 + i))" -events 0 -linger 120s \
+        -data-dir "$workdir/data2" \
+        > "$workdir/hits$i.log" 2>&1 &
+    pids+=($!)
+done
+for i in 0 1 2; do
+    for _ in $(seq 1 100); do
+        if curl -sf "127.0.0.1:$((hbase2 + i))/status" 2>/dev/null | grep -q '"transport":"tcp"'; then
+            continue 2
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: httphits node $i never came up"; cat "$workdir/hits$i.log"; exit 1
+done
+
+# hits SECTION COUNT: POST that many requests for one site section.
+hits() {
+    local section=$1 count=$2 events="" j
+    for j in $(seq 1 "$count"); do
+        events+="{\"stream\":\"S1\",\"key\":\"h$j\",\"value\":\"/$section/page$j\"},"
+    done
+    curl -sf -X POST "127.0.0.1:$hbase2/ingest" \
+        -H 'Content-Type: application/json' -d "[${events%,}]" > /dev/null
+}
+hits alpha 10
+hits beta  6
+hits gamma 5
+
+# topk_exact LABEL: one top-3 query must rank alpha=10, beta=6,
+# gamma=5 in the q variable set by the caller.
+topk_exact() {
+    local label=$1 want key sum
+    for want in 'alpha;"sum":10' 'beta;"sum":6' 'gamma;"sum":5'; do
+        IFS=';' read -r key sum <<< "$want"
+        if ! grep "\"key\":\"$key\"" <<< "$q" | grep -qF "$sum"; then
+            echo "FAIL: $label topk lost section $key $sum: $q"; exit 1
+        fi
+    done
+}
+
+# Wait for the hot sections to converge to their exact counts.
+q=""
+for _ in $(seq 1 100); do
+    q=$("$workdir/slatectl" -addr "127.0.0.1:$hbase2" query -stream U_hits -topk 3 -by count)
+    if grep -q '"sum":10' <<< "$q" && grep -q '"sum":6' <<< "$q" && grep -q '"sum":5' <<< "$q"; then
+        break
+    fi
+    sleep 0.1
+done
+topk_exact converged
+
+# Stream the 300 pad sections in the background and query while they
+# land: each pad scores 1, so the converged 10/6/5 top-3 must stay
+# exact in every instantaneous answer.
+pad_events=""
+for j in $(seq 1 300); do
+    pad_events+="{\"stream\":\"S1\",\"key\":\"p$j\",\"value\":\"/pad$j/x\"},"
+done
+curl -sf -X POST "127.0.0.1:$hbase2/ingest" \
+    -H 'Content-Type: application/json' -d "[${pad_events%,}]" > /dev/null &
+padpid=$!
+q=$("$workdir/slatectl" -addr "127.0.0.1:$hbase2" query -stream U_hits -topk 3 -by count)
+topk_exact mid-ingest
+wait "$padpid"
+echo "ok: top-3 sections exact (alpha=10 beta=6 gamma=5) during streaming pad ingest"
+
+# Settle, then assert the pushdown saving: the coordinator's received
+# partial-result bytes must be smaller than fetching all ~303 slates.
+q=""
+for _ in $(seq 1 100); do
+    q=$("$workdir/slatectl" -addr "127.0.0.1:$hbase2" query -stream U_hits -topk 3 -by count)
+    if grep -q '"rows_scanned":30[3-9]' <<< "$q"; then
+        break
+    fi
+    sleep 0.1
+done
+echo "$q" | tail -1
+wire=$(grep -o '"wire_bytes":[0-9]*' <<< "$q" | cut -d: -f2)
+if [ -z "$wire" ] || [ "$wire" -eq 0 ]; then
+    echo "FAIL: query stats carry no wire bytes: $q"; exit 1
+fi
+fetchall=0
+for i in 0 1 2; do
+    bytes=$(curl -sf "127.0.0.1:$((hbase2 + i))/slates/U_hits" | wc -c)
+    fetchall=$((fetchall + bytes))
+done
+if [ "$wire" -ge "$fetchall" ]; then
+    echo "FAIL: pushdown saved nothing: $wire wire bytes vs $fetchall fetch-all bytes"; exit 1
+fi
+echo "ok: pushdown shipped $wire bytes to the coordinator vs $fetchall fetch-all bytes"
+
+echo "tcp smoke: 3-process cluster converged with zero lost updates, survived a node restart, and answered cluster-wide queries with pushdown"
